@@ -1,0 +1,214 @@
+package tifl
+
+// One testing.B benchmark per table and figure of the paper (see DESIGN.md
+// §4 for the experiment index), plus the ablation benches and
+// microbenchmarks of the hot substrate paths. Each figure bench executes
+// the full experiment pipeline — population build, profiling, tiering, and
+// every policy's training run — at a reduced scale; run cmd/tifl-bench
+// with -full for paper-scale numbers.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+	"repro/internal/tensor"
+)
+
+// benchScale keeps each figure bench in the hundreds-of-milliseconds range.
+func benchScale() experiments.Scale {
+	s := experiments.SmallScale()
+	s.Rounds = 20
+	s.LEAFRounds = 20
+	s.TrainSize = 2500
+	s.TestSize = 500
+	s.EvalEvery = 5
+	return s
+}
+
+func BenchmarkFig1aHeterogeneityStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig1a(benchScale())
+	}
+}
+
+func BenchmarkFig1bNonIIDStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig1b(benchScale())
+	}
+}
+
+func BenchmarkTable2EstimationModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(benchScale())
+	}
+}
+
+func BenchmarkFig3Cifar10Policies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig3(benchScale())
+	}
+}
+
+func BenchmarkFig4NonIIDPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig4(benchScale())
+	}
+}
+
+func BenchmarkFig5MNISTFMNIST(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(benchScale())
+	}
+}
+
+func BenchmarkFig6CombinedHeterogeneity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig6(benchScale())
+	}
+}
+
+func BenchmarkFig7Adaptive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig7(benchScale())
+	}
+}
+
+func BenchmarkFig8AdaptiveNonIID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8(benchScale())
+	}
+}
+
+func BenchmarkFig9LEAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig9(benchScale())
+	}
+}
+
+func BenchmarkExtensionBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionBaselines(benchScale())
+	}
+}
+
+func BenchmarkExtensionDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionDrift(benchScale())
+	}
+}
+
+func BenchmarkAblationTieringStrategy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationTiering(benchScale())
+	}
+}
+
+func BenchmarkAblationTierCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationTierCount(benchScale())
+	}
+}
+
+func BenchmarkAblationCredits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationCredits(benchScale())
+	}
+}
+
+func BenchmarkAblationChangeProbs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationTemperature(benchScale())
+	}
+}
+
+func BenchmarkAblationCNNSubstrate(b *testing.B) {
+	s := benchScale()
+	s.Rounds = 10 // conv rounds are ~20x costlier than MLP rounds
+	for i := 0; i < b.N; i++ {
+		experiments.RunAblationCNN(s)
+	}
+}
+
+// --- Microbenchmarks of the hot substrate paths. ---
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandNormal(rng, 0, 1, 128, 128)
+	y := tensor.RandNormal(rng, 0, 1, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, y)
+	}
+}
+
+func BenchmarkFedAvg50Clients(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ups := make([]flcore.Update, 50)
+	for i := range ups {
+		w := make([]float64, 2000)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		ups[i] = flcore.Update{Weights: w, NumSamples: 1 + i}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flcore.FedAvg(ups)
+	}
+}
+
+func BenchmarkLocalClientTraining(b *testing.B) {
+	train := dataset.Generate(dataset.CIFAR10Like, 400, 1)
+	rng := rand.New(rand.NewSource(3))
+	model := nn.NewMLP(rng, train.Dim(), []int{32}, 10, 0)
+	opt := nn.NewRMSprop(0.01, 0.995)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		train.Batches(10, rng, func(x *tensor.Tensor, y []int) {
+			model.TrainBatch(x, y, opt)
+		})
+	}
+}
+
+func BenchmarkProfiling50Clients(b *testing.B) {
+	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
+	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+	clients := flcore.BuildClients(train, nil, parts, cpus, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof := core.Profile(clients, simres.DefaultModel, core.DefaultProfiler)
+		core.BuildTiers(prof.Latency, 5, core.Quantile)
+	}
+}
+
+func BenchmarkAdaptiveSelection(b *testing.B) {
+	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
+	test := dataset.Generate(dataset.CIFAR10Like, 500, 2)
+	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+	clients := flcore.BuildClients(train, test, parts, cpus, 40, 1)
+	prof := core.Profile(clients, simres.DefaultModel, core.DefaultProfiler)
+	tiers := core.BuildTiers(prof.Latency, 5, core.Quantile)
+	sel := core.NewAdaptiveSelector(tiers, clients, core.AdaptiveConfig{ClientsPerRound: 5, Interval: 10, TestPerTier: 100})
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel.Select(i, rng)
+	}
+}
+
+func BenchmarkGlobalEvaluation(b *testing.B) {
+	test := dataset.Generate(dataset.CIFAR10Like, 1000, 1)
+	model := nn.NewMLP(rand.New(rand.NewSource(1)), test.Dim(), []int{32}, 10, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Evaluate(test.X, test.Y, 256)
+	}
+}

@@ -1,0 +1,77 @@
+// Command tifl-bench regenerates every table and figure of the TiFL paper's
+// evaluation (plus the ablations) and writes paper-shaped text reports and
+// raw CSVs to a results directory.
+//
+// Usage:
+//
+//	tifl-bench [-out results] [-only fig3,fig7] [-full] [-seed N]
+//
+// Without -full, experiments run at a reduced scale (fewer rounds, smaller
+// datasets) that preserves every shape the paper reports; -full restores
+// the paper's 500 synthetic rounds / 2000 LEAF rounds / 50 clients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "results", "output directory for reports and CSVs")
+		only = flag.String("only", "", "comma-separated experiment IDs to run (default: all); see -list")
+		full = flag.Bool("full", false, "run at paper scale (500/2000 rounds) instead of reduced scale")
+		seed = flag.Int64("seed", 1, "experiment seed")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-22s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	scale := experiments.SmallScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	scale.Seed = *seed
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if experiments.ByID(id) == nil {
+				fmt.Fprintf(os.Stderr, "tifl-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			want[id] = true
+		}
+	}
+
+	start := time.Now()
+	ran := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		t0 := time.Now()
+		fmt.Printf("── running %s: %s\n", r.ID, r.Name)
+		output := r.Run(scale)
+		fmt.Println(output.Render())
+		if err := output.WriteFiles(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "tifl-bench: writing %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("── %s done in %v (artifacts under %s/%s)\n\n", r.ID, time.Since(t0).Round(time.Millisecond), *out, r.ID)
+		ran++
+	}
+	fmt.Printf("ran %d experiments in %v\n", ran, time.Since(start).Round(time.Millisecond))
+}

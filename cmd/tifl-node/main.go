@@ -1,0 +1,114 @@
+// Command tifl-node is a distributed FL node over real TCP (internal/flnet),
+// following the Google FL architecture the paper prototypes: run one
+// aggregator process and any number of worker processes, each training a
+// private synthetic shard.
+//
+// Aggregator (waits for -workers, profiles them, then runs -rounds):
+//
+//	tifl-node -role aggregator -addr :7070 -workers 5 -rounds 20 -per-round 3
+//
+// Workers (one per shell / machine):
+//
+//	tifl-node -role worker -addr host:7070 -id 0
+//	tifl-node -role worker -addr host:7070 -id 1 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/flnet"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "aggregator | worker")
+		addr     = flag.String("addr", "127.0.0.1:7070", "aggregator address")
+		workers  = flag.Int("workers", 3, "aggregator: workers to wait for")
+		rounds   = flag.Int("rounds", 20, "aggregator: training rounds")
+		perRound = flag.Int("per-round", 2, "aggregator: clients per round")
+		timeout  = flag.Duration("timeout", 60*time.Second, "aggregator: per-round timeout")
+		over     = flag.Float64("overselect", 0, "aggregator: over-selection fraction (0.3 = paper's 130%)")
+		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
+		samples  = flag.Int("samples", 400, "worker: local training samples")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	spec := dataset.CIFAR10Like
+	arch := func(rng *rand.Rand) *nn.Model {
+		return nn.NewMLP(rng, spec.Dim, []int{32}, spec.NumClasses, 0)
+	}
+
+	switch *role {
+	case "aggregator":
+		init := arch(rand.New(rand.NewSource(*seed))).WeightsVector()
+		agg, err := flnet.NewAggregator(*addr, flnet.AggregatorConfig{
+			Rounds: *rounds, ClientsPerRound: *perRound, Overselect: *over,
+			RoundTimeout: *timeout, InitialWeights: init, Seed: *seed,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer agg.Close()
+		fmt.Printf("aggregator listening on %s, waiting for %d workers...\n", agg.Addr(), *workers)
+		if err := agg.WaitForWorkers(*workers, 10*time.Minute); err != nil {
+			fail("%v", err)
+		}
+		lat, drop, err := agg.ProfileWorkers(*timeout)
+		if err != nil {
+			fail("profiling: %v", err)
+		}
+		fmt.Printf("profiled %d workers (dropouts: %v):\n", len(lat), drop)
+		for idc, l := range lat {
+			fmt.Printf("  client %d: %.3fs\n", idc, l)
+		}
+		res, err := agg.Run(flnet.UniformSelect(*perRound))
+		if err != nil {
+			fail("training: %v", err)
+		}
+		// Evaluate the final global model on a held-out test set.
+		test := dataset.Generate(spec, 1000, *seed+999)
+		model := arch(rand.New(rand.NewSource(*seed)))
+		model.SetWeightsVector(res.Weights)
+		acc, loss := model.Evaluate(test.X, test.Y, 256)
+		for _, rs := range res.Rounds {
+			fmt.Printf("round %3d: selected %d, used %d, discarded %d, wall %v\n",
+				rs.Round, rs.Selected, rs.Used, rs.Discarded, rs.Wall.Round(time.Millisecond))
+		}
+		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
+
+	case "worker":
+		local := dataset.Generate(spec, *samples, *seed+int64(*id)*31)
+		fmt.Printf("worker %d: %d local samples, connecting to %s\n", *id, local.Len(), *addr)
+		train := func(round int, weights []float64) ([]float64, int, error) {
+			rng := rand.New(rand.NewSource(*seed + int64(*id) + int64(round)*7919))
+			model := arch(rng)
+			model.SetWeightsVector(weights)
+			opt := nn.NewRMSprop(0.01, 0.995)
+			local.Batches(10, rng, func(x *tensor.Tensor, y []int) {
+				model.TrainBatch(x, y, opt)
+			})
+			return model.WeightsVector(), local.Len(), nil
+		}
+		err := flnet.RunWorker(*addr, flnet.WorkerConfig{ClientID: *id, NumSamples: local.Len(), Train: train})
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("worker %d: done\n", *id)
+
+	default:
+		fail("need -role aggregator or -role worker")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tifl-node: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,94 @@
+// Command tifl-trace summarizes a JSONL round trace written by
+// `tifl -trace run.jsonl`: round and latency statistics, per-tier selection
+// counts, and per-client participation — the observability view for
+// debugging scheduling behaviour.
+//
+// Usage:
+//
+//	tifl-trace run.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tifl-trace <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tifl-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	events, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tifl-trace: %v\n", err)
+		os.Exit(1)
+	}
+	s := trace.Summarize(events)
+
+	tab := metrics.Table{Title: "Run summary", Columns: []string{"metric", "value"}}
+	tab.AddRow("rounds", s.Rounds)
+	tab.AddRow("total simulated time [s]", s.TotalTime)
+	tab.AddRow("mean round latency [s]", s.MeanLatency)
+	tab.AddRow("p50 round latency [s]", s.P50)
+	tab.AddRow("p95 round latency [s]", s.P95)
+	tab.AddRow("max round latency [s]", s.Max)
+	tab.AddRow("final accuracy", s.FinalAccuracy)
+	fmt.Println(tab.Render())
+
+	tiers := make([]int, 0, len(s.TierCount))
+	for t := range s.TierCount {
+		tiers = append(tiers, t)
+	}
+	sort.Ints(tiers)
+	tt := metrics.Table{Title: "Tier selection counts", Columns: []string{"tier", "rounds", "share"}}
+	for _, t := range tiers {
+		label := fmt.Sprintf("%d", t+1)
+		if t < 0 {
+			label = "(vanilla)"
+		}
+		tt.AddRow(label, s.TierCount[t], float64(s.TierCount[t])/float64(s.Rounds))
+	}
+	fmt.Println(tt.Render())
+
+	clients := make([]int, 0, len(s.SelectionCount))
+	for c := range s.SelectionCount {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool {
+		if s.SelectionCount[clients[i]] != s.SelectionCount[clients[j]] {
+			return s.SelectionCount[clients[i]] > s.SelectionCount[clients[j]]
+		}
+		return clients[i] < clients[j]
+	})
+	if len(clients) > 10 {
+		clients = clients[:10]
+	}
+	ct := metrics.Table{Title: "Most-selected clients", Columns: []string{"client", "selections"}}
+	for _, c := range clients {
+		ct.AddRow(fmt.Sprintf("%d", c), s.SelectionCount[c])
+	}
+	fmt.Println(ct.Render())
+
+	// Accuracy trajectory.
+	var acc metrics.Series
+	acc.Name = "accuracy"
+	for _, e := range events {
+		if e.Accuracy > 0 {
+			acc.X = append(acc.X, float64(e.Round))
+			acc.Y = append(acc.Y, e.Accuracy)
+		}
+	}
+	if acc.Len() > 1 {
+		fmt.Println(metrics.LinePlot("accuracy over rounds", []metrics.Series{acc}, 64, 12))
+	}
+}

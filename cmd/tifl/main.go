@@ -1,0 +1,158 @@
+// Command tifl runs a single federated training job on a synthetic
+// benchmark with a chosen heterogeneity mix and selection policy, printing
+// the tier structure, per-round progress, and the final summary.
+//
+// Examples:
+//
+//	tifl -dataset cifar10 -het resource -policy fast -rounds 100
+//	tifl -dataset cifar10 -het combine -policy adaptive -rounds 200
+//	tifl -dataset mnist -het quantity -policy fast3 -rounds 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	tifl "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		dataFlag   = flag.String("dataset", "cifar10", "dataset family: cifar10 | mnist | fmnist | femnist")
+		hetFlag    = flag.String("het", "resource", "heterogeneity: resource | quantity | noniid | combine")
+		policyFlag = flag.String("policy", "adaptive", "policy: vanilla | slow | uniform | random | fast | fast1 | fast2 | fast3 | adaptive")
+		rounds     = flag.Int("rounds", 100, "global training rounds")
+		clients    = flag.Int("clients", 50, "total clients |K| (multiple of 5)")
+		perRound   = flag.Int("per-round", 5, "clients per round |C|")
+		classes    = flag.Int("classes", 5, "classes per client for non-IID settings")
+		trainSize  = flag.Int("train", 10000, "total training samples")
+		seed       = flag.Int64("seed", 1, "seed")
+		traceFile  = flag.String("trace", "", "write a JSONL round trace to this file (analyze with tifl-trace)")
+	)
+	flag.Parse()
+
+	spec, ok := specs()[*dataFlag]
+	if !ok {
+		fail("unknown dataset %q", *dataFlag)
+	}
+	if *clients%5 != 0 {
+		fail("-clients must be a multiple of 5 (5 resource groups)")
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	train := dataset.Generate(spec, *trainSize, *seed+1)
+	test := dataset.Generate(spec, *trainSize/5, *seed+2)
+
+	var parts [][]int
+	cpus := simres.AssignGroups(*clients, simres.GroupsCIFAR)
+	switch *hetFlag {
+	case "resource":
+		parts = dataset.PartitionIID(train.Len(), *clients, rng)
+	case "quantity":
+		parts = dataset.PartitionQuantity(train.Len(), *clients, dataset.QuantityFractions, rng)
+	case "noniid":
+		parts = dataset.PartitionByClass(train, *clients, *classes, rng)
+	case "combine":
+		parts = dataset.PartitionClassQuantity(train, *clients, *classes, dataset.QuantityFractions, rng)
+	default:
+		fail("unknown heterogeneity %q", *hetFlag)
+	}
+	pop := flcore.BuildClients(train, test, parts, cpus, 60, *seed+3)
+
+	sys, err := tifl.New(pop, tifl.Options{})
+	if err != nil {
+		fail("building system: %v", err)
+	}
+	fmt.Println("tiers (fastest → slowest):")
+	for _, t := range sys.Tiers() {
+		fmt.Printf("  tier %d: %2d clients, mean latency %.2fs\n", t.ID+1, len(t.Members), t.MeanLatency)
+	}
+
+	policy, perr := parsePolicy(*policyFlag, *perRound)
+	if perr != nil {
+		fail("%v", perr)
+	}
+
+	cfg := tifl.Config{
+		Rounds: *rounds, ClientsPerRound: *perRound, LocalEpochs: 1, BatchSize: 10, Seed: *seed,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, spec.Dim, []int{32}, spec.NumClasses, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer {
+			return nn.NewRMSprop(0.01*math.Pow(0.995, float64(round)), 0.995)
+		},
+		EvalEvery: maxInt(1, *rounds/20),
+		EvalBatch: 256,
+		Parallel:  true,
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fail("creating trace file: %v", err)
+		}
+		rec := trace.NewRecorder(f)
+		cfg.OnRound = trace.RoundHook(rec, core.TierOf(sys.Tiers()))
+		defer func() {
+			if err := rec.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "tifl: flushing trace: %v\n", err)
+			}
+			f.Close() //nolint:errcheck // read-back not needed
+			fmt.Printf("trace: %d rounds written to %s\n", rec.Events(), *traceFile)
+		}()
+	}
+	res := sys.Train(cfg, test, policy)
+
+	fmt.Printf("\nround  sim-time[s]  accuracy\n")
+	for _, rec := range res.History {
+		if !math.IsNaN(rec.Acc) {
+			fmt.Printf("%5d  %11.1f  %.4f\n", rec.Round, rec.SimTime, rec.Acc)
+		}
+	}
+	fmt.Printf("\npolicy=%s  rounds=%d  total simulated time=%.1fs  final accuracy=%.4f\n",
+		*policyFlag, *rounds, res.TotalTime, res.FinalAcc)
+}
+
+func specs() map[string]dataset.Spec {
+	return map[string]dataset.Spec{
+		"cifar10": dataset.CIFAR10Like,
+		"mnist":   dataset.MNISTLike,
+		"fmnist":  dataset.FashionMNISTLike,
+		"femnist": dataset.FEMNISTLike,
+	}
+}
+
+func parsePolicy(name string, perRound int) (tifl.Policy, error) {
+	switch name {
+	case "vanilla":
+		return tifl.Vanilla(), nil
+	case "adaptive":
+		return tifl.Adaptive(tifl.AdaptiveConfig{ClientsPerRound: perRound, Interval: 10, TestPerTier: 200}), nil
+	}
+	for _, p := range append(core.PoliciesCIFAR(), core.PoliciesMNIST()...) {
+		if p.Name == name {
+			return tifl.Static(p), nil
+		}
+	}
+	return tifl.Policy{}, fmt.Errorf("unknown policy %q", name)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tifl: "+format+"\n", args...)
+	os.Exit(2)
+}

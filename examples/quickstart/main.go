@@ -1,0 +1,56 @@
+// Quickstart: the smallest end-to-end TiFL run — build a heterogeneous
+// federation, let TiFL profile and tier it, train with the adaptive policy,
+// and compare against vanilla FL.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	tifl "repro"
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+func main() {
+	// A 50-client federation over 5 CPU groups (4 … 0.1 CPUs) holding IID
+	// shards of a CIFAR-10-like synthetic dataset.
+	train := dataset.Generate(dataset.CIFAR10Like, 5000, 1)
+	test := dataset.Generate(dataset.CIFAR10Like, 1000, 2)
+	rng := rand.New(rand.NewSource(3))
+	parts := dataset.PartitionIID(train.Len(), 50, rng)
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+	clients := flcore.BuildClients(train, test, parts, cpus, 50, 4)
+
+	// TiFL profiles response latencies and groups clients into tiers.
+	sys, err := tifl.New(clients, tifl.Options{})
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range sys.Tiers() {
+		fmt.Printf("tier %d: %d clients, mean latency %.2fs\n", t.ID+1, len(t.Members), t.MeanLatency)
+	}
+
+	cfg := tifl.Config{
+		Rounds: 60, ClientsPerRound: 5, LocalEpochs: 1, BatchSize: 10, Seed: 5,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, dataset.CIFAR10Like.Dim, []int{32}, 10, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer {
+			return nn.NewRMSprop(0.01*math.Pow(0.995, float64(round)), 0.995)
+		},
+		EvalEvery: 10,
+		Parallel:  true,
+	}
+
+	vanilla := sys.Train(cfg, test, tifl.Vanilla())
+	adaptive := sys.Train(cfg, test, tifl.Adaptive(tifl.AdaptiveConfig{Interval: 10, TestPerTier: 200}))
+
+	fmt.Printf("\n            %-12s %-12s\n", "time [s]", "accuracy")
+	fmt.Printf("vanilla     %-12.1f %-12.4f\n", vanilla.TotalTime, vanilla.FinalAcc)
+	fmt.Printf("TiFL        %-12.1f %-12.4f\n", adaptive.TotalTime, adaptive.FinalAcc)
+	fmt.Printf("speedup: %.1fx\n", vanilla.TotalTime/adaptive.TotalTime)
+}

@@ -1,0 +1,72 @@
+// Resource-heterogeneity study (the Fig. 3 column-1 scenario): all five
+// Table 1 selection policies on a 50-client federation whose groups get
+// 4 / 2 / 1 / 0.5 / 0.1 CPUs, printing the training-time bars and
+// accuracy-over-time behaviour the paper reports.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	tifl "repro"
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+func main() {
+	train := dataset.Generate(dataset.CIFAR10Like, 6000, 1)
+	test := dataset.Generate(dataset.CIFAR10Like, 1200, 2)
+	rng := rand.New(rand.NewSource(3))
+	parts := dataset.PartitionIID(train.Len(), 50, rng)
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+
+	cfg := tifl.Config{
+		Rounds: 80, ClientsPerRound: 5, LocalEpochs: 1, BatchSize: 10, Seed: 5,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, dataset.CIFAR10Like.Dim, []int{32}, 10, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer {
+			return nn.NewRMSprop(0.01*math.Pow(0.995, float64(round)), 0.995)
+		},
+		EvalEvery: 10,
+		Parallel:  true,
+	}
+
+	policies := []struct {
+		name   string
+		policy tifl.Policy
+	}{
+		{"vanilla", tifl.Vanilla()},
+		{"slow", tifl.Static(tifl.PolicySlow)},
+		{"uniform", tifl.Static(tifl.PolicyUniform)},
+		{"random", tifl.Static(tifl.PolicyRandom)},
+		{"fast", tifl.Static(tifl.PolicyFast)},
+	}
+
+	labels := make([]string, 0, len(policies))
+	times := make([]float64, 0, len(policies))
+	var series []metrics.Series
+	for _, p := range policies {
+		clients := flcore.BuildClients(train, test, parts, cpus, 50, 4)
+		sys, err := tifl.New(clients, tifl.Options{})
+		if err != nil {
+			panic(err)
+		}
+		res := sys.Train(cfg, test, p.policy)
+		labels = append(labels, p.name)
+		times = append(times, res.TotalTime)
+		series = append(series, metrics.AccuracyOverTime(res, p.name))
+		fmt.Printf("%-8s time %8.1fs  final accuracy %.4f\n", p.name, res.TotalTime, res.FinalAcc)
+	}
+
+	fmt.Println()
+	fmt.Println(metrics.BarChart("training time for 80 rounds [s]", labels, times, 40))
+	tab := metrics.SeriesTable("accuracy over simulated time [s]", series, 8)
+	fmt.Println(tab.Render())
+	fmt.Printf("speedup fast vs vanilla: %.1fx; uniform vs vanilla: %.1fx\n",
+		times[0]/times[4], times[0]/times[2])
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/flcore"
+)
+
+// DynamicSelector is the "online version" the paper sketches in Sections 1
+// and 4.2: profiling and tiering are refreshed periodically so clients
+// whose computation or communication performance drifts over time migrate
+// to the right tier. It wraps a fixed tier-probability policy, maintains an
+// exponentially weighted moving average of each client's observed response
+// latency (fed by the engine through flcore.LatencyObserver), and rebuilds
+// the tiers every RetierEvery rounds.
+type DynamicSelector struct {
+	Policy          StaticPolicy
+	ClientsPerRound int
+	// RetierEvery rebuilds tiers every k rounds (default 50).
+	RetierEvery int
+	// Alpha is the EWMA smoothing for observed latencies (default 0.5).
+	Alpha float64
+	// Strategy for rebuilt tiers (default Quantile).
+	Strategy TieringStrategy
+	// NumTiers for rebuilt tiers; must match len(Policy.Probs).
+	NumTiers int
+
+	tiers   []Tier
+	ewma    map[int]float64
+	retiers int
+}
+
+// NewDynamicSelector starts from the initially profiled latencies.
+func NewDynamicSelector(initial map[int]float64, policy StaticPolicy, clientsPerRound int) *DynamicSelector {
+	if err := policy.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DynamicSelector{
+		Policy:          policy,
+		ClientsPerRound: clientsPerRound,
+		RetierEvery:     50,
+		Alpha:           0.5,
+		Strategy:        Quantile,
+		NumTiers:        len(policy.Probs),
+		ewma:            make(map[int]float64, len(initial)),
+	}
+	for id, l := range initial {
+		d.ewma[id] = l
+	}
+	d.rebuild()
+	return d
+}
+
+// Tiers returns the current tiering.
+func (d *DynamicSelector) Tiers() []Tier { return d.tiers }
+
+// Retiers returns how many times the tiers have been rebuilt (excluding
+// the initial build).
+func (d *DynamicSelector) Retiers() int { return d.retiers }
+
+func (d *DynamicSelector) rebuild() {
+	tiers := BuildTiers(d.ewma, d.NumTiers, d.Strategy)
+	if len(tiers) != len(d.Policy.Probs) {
+		// Equal-width splits can collapse tiers; redistribute the policy
+		// mass uniformly over the tiers that materialized.
+		probs := make([]float64, len(tiers))
+		for i := range probs {
+			probs[i] = 1 / float64(len(tiers))
+		}
+		d.tiers = tiers
+		d.Policy = StaticPolicy{Name: d.Policy.Name, Probs: probs}
+		return
+	}
+	d.tiers = tiers
+}
+
+// Select implements flcore.Selector.
+func (d *DynamicSelector) Select(r int, rng *rand.Rand) []int {
+	if d.RetierEvery > 0 && r > 0 && r%d.RetierEvery == 0 {
+		d.rebuild()
+		d.retiers++
+	}
+	t := pickTier(d.Policy.Probs, rng)
+	return sampleClients(d.tiers[t].Members, d.ClientsPerRound, rng)
+}
+
+// ObserveLatencies implements flcore.LatencyObserver: fold each selected
+// client's observed response latency into its EWMA.
+func (d *DynamicSelector) ObserveLatencies(r int, updates []flcore.Update) {
+	for _, u := range updates {
+		prev, ok := d.ewma[u.ClientID]
+		if !ok {
+			d.ewma[u.ClientID] = u.Latency
+			continue
+		}
+		d.ewma[u.ClientID] = (1-d.Alpha)*prev + d.Alpha*u.Latency
+	}
+}
+
+// EWMA returns the tracked latency estimate for a client (for tests and
+// inspection).
+func (d *DynamicSelector) EWMA(clientID int) (float64, bool) {
+	v, ok := d.ewma[clientID]
+	return v, ok
+}
+
+var _ flcore.Selector = (*DynamicSelector)(nil)
+var _ flcore.LatencyObserver = (*DynamicSelector)(nil)
+
+// String describes the selector configuration.
+func (d *DynamicSelector) String() string {
+	return fmt.Sprintf("DynamicSelector(policy=%s, retierEvery=%d, tiers=%d)", d.Policy.Name, d.RetierEvery, len(d.tiers))
+}

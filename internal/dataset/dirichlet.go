@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PartitionDirichlet draws each client's class mixture from a symmetric
+// Dirichlet(α) distribution — the standard continuous-knob non-IID
+// partitioner in the FL literature (Hsu et al. 2019), complementing the
+// paper's discrete non-IID(k) construction. Small α (e.g. 0.1) yields
+// near-single-class clients; large α approaches IID. Each client receives
+// n/clients samples.
+func PartitionDirichlet(d *Dataset, clients int, alpha float64, rng *rand.Rand) [][]int {
+	if clients <= 0 {
+		panic("dataset: PartitionDirichlet needs clients > 0")
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("dataset: Dirichlet alpha %v must be positive", alpha))
+	}
+	byClass := d.ClassIndices()
+	for c := range byClass {
+		rng.Shuffle(len(byClass[c]), func(i, j int) { byClass[c][i], byClass[c][j] = byClass[c][j], byClass[c][i] })
+	}
+	cursor := make([]int, d.NumClasses)
+	next := func(class int) int {
+		pool := byClass[class]
+		if len(pool) == 0 {
+			panic(fmt.Sprintf("dataset: class %d empty", class))
+		}
+		v := pool[cursor[class]%len(pool)]
+		cursor[class]++
+		return v
+	}
+	perClient := d.Len() / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	out := make([][]int, clients)
+	for c := 0; c < clients; c++ {
+		mix := dirichlet(rng, alpha, d.NumClasses)
+		idx := make([]int, 0, perClient)
+		for s := 0; s < perClient; s++ {
+			idx = append(idx, next(sampleCategorical(rng, mix)))
+		}
+		out[c] = idx
+	}
+	return out
+}
+
+// dirichlet samples a symmetric Dirichlet(α) vector of length k via
+// normalized Gamma(α, 1) draws.
+func dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	out := make([]float64, k)
+	sum := 0.0
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Numerically everything underflowed (tiny α): pick one class.
+		out[rng.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the
+// shape<1 boost trick.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^(1/a)
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+func sampleCategorical(rng *rand.Rand, probs []float64) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}

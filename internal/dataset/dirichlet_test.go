@@ -1,0 +1,143 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestPartitionDirichletShapes(t *testing.T) {
+	d := Generate(CIFAR10Like, 1000, 1)
+	parts := PartitionDirichlet(d, 20, 0.5, rand.New(rand.NewSource(1)))
+	if len(parts) != 20 {
+		t.Fatalf("clients = %d", len(parts))
+	}
+	for c, p := range parts {
+		if len(p) != 50 {
+			t.Fatalf("client %d has %d samples, want 50", c, len(p))
+		}
+	}
+}
+
+func TestPartitionDirichletSkewByAlpha(t *testing.T) {
+	d := Generate(CIFAR10Like, 2000, 2)
+	skew := func(alpha float64) float64 {
+		parts := PartitionDirichlet(d, 20, alpha, rand.New(rand.NewSource(3)))
+		// Mean per-client class-distribution entropy; lower = more skewed.
+		total := 0.0
+		for _, p := range parts {
+			counts := make([]float64, d.NumClasses)
+			for _, i := range p {
+				counts[d.Y[i]]++
+			}
+			h := 0.0
+			for _, c := range counts {
+				if c > 0 {
+					pr := c / float64(len(p))
+					h -= pr * math.Log(pr)
+				}
+			}
+			total += h
+		}
+		return total / float64(len(parts))
+	}
+	concentrated := skew(0.05)
+	spread := skew(10)
+	if concentrated >= spread {
+		t.Fatalf("alpha=0.05 entropy %v should be below alpha=10 entropy %v", concentrated, spread)
+	}
+	// alpha=10 is near IID: entropy near log(10).
+	if spread < math.Log(10)*0.8 {
+		t.Fatalf("alpha=10 entropy %v too low for near-IID", spread)
+	}
+}
+
+func TestPartitionDirichletInvalidPanics(t *testing.T) {
+	d := Generate(MNISTLike, 100, 1)
+	for _, f := range []func(){
+		func() { PartitionDirichlet(d, 0, 1, rand.New(rand.NewSource(1))) },
+		func() { PartitionDirichlet(d, 5, 0, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, shape := range []float64{0.3, 1, 2.5} {
+		n := 20000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-shape) > 0.1*shape+0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v, want ≈%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestGenerateImagesShape(t *testing.T) {
+	d := GenerateImages("test", 10, 1, 14, 14, 200, 0.4, 1)
+	if d.Len() != 200 || d.Dim() != 14*14 {
+		t.Fatalf("len %d dim %d", d.Len(), d.Dim())
+	}
+	if len(d.SampleShape) != 3 || d.SampleShape[0] != 1 || d.SampleShape[1] != 14 {
+		t.Fatalf("SampleShape = %v", d.SampleShape)
+	}
+	it := d.InputTensor()
+	if it.Rank() != 4 || it.Dim(0) != 200 || it.Dim(2) != 14 {
+		t.Fatalf("InputTensor shape %v", it.Shape())
+	}
+}
+
+func TestGenerateImagesSpatialSmoothness(t *testing.T) {
+	// Prototype images are upsampled coarse grids: adjacent pixels must be
+	// far more correlated than in white noise.
+	d := GenerateImages("smooth", 4, 1, 16, 16, 400, 0.1, 2)
+	var adjacent, random float64
+	n := 0
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < d.Len(); i++ {
+		row := d.X.Data[i*256 : (i+1)*256]
+		for k := 0; k < 20; k++ {
+			p := rng.Intn(255)
+			adjacent += math.Abs(row[p] - row[p+1])
+			random += math.Abs(row[p] - row[rng.Intn(256)])
+			n++
+		}
+	}
+	if adjacent/float64(n) >= random/float64(n) {
+		t.Fatalf("adjacent diff %v not below random diff %v", adjacent/float64(n), random/float64(n))
+	}
+}
+
+func TestGenerateImagesSubsetPreservesShape(t *testing.T) {
+	d := GenerateImages("test", 10, 2, 8, 8, 50, 0.3, 5)
+	s := d.Subset([]int{0, 3, 7})
+	if len(s.SampleShape) != 3 || s.SampleShape[0] != 2 {
+		t.Fatalf("Subset lost SampleShape: %v", s.SampleShape)
+	}
+	c := Concat(s, s)
+	if len(c.SampleShape) != 3 {
+		t.Fatalf("Concat lost SampleShape: %v", c.SampleShape)
+	}
+}
+
+func TestBatchesRespectSampleShape(t *testing.T) {
+	d := GenerateImages("test", 4, 1, 8, 8, 30, 0.3, 6)
+	d.Batches(7, rand.New(rand.NewSource(1)), func(x *tensor.Tensor, y []int) {
+		if x.Rank() != 4 || x.Dim(1) != 1 || x.Dim(2) != 8 {
+			t.Fatalf("batch shape %v", x.Shape())
+		}
+	})
+}

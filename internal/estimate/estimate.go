@@ -1,0 +1,50 @@
+// Package estimate implements TiFL's training-time estimation model
+// (Section 4.5): L_all = Σ_i (L_tier_i · P_i) · R, the expected total
+// training time given per-tier response latencies, tier-selection
+// probabilities, and the round count, plus the MAPE metric (Eq. 7) used in
+// Table 2 to validate the model against measured runs.
+package estimate
+
+import (
+	"fmt"
+	"math"
+)
+
+// TrainingTime returns the estimated total training time (Eq. 6) for R
+// rounds with per-tier latencies L and selection probabilities P.
+func TrainingTime(tierLatencies, probs []float64, rounds int) float64 {
+	if len(tierLatencies) != len(probs) {
+		panic(fmt.Sprintf("estimate: %d latencies vs %d probabilities", len(tierLatencies), len(probs)))
+	}
+	if rounds < 0 {
+		panic(fmt.Sprintf("estimate: negative rounds %d", rounds))
+	}
+	perRound := 0.0
+	for i, l := range tierLatencies {
+		perRound += l * probs[i]
+	}
+	return perRound * float64(rounds)
+}
+
+// MAPE returns the mean absolute percentage error of an estimate against
+// the actual measurement (Eq. 7): |est − act| / act × 100.
+func MAPE(estimated, actual float64) float64 {
+	if actual == 0 {
+		panic("estimate: MAPE undefined for zero actual")
+	}
+	return math.Abs(estimated-actual) / math.Abs(actual) * 100
+}
+
+// Row is one line of the Table 2 comparison: a policy's estimated and
+// measured training times with their MAPE.
+type Row struct {
+	Policy    string
+	Estimated float64
+	Actual    float64
+	MAPE      float64
+}
+
+// NewRow builds a Table 2 row.
+func NewRow(policy string, estimated, actual float64) Row {
+	return Row{Policy: policy, Estimated: estimated, Actual: actual, MAPE: MAPE(estimated, actual)}
+}

@@ -1,0 +1,98 @@
+package estimate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrainingTimeKnown(t *testing.T) {
+	// Two tiers, 1s and 3s, 25/75 split, 100 rounds → (0.25+2.25)*100.
+	got := TrainingTime([]float64{1, 3}, []float64{0.25, 0.75}, 100)
+	if math.Abs(got-250) > 1e-9 {
+		t.Fatalf("TrainingTime = %v, want 250", got)
+	}
+}
+
+func TestTrainingTimeDegenerate(t *testing.T) {
+	if got := TrainingTime([]float64{5}, []float64{1}, 0); got != 0 {
+		t.Fatalf("zero rounds = %v", got)
+	}
+	if got := TrainingTime(nil, nil, 10); got != 0 {
+		t.Fatalf("no tiers = %v", got)
+	}
+}
+
+func TestTrainingTimeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	TrainingTime([]float64{1, 2}, []float64{1}, 10)
+}
+
+func TestMAPE(t *testing.T) {
+	if got := MAPE(110, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE(110,100) = %v", got)
+	}
+	if got := MAPE(90, 100); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE(90,100) = %v", got)
+	}
+	if got := MAPE(100, 100); got != 0 {
+		t.Fatalf("MAPE of exact estimate = %v", got)
+	}
+}
+
+func TestMAPEZeroActualPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero actual did not panic")
+		}
+	}()
+	MAPE(1, 0)
+}
+
+// Property: estimation is linear in rounds and lies within
+// [min latency, max latency]·rounds for any probability vector.
+func TestTrainingTimeBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		lats := make([]float64, n)
+		probs := make([]float64, n)
+		sum := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range lats {
+			lats[i] = 0.1 + r.Float64()*100
+			probs[i] = r.Float64()
+			sum += probs[i]
+			lo = math.Min(lo, lats[i])
+			hi = math.Max(hi, lats[i])
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+		rounds := 1 + r.Intn(1000)
+		got := TrainingTime(lats, probs, rounds)
+		if got < lo*float64(rounds)-1e-6 || got > hi*float64(rounds)+1e-6 {
+			return false
+		}
+		// Linearity in rounds.
+		return math.Abs(TrainingTime(lats, probs, 2*rounds)-2*got) < 1e-6*(1+got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRow(t *testing.T) {
+	row := NewRow("uniform", 12693, 12643)
+	if row.Policy != "uniform" {
+		t.Fatalf("policy = %q", row.Policy)
+	}
+	if math.Abs(row.MAPE-0.3955) > 0.01 {
+		t.Fatalf("MAPE = %v, want ≈0.4 (Table 2)", row.MAPE)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/simres"
+)
+
+// Fig1aSizes are the per-client data sizes of the Section 3.3 case study.
+var Fig1aSizes = []int{500, 1000, 2000, 5000}
+
+// RunFig1a reproduces Figure 1(a): average training time per round as a
+// function of CPU allocation (4, 2, 1, 1/3, 1/5 CPUs) and per-client data
+// size (500–5000 samples). The paper's observations to reproduce: latency
+// grows near-linearly with data size at fixed CPU, and shrinks as CPU
+// share grows — a 2^1..2^8 s spread on the log-scale plot.
+func RunFig1a(s Scale) *Output {
+	rng := rand.New(rand.NewSource(s.Seed))
+	cpuLabels := []string{"4 CPUs", "2 CPUs", "1 CPU", "1/3 CPU", "1/5 CPU"}
+	tab := metrics.Table{
+		Title:   "Fig 1a: avg training time per round [s]",
+		Columns: append([]string{"CPU"}, sizesHeader()...),
+	}
+	var series []metrics.Series
+	for gi, cpu := range simres.GroupsCaseStudy {
+		row := []any{cpuLabels[gi]}
+		sr := metrics.Series{Name: cpuLabels[gi]}
+		for _, size := range Fig1aSizes {
+			// Average over profiling rounds like the case study does.
+			const reps = 20
+			sum := 0.0
+			for i := 0; i < reps; i++ {
+				sum += LatencyModel.Latency(cpu, size, 1, rng)
+			}
+			avg := sum / reps
+			row = append(row, avg)
+			sr.X = append(sr.X, float64(size))
+			sr.Y = append(sr.Y, avg)
+		}
+		tab.AddRow(row...)
+		series = append(series, sr)
+	}
+	return &Output{
+		ID:     "fig1a",
+		Title:  "Training time per round under resource and data-quantity heterogeneity",
+		Tables: []metrics.Table{tab},
+		Series: map[string][]metrics.Series{"latency_by_size": series},
+	}
+}
+
+func sizesHeader() []string {
+	out := make([]string, len(Fig1aSizes))
+	for i, s := range Fig1aSizes {
+		out[i] = fmt.Sprintf("%d points", s)
+	}
+	return out
+}
+
+// Fig1bLevels are the class-per-client levels of Figure 1(b): IID plus
+// non-IID(10), non-IID(5), non-IID(2).
+var Fig1bLevels = []int{0, 10, 5, 2} // 0 encodes IID
+
+// RunFig1b reproduces Figure 1(b): vanilla FedAvg accuracy over rounds on
+// CIFAR-10-like data at each non-IID level with fixed resources. The shape
+// to reproduce: accuracy ordering IID > non-IID(10) > non-IID(5) >
+// non-IID(2).
+func RunFig1b(s Scale) *Output {
+	var series []metrics.Series
+	tab := metrics.Table{Title: "Fig 1b: final accuracy by non-IID level", Columns: []string{"distribution", "final accuracy"}}
+	for _, level := range Fig1bLevels {
+		name := "IID"
+		var sc scenario
+		if level == 0 {
+			sc = s.iidScenario(cifarSpec())
+		} else {
+			name = fmt.Sprintf("non-IID(%d)", level)
+			sc = s.newScenario(name, cifarSpec(), hetNonIID, level)
+		}
+		_, results := s.execute(sc, []policyRun{vanillaRun()})
+		res := results["vanilla"]
+		sr := metrics.AccuracyOverRounds(res, name)
+		series = append(series, sr)
+		tab.AddRow(name, res.FinalAcc)
+	}
+	return &Output{
+		ID:     "fig1b",
+		Title:  "Vanilla FL accuracy under varying class distribution per client",
+		Tables: []metrics.Table{tab},
+		Series: map[string][]metrics.Series{"accuracy_over_rounds": series},
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// RunFig3 reproduces Figure 3: the five selection policies on
+// CIFAR-10-like data under (column 1) resource heterogeneity and (column 2)
+// data-quantity heterogeneity. Artifacts per column: total training time for
+// the round budget (bars), accuracy over rounds, and accuracy over
+// simulated wall-clock time.
+//
+// Shapes to reproduce: fast ≈ 11× faster than vanilla, uniform > 6× faster
+// (col 1); ~3× speedups with `fast` losing accuracy because tier 1 holds
+// only 10% of the data (col 2).
+func RunFig3(s Scale) *Output {
+	out := &Output{
+		ID:     "fig3",
+		Title:  "Policy comparison on CIFAR-10: resource (col 1) and data-quantity (col 2) heterogeneity",
+		Series: map[string][]metrics.Series{},
+	}
+	for _, col := range []struct {
+		key string
+		het heterogeneity
+	}{
+		{"resource", hetResource},
+		{"quantity", hetQuantity},
+	} {
+		sc := s.newScenario("fig3-"+col.key, cifarSpec(), col.het, 0)
+		order, results := s.execute(sc, s.cifarPolicyRuns())
+		chart, tab := timeBars("Fig 3 "+col.key+": training time for "+strconv.Itoa(s.Rounds)+" rounds", order, results)
+		out.Charts = append(out.Charts, chart)
+		out.Tables = append(out.Tables, tab, finalAccTable("Fig 3 "+col.key+": final accuracy", order, results))
+		out.Series["accuracy_over_rounds_"+col.key] = accuracySeries(order, results)
+		out.Series["accuracy_over_time_"+col.key] = timeSeries(order, results)
+	}
+	return out
+}

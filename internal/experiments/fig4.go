@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// RunFig4 reproduces Figure 4: each of the five selection policies run
+// under IID and non-IID(10/5/2) class distributions with fixed resources
+// (2 CPUs per client). One sub-plot per policy, one series per non-IID
+// level. Shapes to reproduce: accuracy degrades as classes-per-client
+// shrinks for every policy, and vanilla/uniform are the most resilient.
+func RunFig4(s Scale) *Output {
+	out := &Output{
+		ID:     "fig4",
+		Title:  "Policies under varying non-IID heterogeneity, fixed resources",
+		Series: map[string][]metrics.Series{},
+	}
+	finals := metrics.Table{
+		Title:   "Fig 4: final accuracy by policy and non-IID level",
+		Columns: []string{"policy", "IID", "non-IID(10)", "non-IID(5)", "non-IID(2)"},
+	}
+	runs := s.cifarPolicyRuns()
+	// level 0 = IID
+	type cell struct{ acc float64 }
+	grid := make(map[string]map[int]cell)
+	for _, level := range Fig1bLevels {
+		levelName := "IID"
+		var sc scenario
+		if level == 0 {
+			sc = s.iidScenario(cifarSpec())
+		} else {
+			levelName = fmt.Sprintf("non-IID(%d)", level)
+			sc = s.newScenario("fig4-"+levelName, cifarSpec(), hetNonIID, level)
+		}
+		order, results := s.execute(sc, runs)
+		for _, policy := range order {
+			key := "accuracy_over_rounds_" + policy
+			sr := metrics.AccuracyOverRounds(results[policy], levelName)
+			out.Series[key] = append(out.Series[key], sr)
+			if grid[policy] == nil {
+				grid[policy] = map[int]cell{}
+			}
+			grid[policy][level] = cell{acc: results[policy].FinalAcc}
+		}
+	}
+	for _, run := range runs {
+		g := grid[run.name]
+		finals.AddRow(run.name, g[0].acc, g[10].acc, g[5].acc, g[2].acc)
+	}
+	out.Tables = append(out.Tables, finals)
+	return out
+}
+
+// iidScenario builds the equal-CPU IID baseline scenario.
+func (s Scale) iidScenario(spec dataset.Spec) scenario {
+	rng := newRng(s.Seed + 1000)
+	train := dataset.Generate(spec, s.TrainSize, s.Seed+1)
+	test := dataset.Generate(spec, s.TestSize, s.Seed+2)
+	return scenario{
+		name: "iid", spec: spec, train: train, test: test,
+		parts: dataset.PartitionIID(train.Len(), s.Clients, rng),
+		cpus:  equalCPUs(s.Clients),
+	}
+}

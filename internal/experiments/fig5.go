@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+)
+
+// RunFig5 reproduces Figure 5: MNIST (column 1) and Fashion-MNIST
+// (column 2) under resource plus data-quantity heterogeneity, comparing
+// vanilla / uniform / fast1 / fast2 / fast3 — the sensitivity ladder that
+// squeezes the slowest tier's probability from 0.1 down to 0. Shapes to
+// reproduce: more aggressive fast policies finish sooner; all stay close to
+// vanilla's accuracy except fast3, which ignores tier 5's data entirely.
+func RunFig5(s Scale) *Output {
+	out := &Output{
+		ID:     "fig5",
+		Title:  "MNIST and Fashion-MNIST with resource plus data heterogeneity",
+		Series: map[string][]metrics.Series{},
+	}
+	for _, spec := range []dataset.Spec{mnistSpec(), fmnistSpec()} {
+		sc := s.newScenario("fig5-"+spec.Name, spec, hetResourceQuantity, 0)
+		order, results := s.execute(sc, s.mnistPolicyRuns())
+		chart, tab := timeBars("Fig 5 "+spec.Name+": training time for "+strconv.Itoa(s.Rounds)+" rounds", order, results)
+		out.Charts = append(out.Charts, chart)
+		out.Tables = append(out.Tables, tab, finalAccTable("Fig 5 "+spec.Name+": final accuracy", order, results))
+		out.Series["accuracy_over_rounds_"+spec.Name] = accuracySeries(order, results)
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// RunFig7 reproduces Figure 7: the adaptive policy (TiFL, Algorithm 2)
+// against vanilla and uniform across the three heterogeneity scenarios —
+// Class (resource + non-IID), Amount (resource + quantity skew), and
+// Combine (all three). Shapes to reproduce: TiFL beats vanilla and uniform
+// in training time and accuracy for Class and Amount, and in Combine
+// matches vanilla's accuracy at roughly half its training time.
+func RunFig7(s Scale) *Output {
+	out := &Output{
+		ID:     "fig7",
+		Title:  "Adaptive (TiFL) vs vanilla and uniform across heterogeneity scenarios",
+		Series: map[string][]metrics.Series{},
+	}
+	runs := []policyRun{vanillaRun(), staticRun(core.PolicyUniform), s.adaptiveRun()}
+	timeTab := metrics.Table{Title: "Fig 7a: training time [s]", Columns: []string{"scenario", "vanilla", "uniform", "TiFL"}}
+	accTab := metrics.Table{Title: "Fig 7b: final accuracy", Columns: []string{"scenario", "vanilla", "uniform", "TiFL"}}
+	for _, scn := range []struct {
+		key string
+		het heterogeneity
+	}{
+		{"Class", hetResourceNonIID},
+		{"Amount", hetResourceQuantity},
+		{"Combine", hetCombine},
+	} {
+		sc := s.newScenario("fig7-"+scn.key, cifarSpec(), scn.het, 5)
+		order, results := s.execute(sc, runs)
+		timeTab.AddRow(scn.key, results["vanilla"].TotalTime, results["uniform"].TotalTime, results["TiFL"].TotalTime)
+		accTab.AddRow(scn.key, results["vanilla"].FinalAcc, results["uniform"].FinalAcc, results["TiFL"].FinalAcc)
+		out.Series["accuracy_over_rounds_"+scn.key] = accuracySeries(order, results)
+		chart, _ := timeBars("Fig 7 "+scn.key+": training time", order, results)
+		out.Charts = append(out.Charts, chart)
+	}
+	out.Tables = append(out.Tables, timeTab, accTab)
+	return out
+}

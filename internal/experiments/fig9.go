@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/flcore"
+	"repro/internal/leaf"
+	"repro/internal/metrics"
+)
+
+// LEAFClients returns the population size used by RunFig9: the paper's 182
+// clients at full scale, a quarter of that at small scale.
+func (s Scale) LEAFClients() int {
+	if s.Rounds >= 500 {
+		return leaf.Default.NumClients
+	}
+	return 48
+}
+
+// RunFig9 reproduces Figure 9: the LEAF FEMNIST benchmark with its default
+// data heterogeneity (quantity + non-IID) plus the resource-heterogeneity
+// overlay, comparing vanilla / slow / uniform / random / fast / TiFL with
+// 10 clients per round. Shapes to reproduce: fast has the least training
+// time but ~10% lower accuracy; slow beats fast on accuracy (tier 5 holds
+// more data); adaptive matches vanilla/uniform accuracy at a fraction of
+// vanilla's training time.
+func RunFig9(s Scale) *Output {
+	cfg := leaf.Default
+	cfg.NumClients = s.LEAFClients()
+	cfg.Seed = s.Seed + 90
+	if s.Rounds < 500 { // small-scale: shrink shards to keep benches quick
+		cfg.MeanSamples = 60
+		cfg.TestSamples = 1240
+	}
+	pop := leaf.Build(cfg)
+
+	prof := core.Profile(pop.Clients, LatencyModel, core.ProfilerConfig{SyncRounds: 5, Tmax: 1e6, Epochs: 1, Seed: s.Seed + 91})
+	tiers := core.BuildTiers(prof.Latency, 5, core.Quantile)
+
+	train := leaf.TrainingConfig(s.LEAFRounds, s.Seed+92, LatencyModel, s.EvalEvery)
+	train.Parallel = s.Parallel
+
+	runs := []policyRun{
+		vanillaRun(),
+		staticRun(core.PolicySlow),
+		staticRun(core.PolicyUniform),
+		staticRun(core.PolicyRandom),
+		staticRun(core.PolicyFast),
+		s.adaptiveRun(),
+	}
+	order := make([]string, 0, len(runs))
+	results := make(map[string]*flcore.Result, len(runs))
+	for _, run := range runs {
+		// Fresh population per run so no local state leaks across policies.
+		popRun := leaf.Build(cfg)
+		var sel flcore.Selector
+		switch run.kind {
+		case kindVanilla:
+			sel = &flcore.RandomSelector{NumClients: len(popRun.Clients), ClientsPerRound: train.ClientsPerRound}
+		case kindStatic:
+			sel = core.NewStaticSelector(tiers, run.static, train.ClientsPerRound)
+		case kindAdaptive:
+			a := run.adaptive
+			a.ClientsPerRound = train.ClientsPerRound
+			sel = core.NewAdaptiveSelector(tiers, pop.Clients, a)
+		}
+		eng := flcore.NewEngine(train, popRun.Clients, popRun.GlobalTest)
+		results[run.name] = eng.Run(sel)
+		order = append(order, run.name)
+	}
+
+	chart, tab := timeBars("Fig 9a: LEAF training time for "+strconv.Itoa(s.LEAFRounds)+" rounds", order, results)
+	return &Output{
+		ID:     "fig9",
+		Title:  "LEAF FEMNIST with default data heterogeneity plus resource heterogeneity",
+		Charts: []string{chart},
+		Tables: []metrics.Table{tab, finalAccTable("Fig 9b: final accuracy", order, results)},
+		Series: map[string][]metrics.Series{
+			"accuracy_over_rounds": accuracySeries(order, results),
+		},
+	}
+}

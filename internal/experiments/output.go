@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/flcore"
+	"repro/internal/metrics"
+)
+
+// Output is one experiment's rendered artifacts: tables, bar charts, and
+// line series, with writers for a results directory.
+type Output struct {
+	// ID is the paper artifact this regenerates, e.g. "fig3" or "table2".
+	ID string
+	// Title describes the experiment.
+	Title  string
+	Tables []metrics.Table
+	Charts []string
+	// Series maps a sub-figure name (e.g. "accuracy_over_rounds") to its
+	// line series.
+	Series map[string][]metrics.Series
+}
+
+// Render returns the experiment's full text report.
+func (o *Output) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", o.ID, o.Title)
+	for _, c := range o.Charts {
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+	for _, t := range o.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	names := make([]string, 0, len(o.Series))
+	for name := range o.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tab := metrics.SeriesTable(name, o.Series[name], 10)
+		b.WriteString(tab.Render())
+		b.WriteByte('\n')
+		b.WriteString(metrics.LinePlot(name, o.Series[name], 64, 12))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WriteFiles persists the report and CSVs under dir/<ID>/.
+func (o *Output) WriteFiles(dir string) error {
+	base := filepath.Join(dir, o.ID)
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(base, "report.txt"), []byte(o.Render()), 0o644); err != nil {
+		return err
+	}
+	for i, t := range o.Tables {
+		name := fmt.Sprintf("table_%d.csv", i)
+		if t.Title != "" {
+			name = slug(t.Title) + ".csv"
+		}
+		if err := t.WriteCSVFile(filepath.Join(base, name)); err != nil {
+			return err
+		}
+	}
+	for name, series := range o.Series {
+		if err := metrics.WriteSeriesCSVFile(filepath.Join(base, slug(name)+".csv"), series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func slug(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '-' || r == '_' || r == '/':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// timeBars builds a training-time bar chart plus the backing table from
+// per-policy results, in the given order.
+func timeBars(title string, order []string, results map[string]*flcore.Result) (string, metrics.Table) {
+	values := make([]float64, len(order))
+	tab := metrics.Table{Title: title, Columns: []string{"policy", "training time [s]", "speedup vs vanilla"}}
+	base := 0.0
+	if r, ok := results[order[0]]; ok {
+		base = r.TotalTime
+	}
+	for i, name := range order {
+		values[i] = results[name].TotalTime
+		speedup := base / values[i]
+		tab.AddRow(name, values[i], speedup)
+	}
+	return metrics.BarChart(title, order, values, 40), tab
+}
+
+// accuracySeries collects accuracy-over-rounds series per policy in order.
+func accuracySeries(order []string, results map[string]*flcore.Result) []metrics.Series {
+	out := make([]metrics.Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, metrics.AccuracyOverRounds(results[name], name))
+	}
+	return out
+}
+
+// timeSeries collects accuracy-over-simulated-time series per policy.
+func timeSeries(order []string, results map[string]*flcore.Result) []metrics.Series {
+	out := make([]metrics.Series, 0, len(order))
+	for _, name := range order {
+		out = append(out, metrics.AccuracyOverTime(results[name], name))
+	}
+	return out
+}
+
+// finalAccTable tabulates final accuracies per policy.
+func finalAccTable(title string, order []string, results map[string]*flcore.Result) metrics.Table {
+	tab := metrics.Table{Title: title, Columns: []string{"policy", "final accuracy"}}
+	for _, name := range order {
+		tab.AddRow(name, results[name].FinalAcc)
+	}
+	return tab
+}

@@ -1,0 +1,42 @@
+package experiments
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Scale) *Output
+}
+
+// All returns every paper table/figure runner plus the ablations, in paper
+// order. cmd/tifl-bench iterates this list.
+func All() []Runner {
+	return []Runner{
+		{"fig1a", "Case study: training time vs CPU and data size", RunFig1a},
+		{"fig1b", "Case study: accuracy vs non-IID level", RunFig1b},
+		{"table2", "Training-time estimation model (MAPE)", RunTable2},
+		{"fig3", "CIFAR-10 policies: resource & quantity heterogeneity", RunFig3},
+		{"fig4", "CIFAR-10 policies under non-IID levels", RunFig4},
+		{"fig5", "MNIST/FMNIST fast1–fast3 sensitivity", RunFig5},
+		{"fig6", "CIFAR-10 combined heterogeneity", RunFig6},
+		{"fig7", "Adaptive vs vanilla/uniform (Class/Amount/Combine)", RunFig7},
+		{"fig8", "Adaptive robustness across non-IID levels", RunFig8},
+		{"fig9", "LEAF FEMNIST with resource heterogeneity", RunFig9},
+		{"ext_baselines", "Extension: TiFL vs FedProx/FedCS/async", RunExtensionBaselines},
+		{"ext_drift", "Extension: online re-tiering under drift", RunExtensionDrift},
+		{"ablation_tiering", "Ablation: tiering strategy", RunAblationTiering},
+		{"ablation_tiercount", "Ablation: tier count", RunAblationTierCount},
+		{"ablation_credits", "Ablation: adaptive credits", RunAblationCredits},
+		{"ablation_temperature", "Ablation: ChangeProbs temperature", RunAblationTemperature},
+		{"ablation_cnn", "Ablation: CNN model substrate", RunAblationCNN},
+	}
+}
+
+// ByID returns the runner with the given ID, or nil.
+func ByID(id string) *Runner {
+	for _, r := range All() {
+		if r.ID == id {
+			return &r
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+// Package experiments contains one runner per table and figure of the TiFL
+// paper's evaluation (Section 3.3 case study and Section 5): each runner
+// builds the scenario's client population, profiles and tiers it, executes
+// every policy the figure compares, and returns paper-shaped output
+// (training-time bars, accuracy-over-rounds/time series, comparison
+// tables). cmd/tifl-bench drives all runners; bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+// Scale sets the experiment sizes. Small keeps the full suite in CI/bench
+// budgets; Full restores the paper's scale (500 synthetic rounds, 2000 LEAF
+// rounds, 50 clients, |C|=5).
+type Scale struct {
+	Rounds          int // synthetic-dataset rounds (paper: 500)
+	LEAFRounds      int // FEMNIST rounds (paper: 2000)
+	Clients         int // |K| (paper: 50)
+	ClientsPerRound int // |C| (paper: 5)
+	TrainSize       int // total training samples per dataset
+	TestSize        int // global test samples
+	EvalEvery       int // evaluate global accuracy every k rounds
+	LocalTestMax    int // per-client local test shard cap
+	TestPerTier     int // adaptive policy per-tier eval cap
+	Interval        int // adaptive policy probability update interval I
+	Seed            int64
+	Parallel        bool
+}
+
+// SmallScale is the default for benchmarks and tests: the same populations
+// and policies at reduced round counts and data sizes.
+func SmallScale() Scale {
+	return Scale{
+		Rounds: 60, LEAFRounds: 80,
+		Clients: 50, ClientsPerRound: 5,
+		TrainSize: 4000, TestSize: 800,
+		EvalEvery: 5, LocalTestMax: 40, TestPerTier: 150, Interval: 5,
+		Seed: 1, Parallel: true,
+	}
+}
+
+// FullScale is the paper's configuration.
+func FullScale() Scale {
+	return Scale{
+		Rounds: 500, LEAFRounds: 2000,
+		Clients: 50, ClientsPerRound: 5,
+		TrainSize: 20000, TestSize: 4000,
+		EvalEvery: 5, LocalTestMax: 80, TestPerTier: 400, Interval: 20,
+		Seed: 1, Parallel: true,
+	}
+}
+
+// LatencyModel is the resource model shared by all experiments.
+var LatencyModel = simres.DefaultModel
+
+// newRng returns a seeded rand.Rand.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// cifarSpec is the experiments' CIFAR-10 stand-in. Noise is raised from the
+// library default so the paper's round budget sits mid-learning-curve —
+// real CIFAR-10 reaches ~0.7 at 500 rounds in the paper, and heterogeneity
+// effects vanish once a task saturates (calibration in EXPERIMENTS.md).
+func cifarSpec() dataset.Spec {
+	s := dataset.CIFAR10Like
+	s.NoiseStd = 1.8
+	return s
+}
+
+// nonIIDFeatureSkew is the per-client feature offset applied in non-IID
+// scenarios: the paper notes non-IID(k) skews the *feature* distribution
+// relative to IID even at k=10.
+const nonIIDFeatureSkew = 0.4
+
+// mnistSpec / fmnistSpec raise the library defaults' noise like cifarSpec
+// does, keeping the paper's round budget on the learning curve (real MNIST
+// sits at ~0.93–0.99 after 500 rounds in Fig. 5, not at exactly 1.0).
+func mnistSpec() dataset.Spec {
+	s := dataset.MNISTLike
+	s.NoiseStd = 1.5
+	return s
+}
+
+func fmnistSpec() dataset.Spec {
+	s := dataset.FashionMNISTLike
+	s.NoiseStd = 1.7
+	return s
+}
+
+// hiddenFor sizes the MLP hidden layer per dataset family, keeping CIFAR
+// the hardest workload as in the paper.
+func hiddenFor(spec dataset.Spec) int {
+	switch spec.Name {
+	case "cifar10":
+		return 32
+	case "femnist":
+		return 64
+	default:
+		return 24
+	}
+}
+
+// engineConfig assembles the flcore configuration with the paper's
+// synthetic-dataset hyperparameters: RMSprop, initial LR 0.01, decay 0.995
+// per round, batch size 10, one local epoch.
+func (s Scale) engineConfig(spec dataset.Spec) flcore.Config {
+	hidden := hiddenFor(spec)
+	return flcore.Config{
+		Rounds:          s.Rounds,
+		ClientsPerRound: s.ClientsPerRound,
+		LocalEpochs:     1,
+		BatchSize:       10,
+		Seed:            s.Seed,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, spec.Dim, []int{hidden}, spec.NumClasses, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer {
+			return nn.NewRMSprop(0.01*math.Pow(0.995, float64(round)), 0.995)
+		},
+		Latency:   LatencyModel,
+		EvalEvery: s.EvalEvery,
+		EvalBatch: 256,
+		Parallel:  s.Parallel,
+	}
+}
+
+// scenario is one experimental data/resource configuration: the dataset, a
+// per-client partition, and a CPU assignment, from which fresh client
+// populations are constructed for every policy run.
+type scenario struct {
+	name  string
+	spec  dataset.Spec
+	train *dataset.Dataset
+	test  *dataset.Dataset
+	parts [][]int
+	cpus  []float64
+	// featureSkew applies a per-client feature offset after partitioning
+	// (non-IID scenarios only).
+	featureSkew float64
+}
+
+// heterogeneity kinds for scenario construction.
+type heterogeneity int
+
+const (
+	hetResource heterogeneity = iota // heterogeneous CPUs, IID equal data
+	hetQuantity                      // equal CPUs, quantity-skewed data
+	hetNonIID                        // equal CPUs, class-skewed data
+	hetResourceNonIID
+	hetResourceQuantity
+	hetCombine // resource + quantity + non-IID
+)
+
+// equalCPUs is the paper's homogeneous-resource setting (2 CPUs each).
+func equalCPUs(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 2
+	}
+	return out
+}
+
+// newScenario builds a scenario for the given heterogeneity mix.
+// classesPerClient applies to non-IID variants (paper default 5 for CIFAR).
+func (s Scale) newScenario(name string, spec dataset.Spec, het heterogeneity, classesPerClient int) scenario {
+	rng := rand.New(rand.NewSource(s.Seed + 1000))
+	train := dataset.Generate(spec, s.TrainSize, s.Seed+1)
+	test := dataset.Generate(spec, s.TestSize, s.Seed+2)
+	skew := 0.0
+	switch het {
+	case hetNonIID, hetResourceNonIID, hetCombine:
+		skew = nonIIDFeatureSkew
+	}
+	var parts [][]int
+	var cpus []float64
+	switch het {
+	case hetResource:
+		parts = dataset.PartitionIID(train.Len(), s.Clients, rng)
+		cpus = simres.AssignGroups(s.Clients, simres.GroupsCIFAR)
+	case hetQuantity:
+		parts = dataset.PartitionQuantity(train.Len(), s.Clients, dataset.QuantityFractions, rng)
+		cpus = equalCPUs(s.Clients)
+	case hetNonIID:
+		parts = dataset.PartitionByClass(train, s.Clients, classesPerClient, rng)
+		cpus = equalCPUs(s.Clients)
+	case hetResourceNonIID:
+		parts = dataset.PartitionByClass(train, s.Clients, classesPerClient, rng)
+		cpus = simres.AssignGroups(s.Clients, simres.GroupsCIFAR)
+	case hetResourceQuantity:
+		parts = dataset.PartitionQuantity(train.Len(), s.Clients, dataset.QuantityFractions, rng)
+		cpus = simres.AssignGroups(s.Clients, cpuGroupsFor(spec))
+	case hetCombine:
+		parts = dataset.PartitionClassQuantity(train, s.Clients, classesPerClient, dataset.QuantityFractions, rng)
+		cpus = simres.AssignGroups(s.Clients, simres.GroupsCIFAR)
+	default:
+		panic(fmt.Sprintf("experiments: unknown heterogeneity %d", het))
+	}
+	return scenario{name: name, spec: spec, train: train, test: test, parts: parts, cpus: cpus, featureSkew: skew}
+}
+
+// cpuGroupsFor maps dataset family to the paper's CPU allocation table.
+func cpuGroupsFor(spec dataset.Spec) []float64 {
+	switch spec.Name {
+	case "mnist", "fmnist":
+		return simres.GroupsMNIST
+	default:
+		return simres.GroupsCIFAR
+	}
+}
+
+// clients builds a fresh client population (new data copies, clean local
+// state) for one policy run.
+func (sc scenario) clients(s Scale) []*flcore.Client {
+	cl := flcore.BuildClients(sc.train, sc.test, sc.parts, sc.cpus, s.LocalTestMax, s.Seed+3)
+	if sc.featureSkew > 0 {
+		for i, c := range cl {
+			dataset.ApplyFeatureSkew(c.Train, newRng(s.Seed+4000+int64(i)), sc.featureSkew)
+		}
+	}
+	return cl
+}
+
+// tiers profiles a reference population and groups it into 5 tiers.
+// Quantile tiering is the experiment default: the testbed's 5 equal-size
+// CPU groups map exactly onto 5 equal-count tiers (the paper also reports 5
+// tiers); EqualWidth is exercised by the tiering ablation.
+func (sc scenario) tiers(s Scale) ([]core.Tier, []*flcore.Client) {
+	ref := sc.clients(s)
+	prof := core.Profile(ref, LatencyModel, core.ProfilerConfig{SyncRounds: 5, Tmax: 1e6, Epochs: 1, Seed: s.Seed + 4})
+	return core.BuildTiers(prof.Latency, 5, core.Quantile), ref
+}
+
+// policyRun names one selector configuration to execute.
+type policyRun struct {
+	name     string
+	kind     policyKind
+	static   core.StaticPolicy
+	adaptive core.AdaptiveConfig
+}
+
+type policyKind int
+
+const (
+	kindVanilla policyKind = iota
+	kindStatic
+	kindAdaptive
+)
+
+func vanillaRun() policyRun { return policyRun{name: "vanilla", kind: kindVanilla} }
+
+func staticRun(p core.StaticPolicy) policyRun {
+	return policyRun{name: p.Name, kind: kindStatic, static: p}
+}
+
+func (s Scale) adaptiveRun() policyRun {
+	return policyRun{name: "TiFL", kind: kindAdaptive, adaptive: core.AdaptiveConfig{
+		ClientsPerRound: s.ClientsPerRound,
+		Interval:        s.Interval,
+		Temperature:     2,
+		TestPerTier:     s.TestPerTier,
+		Seed:            s.Seed + 5,
+	}}
+}
+
+// execute runs every policy against the scenario and returns results keyed
+// by policy name, in input order.
+func (s Scale) execute(sc scenario, runs []policyRun) ([]string, map[string]*flcore.Result) {
+	tiers, refClients := sc.tiers(s)
+	names := make([]string, 0, len(runs))
+	out := make(map[string]*flcore.Result, len(runs))
+	for _, run := range runs {
+		clients := sc.clients(s)
+		var sel flcore.Selector
+		switch run.kind {
+		case kindVanilla:
+			sel = &flcore.RandomSelector{NumClients: len(clients), ClientsPerRound: s.ClientsPerRound}
+		case kindStatic:
+			sel = core.NewStaticSelector(tiers, run.static, s.ClientsPerRound)
+		case kindAdaptive:
+			sel = core.NewAdaptiveSelector(tiers, refClients, run.adaptive)
+		default:
+			panic(fmt.Sprintf("experiments: unknown policy kind %d", run.kind))
+		}
+		eng := flcore.NewEngine(s.engineConfig(sc.spec), clients, sc.test)
+		out[run.name] = eng.Run(sel)
+		names = append(names, run.name)
+	}
+	return names, out
+}
+
+// cifarPolicies is the Table 1 five-tier policy ladder plus vanilla.
+func (s Scale) cifarPolicyRuns() []policyRun {
+	return []policyRun{
+		vanillaRun(),
+		staticRun(core.PolicySlow),
+		staticRun(core.PolicyUniform),
+		staticRun(core.PolicyRandom),
+		staticRun(core.PolicyFast),
+	}
+}
+
+// mnistPolicyRuns is the Table 1 MNIST/FMNIST ladder plus vanilla.
+func (s Scale) mnistPolicyRuns() []policyRun {
+	return []policyRun{
+		vanillaRun(),
+		staticRun(core.PolicyUniform),
+		staticRun(core.PolicyFast1),
+		staticRun(core.PolicyFast2),
+		staticRun(core.PolicyFast3),
+	}
+}

@@ -1,0 +1,147 @@
+package flcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+func asyncConfig(duration float64) AsyncConfig {
+	return AsyncConfig{
+		Duration: duration, Concurrency: 4, EvalInterval: duration / 4,
+		Seed: 42, BatchSize: 10, LocalEpochs: 1,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, dataset.MNISTLike.Dim, []int{16}, 10, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer { return nn.NewSGD(0.05, 0.9) },
+		Latency:   simres.LatencyModel{CostPerSample: 0.01, CommLatency: 0.5},
+		EvalBatch: 128,
+	}
+}
+
+func TestRunAsyncLearns(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	res := RunAsync(asyncConfig(120), clients, test)
+	if res.FinalAcc < 0.4 {
+		t.Fatalf("async final accuracy %v too low", res.FinalAcc)
+	}
+	if res.TotalTime > 120 {
+		t.Fatalf("simulated time %v exceeds budget", res.TotalTime)
+	}
+	if len(res.History) < 3 {
+		t.Fatalf("history has %d records", len(res.History))
+	}
+}
+
+func TestRunAsyncAppliesManyUpdates(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	res := RunAsync(asyncConfig(60), clients, test)
+	// With concurrency 4 and mean latency ~1–4.5s, 60s fits dozens of
+	// updates; the final history record's Round is the applied count.
+	applied := res.History[len(res.History)-1].Round
+	if applied < 20 {
+		t.Fatalf("only %d async updates applied in 60s", applied)
+	}
+}
+
+func TestRunAsyncStalenessDiscount(t *testing.T) {
+	// Pure math check on the mixing rate: staleness 0 uses alpha, larger
+	// staleness strictly less.
+	alpha, a := 0.6, 0.5
+	m0 := alpha * math.Pow(1, -a)
+	m3 := alpha * math.Pow(4, -a)
+	if m0 != alpha || m3 >= m0 {
+		t.Fatalf("staleness discount broken: %v vs %v", m0, m3)
+	}
+}
+
+func TestRunAsyncDeterministic(t *testing.T) {
+	clients1, test1 := testPopulation(t, 10)
+	clients2, test2 := testPopulation(t, 10)
+	r1 := RunAsync(asyncConfig(30), clients1, test1)
+	r2 := RunAsync(asyncConfig(30), clients2, test2)
+	if r1.FinalAcc != r2.FinalAcc || r1.TotalTime != r2.TotalTime {
+		t.Fatalf("async run not deterministic: %v/%v vs %v/%v", r1.FinalAcc, r1.TotalTime, r2.FinalAcc, r2.TotalTime)
+	}
+}
+
+func TestRunAsyncInvalidConfigPanics(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	cfg := asyncConfig(10)
+	cfg.Concurrency = 0
+	mustPanic(t, func() { RunAsync(cfg, clients, test) })
+	cfg = asyncConfig(0)
+	mustPanic(t, func() { RunAsync(cfg, clients, test) })
+}
+
+func TestProxPullsTowardGlobal(t *testing.T) {
+	// With a huge mu, local training cannot move far from the global
+	// weights; with mu=0 it moves freely.
+	_, test := testPopulation(t, 10)
+	base := testConfig(1)
+	base.Optimizer = func(round int) nn.Optimizer { return nn.NewSGD(0.1, 0) }
+
+	run := func(mu float64) float64 {
+		cfg := base
+		cfg.ProxMu = mu
+		cl, _ := testPopulation(t, 10)
+		eng := NewEngine(cfg, cl, test)
+		g0 := append([]float64(nil), eng.GlobalWeights()...)
+		res := eng.Run(fixedSelector{0})
+		d := 0.0
+		for i := range g0 {
+			dv := res.Weights[i] - g0[i]
+			d += dv * dv
+		}
+		return math.Sqrt(d)
+	}
+	free := run(0)
+	constrained := run(5) // lr·mu = 0.5 < 1 keeps the proximal step stable
+	if constrained >= free {
+		t.Fatalf("prox term did not constrain drift: free %v, mu=5 %v", free, constrained)
+	}
+}
+
+func TestEpochsForOverride(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	cfg := testConfig(1)
+	cfg.Latency.JitterFrac = 0
+	cfg.LocalEpochs = 2
+	// Slow clients (CPU < 1) train a single epoch: their latency halves.
+	cfg.EpochsFor = func(c *Client, round int) int {
+		if c.CPU < 1 {
+			return 1
+		}
+		return 2
+	}
+	eng := NewEngine(cfg, clients, test)
+	u := eng.TrainClient(0, 9, eng.GlobalWeights()) // 0.1-CPU client
+	full := cfg.Latency.Latency(clients[9].CPU, clients[9].NumSamples(), 2, nil)
+	if u.Latency >= full {
+		t.Fatalf("partial-work latency %v not below full %v", u.Latency, full)
+	}
+}
+
+func TestClientDriftChangesLatency(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	cfg := testConfig(1)
+	cfg.Latency.JitterFrac = 0
+	clients[0].Drift = func(round int) float64 {
+		if round >= 5 {
+			return 0.1 // 10x slowdown
+		}
+		return 1
+	}
+	eng := NewEngine(cfg, clients, test)
+	before := eng.TrainClient(0, 0, eng.GlobalWeights()).Latency
+	after := eng.TrainClient(5, 0, eng.GlobalWeights()).Latency
+	// Compute scales 10x; the fixed 0.5s communication floor damps the
+	// end-to-end ratio to 4x for this shard size.
+	if after < before*3 {
+		t.Fatalf("drift not reflected: before %v after %v", before, after)
+	}
+}

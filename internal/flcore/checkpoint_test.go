@@ -1,0 +1,124 @@
+package flcore
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointResumeBitExact(t *testing.T) {
+	// Uninterrupted 10-round run vs 5 rounds + snapshot + restore into a
+	// fresh engine + 5 rounds: identical final weights and clock.
+	sel := func(n int) Selector { return &RandomSelector{NumClients: n, ClientsPerRound: 3} }
+
+	clientsA, testA := testPopulation(t, 10)
+	full := NewEngine(testConfig(10), clientsA, testA).Run(sel(10))
+
+	clientsB, testB := testPopulation(t, 10)
+	cfgHalf := testConfig(10)
+	cfgHalf.Rounds = 5
+	engB := NewEngine(cfgHalf, clientsB, testB)
+	engB.Run(sel(10))
+	snap := engB.Snapshot()
+	if snap.CompletedRounds != 5 {
+		t.Fatalf("snapshot at round %d", snap.CompletedRounds)
+	}
+
+	clientsC, testC := testPopulation(t, 10)
+	engC := NewEngine(testConfig(10), clientsC, testC)
+	if err := engC.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	tail := engC.Run(sel(10))
+
+	if len(tail.History) != 5 {
+		t.Fatalf("resumed run produced %d rounds, want 5", len(tail.History))
+	}
+	if tail.History[0].Round != 5 {
+		t.Fatalf("resumed run starts at round %d", tail.History[0].Round)
+	}
+	for i := range full.Weights {
+		if full.Weights[i] != tail.Weights[i] {
+			t.Fatalf("weight %d differs after resume", i)
+		}
+	}
+	if math.Abs(full.TotalTime-tail.TotalTime) > 1e-9 {
+		t.Fatalf("clock differs: %v vs %v", full.TotalTime, tail.TotalTime)
+	}
+}
+
+func TestCheckpointEncodeDecodeRoundTrip(t *testing.T) {
+	c := &Checkpoint{CompletedRounds: 7, SimTime: 123.5, Weights: []float64{1, -2, 3.5}, Seed: 42}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CompletedRounds != 7 || got.SimTime != 123.5 || got.Seed != 42 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i, w := range c.Weights {
+		if got.Weights[i] != w {
+			t.Fatalf("weights = %v", got.Weights)
+		}
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.gob")
+	c := &Checkpoint{CompletedRounds: 1, SimTime: 2, Weights: []float64{9}, Seed: 3}
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Weights[0] != 9 {
+		t.Fatalf("loaded = %+v", got)
+	}
+	if _, err := LoadCheckpointFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	eng := NewEngine(testConfig(5), clients, test)
+	nw := len(eng.GlobalWeights())
+	cases := []*Checkpoint{
+		{Seed: 999, Weights: make([]float64, nw)},                     // wrong seed
+		{Seed: 42, Weights: make([]float64, 3)},                       // wrong size
+		{Seed: 42, Weights: make([]float64, nw), CompletedRounds: 99}, // beyond Rounds
+		{Seed: 42, Weights: make([]float64, nw), CompletedRounds: -1}, // negative
+	}
+	for i, c := range cases {
+		if err := eng.Restore(c); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDecodeCheckpointGarbage(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte("nonsense")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRunAfterFinalRoundIsNoop(t *testing.T) {
+	clients, test := testPopulation(t, 10)
+	eng := NewEngine(testConfig(3), clients, test)
+	first := eng.Run(&RandomSelector{NumClients: 10, ClientsPerRound: 3})
+	again := eng.Run(&RandomSelector{NumClients: 10, ClientsPerRound: 3})
+	if len(again.History) != 0 {
+		t.Fatalf("second Run produced %d rounds", len(again.History))
+	}
+	for i := range first.Weights {
+		if again.Weights[i] != first.Weights[i] {
+			t.Fatal("no-op run changed weights")
+		}
+	}
+}

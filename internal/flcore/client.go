@@ -1,0 +1,138 @@
+// Package flcore implements the vanilla cross-device federated-learning
+// substrate from Section 3.1 of the TiFL paper: clients holding private
+// shards, the FedAvg aggregator (Algorithm 1), and the synchronous round
+// engine whose per-round latency is the maximum over selected clients
+// (Eq. 1). TiFL's tier-based selection (internal/core) plugs into this
+// engine through the Selector interface without touching the training loop,
+// mirroring the paper's "non-intrusive" design claim.
+package flcore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Client is one federated data party: a private training shard, a local
+// test shard (used for per-tier accuracy in TiFL's adaptive policy), and a
+// CPU share from the resource model.
+type Client struct {
+	ID    int
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+	CPU   float64
+	// Drift, if set, scales the client's CPU share per round, modelling
+	// computation/communication performance that changes over time (the
+	// setting Section 4.2's periodic re-profiling targets). A return of
+	// 0.5 at round r means the client runs at half speed that round.
+	Drift func(round int) float64
+	// Bandwidth is the client's relative link speed for model transfer
+	// (1.0 nominal; 0 means 1.0). Only matters when the latency model's
+	// CommPerParam is set.
+	Bandwidth float64
+}
+
+// NumSamples returns the size of the client's training shard — the FedAvg
+// aggregation weight s_c in Algorithm 1.
+func (c *Client) NumSamples() int { return c.Train.Len() }
+
+// EffectiveCPU returns the client's CPU share at the given round,
+// accounting for drift.
+func (c *Client) EffectiveCPU(round int) float64 {
+	if c.Drift == nil {
+		return c.CPU
+	}
+	return c.CPU * c.Drift(round)
+}
+
+// Update is one client's contribution to a round: its locally trained
+// weights, aggregation weight, and observed response latency.
+type Update struct {
+	ClientID   int
+	Weights    []float64
+	NumSamples int
+	Latency    float64
+}
+
+// FedAvg computes the sample-weighted average of client weight vectors
+// (line 8 of Algorithm 1). It panics if updates is empty or the vectors
+// disagree in length.
+func FedAvg(updates []Update) []float64 {
+	if len(updates) == 0 {
+		panic("flcore: FedAvg of no updates")
+	}
+	n := len(updates[0].Weights)
+	out := make([]float64, n)
+	total := 0.0
+	for _, u := range updates {
+		if len(u.Weights) != n {
+			panic(fmt.Sprintf("flcore: update length %d != %d", len(u.Weights), n))
+		}
+		w := float64(u.NumSamples)
+		if w <= 0 {
+			w = 1 // degenerate client still contributes
+		}
+		total += w
+		for i, v := range u.Weights {
+			out[i] += w * v
+		}
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// MaxLatency returns the round latency under synchronous FL: the slowest
+// selected client bounds the round (Eq. 1).
+func MaxLatency(updates []Update) float64 {
+	m := 0.0
+	for _, u := range updates {
+		if u.Latency > m {
+			m = u.Latency
+		}
+	}
+	return m
+}
+
+// Selector chooses the participating clients for a round. Implementations:
+// RandomSelector (vanilla FL) and the tier-based schedulers in
+// internal/core.
+type Selector interface {
+	// Select returns the indices (into the engine's client slice) of the
+	// clients that participate in round r. rng is the engine's per-round
+	// deterministic source.
+	Select(r int, rng *rand.Rand) []int
+}
+
+// RoundObserver is an optional extension of Selector: after each round the
+// engine hands observers an evaluation function over the freshly aggregated
+// global model. TiFL's adaptive policy (Algorithm 2) uses it to maintain
+// per-tier accuracies.
+type RoundObserver interface {
+	AfterRound(r int, eval func(d *dataset.Dataset) float64)
+}
+
+// LatencyObserver is an optional extension of Selector: after each round
+// the engine reports the selected clients' observed response latencies.
+// Dynamic tiering (core.DynamicSelector) uses it to re-tier on the fly when
+// client performance drifts.
+type LatencyObserver interface {
+	ObserveLatencies(r int, updates []Update)
+}
+
+// RandomSelector is the vanilla FL policy: |C| clients drawn uniformly at
+// random without replacement from the full pool K each round.
+type RandomSelector struct {
+	NumClients      int // |K|
+	ClientsPerRound int // |C|
+}
+
+// Select implements Selector.
+func (s *RandomSelector) Select(r int, rng *rand.Rand) []int {
+	if s.ClientsPerRound > s.NumClients {
+		panic(fmt.Sprintf("flcore: cannot select %d of %d clients", s.ClientsPerRound, s.NumClients))
+	}
+	return rng.Perm(s.NumClients)[:s.ClientsPerRound]
+}

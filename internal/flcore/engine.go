@@ -1,0 +1,289 @@
+package flcore
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/simres"
+	"repro/internal/tensor"
+)
+
+// ModelFactory builds a fresh (randomly initialized) model replica. The
+// engine creates one replica per client per round — weights are immediately
+// overwritten with the global model, so only the architecture matters; the
+// rng drives dropout so local training is deterministic per (seed, round,
+// client) even under parallel execution.
+type ModelFactory func(rng *rand.Rand) *nn.Model
+
+// OptimizerFactory builds the local optimizer for a given round, letting
+// schedules like the paper's RMSprop 0.01 with 0.995 decay depend on the
+// round index.
+type OptimizerFactory func(round int) nn.Optimizer
+
+// Config holds the training hyperparameters of a federated job. The
+// defaults in the paper: |K|=50 clients, |C|=5 per round, local batch size
+// 10, 1 local epoch, 500 rounds (2000 for FEMNIST).
+type Config struct {
+	Rounds          int
+	ClientsPerRound int
+	LocalEpochs     int
+	BatchSize       int
+	Seed            int64
+	Model           ModelFactory
+	Optimizer       OptimizerFactory
+	Latency         simres.LatencyModel
+	// EvalEvery evaluates the global model on the global test set every k
+	// rounds (0 disables periodic eval; the final round is always
+	// evaluated).
+	EvalEvery int
+	// EvalBatch bounds eval batch size (0 = whole set at once).
+	EvalBatch int
+	// Parallel trains the selected clients concurrently. Results are
+	// deterministic either way because all randomness is keyed on
+	// (Seed, round, client).
+	Parallel bool
+	// TransformUpdate, if set, post-processes each client's update before
+	// aggregation — the hook where client-level differential privacy
+	// (clipping + Gaussian noise on the weight delta, internal/privacy)
+	// plugs in. global is the round's starting weight vector.
+	TransformUpdate func(round int, global []float64, u *Update)
+	// ProxMu, when positive, adds FedProx's proximal term μ/2·‖w−w_g‖² to
+	// every client's local objective (the paper's reference [23] baseline).
+	ProxMu float64
+	// OnRound, if set, receives every round's record as it completes —
+	// the hook internal/trace uses to stream JSONL run traces.
+	OnRound func(rec RoundRecord)
+	// TargetAccuracy, when positive, stops training early once the global
+	// test accuracy reaches it (requires periodic evaluation); the paper's
+	// FL formulation runs "until a certain number of rounds are completed
+	// or a desired accuracy is reached".
+	TargetAccuracy float64
+	// EpochsFor, if set, overrides LocalEpochs per client per round —
+	// FedProx-style partial work on stragglers (slow clients train fewer
+	// epochs so they respond in time).
+	EpochsFor func(c *Client, round int) int
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("flcore: Rounds = %d", c.Rounds)
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("flcore: ClientsPerRound = %d", c.ClientsPerRound)
+	case c.LocalEpochs <= 0:
+		return fmt.Errorf("flcore: LocalEpochs = %d", c.LocalEpochs)
+	case c.Model == nil:
+		return fmt.Errorf("flcore: Model factory is nil")
+	case c.Optimizer == nil:
+		return fmt.Errorf("flcore: Optimizer factory is nil")
+	}
+	return nil
+}
+
+// RoundRecord captures one global round for the result history.
+type RoundRecord struct {
+	Round    int
+	Selected []int
+	// Latency is this round's response latency (max over selected clients).
+	Latency float64
+	// SimTime is cumulative simulated training time after this round.
+	SimTime float64
+	// Acc/Loss are global test metrics, NaN when the round was not
+	// evaluated.
+	Acc, Loss float64
+}
+
+// Result is a finished federated training job.
+type Result struct {
+	History   []RoundRecord
+	FinalAcc  float64
+	FinalLoss float64
+	TotalTime float64 // simulated seconds for all rounds
+	Weights   []float64
+}
+
+// AccuracyAt returns the last evaluated accuracy at or before simulated
+// time t, for accuracy-over-wall-clock curves (Fig. 3e/f).
+func (r *Result) AccuracyAt(t float64) float64 {
+	best := math.NaN()
+	for _, rec := range r.History {
+		if rec.SimTime > t {
+			break
+		}
+		if !math.IsNaN(rec.Acc) {
+			best = rec.Acc
+		}
+	}
+	return best
+}
+
+// Engine drives synchronous federated rounds over a fixed client
+// population, per Algorithm 1 with a pluggable Selector.
+type Engine struct {
+	Cfg        Config
+	Clients    []*Client
+	GlobalTest *dataset.Dataset
+
+	global    *nn.Model
+	weights   []float64
+	clock     simres.Clock
+	completed int // rounds finished so far (supports checkpoint/resume)
+}
+
+// NewEngine builds an engine; it panics on invalid configuration so
+// misconfigured experiments fail loudly at construction.
+func NewEngine(cfg Config, clients []*Client, globalTest *dataset.Dataset) *Engine {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(clients) == 0 {
+		panic("flcore: no clients")
+	}
+	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
+	return &Engine{
+		Cfg:        cfg,
+		Clients:    clients,
+		GlobalTest: globalTest,
+		global:     global,
+		weights:    global.WeightsVector(),
+	}
+}
+
+// GlobalWeights returns the current global weight vector (not a copy).
+func (e *Engine) GlobalWeights() []float64 { return e.weights }
+
+// GlobalModel returns the engine's global model with current weights.
+func (e *Engine) GlobalModel() *nn.Model { return e.global }
+
+// Clock returns the engine's simulated clock.
+func (e *Engine) Clock() *simres.Clock { return &e.clock }
+
+// mix derives a deterministic sub-seed from (seed, a, b) via splitmix64.
+func mix(seed int64, a, b int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(a+1) + 0xBF58476D1CE4E5B9*uint64(b+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// TrainClient runs one client's local training for the round and returns
+// its update; exported so the distributed runtime (internal/flnet) can run
+// the identical computation on worker nodes.
+func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) Update {
+	c := e.Clients[clientIdx]
+	rng := rand.New(rand.NewSource(mix(e.Cfg.Seed, round, c.ID)))
+	model := e.Cfg.Model(rng)
+	model.SetWeightsVector(globalWeights)
+	opt := e.Cfg.Optimizer(round)
+	if e.Cfg.ProxMu > 0 {
+		opt = nn.NewProximal(opt, e.Cfg.ProxMu, globalWeights)
+	}
+	epochs := e.Cfg.LocalEpochs
+	if e.Cfg.EpochsFor != nil {
+		if n := e.Cfg.EpochsFor(c, round); n > 0 {
+			epochs = n
+		}
+	}
+	for ep := 0; ep < epochs; ep++ {
+		c.Train.Batches(e.Cfg.BatchSize, rng, func(x *tensor.Tensor, y []int) {
+			model.TrainBatch(x, y, opt)
+		})
+	}
+	weightsOut := model.WeightsVector()
+	lat := e.Cfg.Latency.LatencyFull(c.EffectiveCPU(round), c.NumSamples(), epochs, len(weightsOut), c.Bandwidth, rng)
+	u := Update{ClientID: c.ID, Weights: weightsOut, NumSamples: c.NumSamples(), Latency: lat}
+	if e.Cfg.TransformUpdate != nil {
+		e.Cfg.TransformUpdate(round, globalWeights, &u)
+	}
+	return u
+}
+
+// Run executes the remaining federated rounds (all of Cfg.Rounds on a
+// fresh engine, or the tail after Restore) with the given selector and
+// returns the result history for the rounds it ran.
+func (e *Engine) Run(sel Selector) *Result {
+	res := &Result{}
+	for r := e.completed; r < e.Cfg.Rounds; r++ {
+		selRng := rand.New(rand.NewSource(mix(e.Cfg.Seed, r, -7)))
+		selected := sel.Select(r, selRng)
+		if len(selected) == 0 {
+			panic(fmt.Sprintf("flcore: selector returned no clients in round %d", r))
+		}
+		updates := e.trainRound(r, selected)
+		e.weights = FedAvg(updates)
+		e.global.SetWeightsVector(e.weights)
+		lat := MaxLatency(updates)
+		e.clock.Advance(lat)
+
+		rec := RoundRecord{Round: r, Selected: selected, Latency: lat, SimTime: e.clock.Now(), Acc: math.NaN(), Loss: math.NaN()}
+		last := r == e.Cfg.Rounds-1
+		if e.GlobalTest != nil && (last || (e.Cfg.EvalEvery > 0 && r%e.Cfg.EvalEvery == 0)) {
+			rec.Acc, rec.Loss = e.global.Evaluate(e.GlobalTest.InputTensor(), e.GlobalTest.Y, e.Cfg.EvalBatch)
+		}
+		res.History = append(res.History, rec)
+		if e.Cfg.OnRound != nil {
+			e.Cfg.OnRound(rec)
+		}
+
+		if obs, ok := sel.(LatencyObserver); ok {
+			obs.ObserveLatencies(r, updates)
+		}
+		if obs, ok := sel.(RoundObserver); ok {
+			obs.AfterRound(r, func(d *dataset.Dataset) float64 {
+				acc, _ := e.global.Evaluate(d.InputTensor(), d.Y, e.Cfg.EvalBatch)
+				return acc
+			})
+		}
+		e.completed = r + 1
+		if e.Cfg.TargetAccuracy > 0 && !math.IsNaN(rec.Acc) && rec.Acc >= e.Cfg.TargetAccuracy {
+			break // desired accuracy reached (Section 3.1 stop condition)
+		}
+	}
+	res.TotalTime = e.clock.Now()
+	res.Weights = append([]float64(nil), e.weights...)
+	if len(res.History) == 0 { // resumed past the final round
+		res.FinalAcc, res.FinalLoss = math.NaN(), math.NaN()
+		return res
+	}
+	final := res.History[len(res.History)-1]
+	res.FinalAcc, res.FinalLoss = final.Acc, final.Loss
+	return res
+}
+
+// trainRound trains all selected clients (optionally in parallel) and
+// returns their updates in selection order.
+func (e *Engine) trainRound(round int, selected []int) []Update {
+	updates := make([]Update, len(selected))
+	if !e.Cfg.Parallel || len(selected) == 1 {
+		for i, ci := range selected {
+			updates[i] = e.TrainClient(round, ci, e.weights)
+		}
+		return updates
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				updates[i] = e.TrainClient(round, selected[i], e.weights)
+			}
+		}()
+	}
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return updates
+}

@@ -1,0 +1,44 @@
+package flcore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// BuildClients assembles a client population from a training set, a
+// per-client index partition, and a CPU assignment. Each client also
+// receives a local test shard drawn from the held-out test set restricted
+// to the classes the client actually holds — this is the per-client
+// TestData the TiFL adaptive policy aggregates into per-tier test sets
+// (Algorithm 2), and it respects privacy: no raw training data leaves the
+// client, only accuracy numbers do.
+//
+// localTestMax bounds each client's test shard size (0 = unlimited).
+func BuildClients(train, test *dataset.Dataset, parts [][]int, cpus []float64, localTestMax int, seed int64) []*Client {
+	if len(parts) != len(cpus) {
+		panic(fmt.Sprintf("flcore: %d partitions vs %d cpu shares", len(parts), len(cpus)))
+	}
+	clients := make([]*Client, len(parts))
+	for i, idx := range parts {
+		rng := rand.New(rand.NewSource(mix(seed, i, 13)))
+		local := train.Subset(idx)
+		var localTest *dataset.Dataset
+		if test != nil {
+			classes := dataset.Classes(train, idx)
+			localTest = dataset.TestSubsetForClasses(test, classes, localTestMax, rng)
+		}
+		clients[i] = &Client{ID: i, Train: local, Test: localTest, CPU: cpus[i]}
+	}
+	return clients
+}
+
+// TotalSamples returns the combined training-set size across clients.
+func TotalSamples(clients []*Client) int {
+	n := 0
+	for _, c := range clients {
+		n += c.NumSamples()
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package flcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStragglerProbabilityMatchesEq3 validates the paper's Section 3.2
+// analysis: under vanilla random selection of |C| from |K| clients, the
+// probability that at least one selected client comes from the slowest
+// level τ_m is Prs = 1 − C(|K|−|τ_m|, |C|) / C(|K|, |C|) (Eq. 2–3), which
+// approaches 1 as |C| grows (Eq. 5) — the formal root of the straggler
+// problem TiFL attacks.
+func TestStragglerProbabilityMatchesEq3(t *testing.T) {
+	const K, tauM = 50, 10 // paper's testbed: 50 clients, 10 in the slowest group
+	slowest := map[int]bool{}
+	for i := K - tauM; i < K; i++ {
+		slowest[i] = true
+	}
+	for _, C := range []int{1, 2, 5, 10} {
+		want := 1 - binomRatio(K-tauM, K, C)
+		sel := &RandomSelector{NumClients: K, ClientsPerRound: C}
+		rng := rand.New(rand.NewSource(int64(C)))
+		hits := 0
+		const trials = 20000
+		for r := 0; r < trials; r++ {
+			for _, c := range sel.Select(r, rng) {
+				if slowest[c] {
+					hits++
+					break
+				}
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-want) > 0.015 {
+			t.Fatalf("|C|=%d: empirical Prs %.4f, Eq. 3 gives %.4f", C, got, want)
+		}
+	}
+	// Eq. 5's limit: with |C|=5 of |K|=50 and 10 slow clients the straggler
+	// probability already exceeds 2/3, so vanilla rounds are usually
+	// slow-bound.
+	if p := 1 - binomRatio(K-tauM, K, 5); p < 0.66 {
+		t.Fatalf("Prs(|C|=5) = %v, expected > 0.66", p)
+	}
+}
+
+// binomRatio computes C(a, c) / C(b, c) = Π_{i=0}^{c-1} (a−i)/(b−i).
+func binomRatio(a, b, c int) float64 {
+	r := 1.0
+	for i := 0; i < c; i++ {
+		r *= float64(a-i) / float64(b-i)
+	}
+	return r
+}

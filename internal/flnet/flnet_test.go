@@ -1,0 +1,350 @@
+package flnet
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/flcore"
+)
+
+// echoTrain returns a TrainFunc that adds delta to every weight; sample
+// count fixed at n. Optional sleep simulates a straggler.
+func echoTrain(delta float64, n int, sleep time.Duration) TrainFunc {
+	return func(round int, weights []float64) ([]float64, int, error) {
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		out := make([]float64, len(weights))
+		for i, w := range weights {
+			out[i] = w + delta
+		}
+		return out, n, nil
+	}
+}
+
+// startWorkers launches workers in goroutines and returns a wait function.
+func startWorkers(t *testing.T, addr string, cfgs []WorkerConfig) func() {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(cfgs))
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg WorkerConfig) {
+			defer wg.Done()
+			errs[i] = RunWorker(addr, cfg)
+		}(i, cfg)
+	}
+	return func() {
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Errorf("worker %d: %v", cfgs[i].ClientID, err)
+			}
+		}
+	}
+}
+
+func TestSingleRoundFedAvgOverTCP(t *testing.T) {
+	init := []float64{1, 2, 3}
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, InitialWeights: init, Seed: 1,
+		RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	wait := startWorkers(t, agg.Addr(), []WorkerConfig{
+		{ClientID: 0, NumSamples: 1, Train: echoTrain(+1, 1, 0)},
+		{ClientID: 1, NumSamples: 3, Train: echoTrain(-1, 3, 0)},
+	})
+	if err := agg.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	// FedAvg: (1*(w+1) + 3*(w-1))/4 = w - 0.5
+	for i, w := range init {
+		want := w - 0.5
+		if math.Abs(res.Weights[i]-want) > 1e-12 {
+			t.Fatalf("weights = %v, want %v at %d", res.Weights, want, i)
+		}
+	}
+	if res.Rounds[0].Used != 2 || res.Rounds[0].Discarded != 0 {
+		t.Fatalf("stats = %+v", res.Rounds[0])
+	}
+}
+
+func TestMultiRoundConvergence(t *testing.T) {
+	// Each round every worker returns weights+1; after 5 rounds of full
+	// participation the global weights advanced by 5.
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 5, ClientsPerRound: 3, InitialWeights: []float64{0}, Seed: 2,
+		RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	var cfgs []WorkerConfig
+	for i := 0; i < 3; i++ {
+		cfgs = append(cfgs, WorkerConfig{ClientID: i, NumSamples: 10, Train: echoTrain(1, 10, 0)})
+	}
+	wait := startWorkers(t, agg.Addr(), cfgs)
+	if err := agg.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Run(UniformSelect(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	if math.Abs(res.Weights[0]-5) > 1e-12 {
+		t.Fatalf("after 5 rounds weights = %v, want 5", res.Weights[0])
+	}
+	if len(res.Rounds) != 5 {
+		t.Fatalf("round stats = %d", len(res.Rounds))
+	}
+}
+
+func TestProfileWorkersMeasuresLatency(t *testing.T) {
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 1, InitialWeights: []float64{0}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	slowDelay := 120 * time.Millisecond
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 0, NumSamples: 1, Train: echoTrain(0, 1, 0)})         //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 1, NumSamples: 1, Train: echoTrain(0, 1, slowDelay)}) //nolint:errcheck
+	if err := agg.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lat, dropouts, err := agg.ProfileWorkers(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropouts) != 0 {
+		t.Fatalf("dropouts = %v", dropouts)
+	}
+	if lat[1] < lat[0] || lat[1] < 0.1 {
+		t.Fatalf("profiled latencies fast=%v slow=%v", lat[0], lat[1])
+	}
+	agg.FinishWorkers(0)
+}
+
+func TestStragglerDiscardedUnderOverselection(t *testing.T) {
+	// 3 workers, target 2, overselect 0.5 → select 3; the slow worker's
+	// update must be discarded and the round must finish fast.
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, Overselect: 0.5,
+		InitialWeights: []float64{0}, Seed: 4, RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 0, NumSamples: 1, Train: echoTrain(1, 1, 0)})             //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 1, NumSamples: 1, Train: echoTrain(1, 1, 0)})             //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 2, NumSamples: 1, Train: echoTrain(1, 1, 2*time.Second)}) //nolint:errcheck
+	if err := agg.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := agg.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Fatal("round waited for the straggler")
+	}
+	if res.Rounds[0].Selected != 3 || res.Rounds[0].Used != 2 || res.Rounds[0].Discarded != 1 {
+		t.Fatalf("stats = %+v", res.Rounds[0])
+	}
+}
+
+func TestRoundTimeoutDropsDeadWorker(t *testing.T) {
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, InitialWeights: []float64{0}, Seed: 5,
+		RoundTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 0, NumSamples: 1, Train: echoTrain(1, 1, 0)})             //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 1, NumSamples: 1, Train: echoTrain(1, 1, 5*time.Second)}) //nolint:errcheck
+	if err := agg.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Run(func(r int, ids []int, rng *rand.Rand) []int { return ids })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds[0].Used != 1 {
+		t.Fatalf("used = %d, want 1 (timeout drop)", res.Rounds[0].Used)
+	}
+	if res.Weights[0] != 1 {
+		t.Fatalf("weights = %v (should aggregate only the live worker)", res.Weights)
+	}
+}
+
+func TestHierarchyMatchesFlat(t *testing.T) {
+	// Two children with two leaf workers each; master FedAvg over child
+	// partials must equal flat FedAvg over all four leaves.
+	leafDeltas := []float64{1, 2, 3, 4}
+	leafSamples := []int{1, 2, 3, 4}
+	init := []float64{10}
+
+	// Expected flat FedAvg: sum(n_i*(w+d_i))/sum(n_i).
+	num, den := 0.0, 0.0
+	for i, d := range leafDeltas {
+		num += float64(leafSamples[i]) * (init[0] + d)
+		den += float64(leafSamples[i])
+	}
+	wantFlat := num / den
+
+	master, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, InitialWeights: init, Seed: 6,
+		RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	// Children: each owns two leaves.
+	for child := 0; child < 2; child++ {
+		childAgg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+			Rounds: 1, ClientsPerRound: 2, InitialWeights: init, Seed: int64(7 + child),
+			RoundTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer childAgg.Close()
+		for leaf := 0; leaf < 2; leaf++ {
+			idx := child*2 + leaf
+			go RunWorker(childAgg.Addr(), WorkerConfig{ //nolint:errcheck
+				ClientID: idx, NumSamples: leafSamples[idx],
+				Train: echoTrain(leafDeltas[idx], leafSamples[idx], 0),
+			})
+		}
+		if err := childAgg.WaitForWorkers(2, 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, s := range leafSamples[child*2 : child*2+2] {
+			total += s
+		}
+		go func(child int, ca *Aggregator, total int) {
+			RunWorker(master.Addr(), WorkerConfig{ //nolint:errcheck
+				ClientID: 100 + child, NumSamples: total, Train: ca.ChildTrainFunc(),
+			})
+			ca.FinishWorkers(1)
+		}(child, childAgg, total)
+	}
+	if err := master.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := master.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Weights[0]-wantFlat) > 1e-12 {
+		t.Fatalf("hierarchical = %v, flat = %v", res.Weights[0], wantFlat)
+	}
+}
+
+func TestDistributedMatchesInProcessTraining(t *testing.T) {
+	// The same deterministic arithmetic run through flcore.FedAvg directly
+	// and through the TCP stack must agree bit-for-bit.
+	init := []float64{0.5, -0.5}
+	ups := []flcore.Update{
+		{Weights: []float64{1.5, 0.5}, NumSamples: 2},
+		{Weights: []float64{2.5, 1.5}, NumSamples: 6},
+	}
+	want := flcore.FedAvg(ups)
+
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, InitialWeights: init, Seed: 8,
+		RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	wait := startWorkers(t, agg.Addr(), []WorkerConfig{
+		{ClientID: 0, NumSamples: 2, Train: echoTrain(1, 2, 0)},
+		{ClientID: 1, NumSamples: 6, Train: echoTrain(2, 6, 0)},
+	})
+	if err := agg.WaitForWorkers(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait()
+	for i := range want {
+		if res.Weights[i] != want[i] {
+			t.Fatalf("TCP aggregation %v != in-process %v", res.Weights, want)
+		}
+	}
+}
+
+func TestAggregatorConfigValidation(t *testing.T) {
+	bad := []AggregatorConfig{
+		{Rounds: 0, ClientsPerRound: 1, InitialWeights: []float64{1}},
+		{Rounds: 1, ClientsPerRound: 0, InitialWeights: []float64{1}},
+		{Rounds: 1, ClientsPerRound: 1, Overselect: -1, InitialWeights: []float64{1}},
+		{Rounds: 1, ClientsPerRound: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewAggregator("127.0.0.1:0", cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestWorkerRequiresTrainFunc(t *testing.T) {
+	if err := RunWorker("127.0.0.1:1", WorkerConfig{ClientID: 0}); err == nil {
+		t.Fatal("nil TrainFunc accepted")
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 1, InitialWeights: []float64{0}, Seed: 9,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 7, NumSamples: 1, Train: echoTrain(1, 1, 0)}) //nolint:errcheck
+	if err := agg.WaitForWorkers(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Second worker with the same ID: its connection is dropped, the
+	// registry still holds exactly one.
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 7, NumSamples: 1, Train: echoTrain(1, 1, 0)}) //nolint:errcheck
+	time.Sleep(200 * time.Millisecond)
+	if got := len(agg.ids()); got != 1 {
+		t.Fatalf("registry holds %d workers, want 1", got)
+	}
+	res, err := agg.Run(UniformSelect(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] != 1 {
+		t.Fatalf("weights = %v", res.Weights)
+	}
+}

@@ -1,0 +1,73 @@
+package flnet
+
+import (
+	"fmt"
+
+	"repro/internal/flcore"
+)
+
+// Hierarchical aggregation (the paper's master/child design for scalability
+// and fault tolerance, Section 3.1/4.1): a child aggregator owns a subset of
+// workers and presents itself to the master as a single worker whose
+// "update" is the FedAvg of its subtree weighted by its total sample count.
+// Because FedAvg is a weighted mean, master-of-children equals a flat
+// aggregation over all leaves — verified by TestHierarchyMatchesFlat.
+
+// RunRound drives one synchronous round over the chosen registered workers:
+// broadcast weights, collect up to target updates (stragglers beyond target
+// or the round timeout are discarded), and return the updates.
+func (a *Aggregator) RunRound(round int, chosen []int, weights []float64, target int) ([]flcore.Update, error) {
+	live := make([]*registered, 0, len(chosen))
+	for _, id := range chosen {
+		a.mu.Lock()
+		w := a.workers[id]
+		a.mu.Unlock()
+		if w == nil {
+			continue
+		}
+		if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: round, Weights: weights}}); err != nil {
+			continue
+		}
+		live = append(live, w)
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("flnet: round %d: no reachable workers", round)
+	}
+	updates := a.collect(live, target, round)
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("flnet: round %d: no updates before timeout", round)
+	}
+	return updates, nil
+}
+
+// FinishWorkers notifies every registered worker that training is over.
+func (a *Aggregator) FinishWorkers(rounds int) {
+	for _, id := range a.ids() {
+		a.mu.Lock()
+		w := a.workers[id]
+		a.mu.Unlock()
+		w.c.send(&Envelope{Type: MsgDone, Done: &Done{Rounds: rounds}}) //nolint:errcheck // best effort
+	}
+}
+
+// ChildTrainFunc adapts a child aggregator into a TrainFunc: each master
+// "training request" fans out to all of the child's workers and returns
+// their FedAvg with the subtree's total sample count, so the master's
+// FedAvg over children reproduces the flat global average.
+func (a *Aggregator) ChildTrainFunc() TrainFunc {
+	return func(round int, weights []float64) ([]float64, int, error) {
+		ids := a.ids()
+		if len(ids) == 0 {
+			return nil, 0, fmt.Errorf("flnet: child has no workers")
+		}
+		ups, err := a.RunRound(round, ids, weights, len(ids))
+		if err != nil {
+			return nil, 0, err
+		}
+		total := 0
+		for _, u := range ups {
+			total += u.NumSamples
+		}
+		return flcore.FedAvg(ups), total, nil
+	}
+}

@@ -1,0 +1,132 @@
+// Package flnet is the distributed runtime of the reproduction: a real
+// TCP implementation of the Google-style FL architecture the paper
+// prototypes (Section 5.1) — an aggregator server, client workers, optional
+// child aggregators for hierarchical aggregation, network profiling for
+// tiering, per-round timeouts, and the 130% over-selection straggler
+// mitigation the paper discusses (Section 2).
+//
+// Messages are gob-encoded over TCP. The aggregator owns the global model
+// as a flat weight vector; workers run caller-supplied TrainFuncs, so the
+// same nn/flcore training code runs in-process or across machines.
+package flnet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgRegister MsgType = iota + 1
+	MsgProfile
+	MsgProfileReply
+	MsgTrain
+	MsgUpdate
+	MsgPartial
+	MsgDone
+)
+
+// Envelope is the single on-wire message shape; exactly one payload field
+// is set according to Type.
+type Envelope struct {
+	Type         MsgType
+	Register     *Register
+	Profile      *Profile
+	ProfileReply *ProfileReply
+	Train        *Train
+	Update       *Update
+	Partial      *Partial
+	Done         *Done
+}
+
+// Register announces a worker to its aggregator.
+type Register struct {
+	ClientID   int
+	NumSamples int
+}
+
+// Profile asks a worker to run one profiling task (Section 4.2's
+// lightweight profiler, over the network).
+type Profile struct {
+	Weights []float64
+}
+
+// ProfileReply reports the measured local training duration.
+type ProfileReply struct {
+	ClientID int
+	Seconds  float64
+}
+
+// Train delivers the round's global weights to a selected worker. When
+// Participants is non-empty the round runs under secure aggregation: the
+// worker masks its sample-weighted update with pairwise masks over the
+// cohort (see secure.go) scaled by MaskScale.
+type Train struct {
+	Round        int
+	Weights      []float64
+	Participants []int
+	MaskScale    float64
+}
+
+// Update returns a worker's locally trained weights.
+type Update struct {
+	Round      int
+	ClientID   int
+	Weights    []float64
+	NumSamples int
+}
+
+// Partial is a child aggregator's pre-aggregated contribution: the weighted
+// sum of its workers' updates plus the total weight, so the master can
+// combine children without seeing individual updates.
+type Partial struct {
+	Round       int
+	WeightedSum []float64
+	TotalWeight float64
+	Clients     int
+}
+
+// Done tells a worker training is finished.
+type Done struct {
+	Rounds int
+}
+
+// conn wraps a net.Conn with gob codecs and deadline helpers.
+type conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newConn(raw net.Conn) *conn {
+	return &conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *conn) send(env *Envelope) error {
+	if err := c.enc.Encode(env); err != nil {
+		return fmt.Errorf("flnet: send %d: %w", env.Type, err)
+	}
+	return nil
+}
+
+// recv decodes the next message; a zero timeout blocks indefinitely.
+func (c *conn) recv(timeout time.Duration) (*Envelope, error) {
+	if timeout > 0 {
+		if err := c.raw.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+			return nil, fmt.Errorf("flnet: deadline: %w", err)
+		}
+		defer c.raw.SetReadDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	var env Envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("flnet: recv: %w", err)
+	}
+	return &env, nil
+}
+
+func (c *conn) close() error { return c.raw.Close() }

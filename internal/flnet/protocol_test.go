@@ -1,0 +1,87 @@
+package flnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two connected protocol endpoints over an in-memory pipe.
+func pipePair() (*conn, *conn) {
+	a, b := net.Pipe()
+	return newConn(a), newConn(b)
+}
+
+func TestProtocolRoundTripAllTypes(t *testing.T) {
+	a, b := pipePair()
+	defer a.close() //nolint:errcheck
+	defer b.close() //nolint:errcheck
+
+	msgs := []*Envelope{
+		{Type: MsgRegister, Register: &Register{ClientID: 7, NumSamples: 99}},
+		{Type: MsgProfile, Profile: &Profile{Weights: []float64{1, 2}}},
+		{Type: MsgProfileReply, ProfileReply: &ProfileReply{ClientID: 7, Seconds: 0.25}},
+		{Type: MsgTrain, Train: &Train{Round: 3, Weights: []float64{-1, 0, 1}}},
+		{Type: MsgUpdate, Update: &Update{Round: 3, ClientID: 7, Weights: []float64{5}, NumSamples: 4}},
+		{Type: MsgPartial, Partial: &Partial{Round: 1, WeightedSum: []float64{10}, TotalWeight: 2, Clients: 2}},
+		{Type: MsgDone, Done: &Done{Rounds: 8}},
+	}
+	go func() {
+		for _, m := range msgs {
+			if err := a.send(m); err != nil {
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := b.recv(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type = %d, want %d", got.Type, want.Type)
+		}
+	}
+}
+
+func TestProtocolFieldFidelity(t *testing.T) {
+	a, b := pipePair()
+	defer a.close() //nolint:errcheck
+	defer b.close() //nolint:errcheck
+	weights := []float64{3.14159, -2.71828, 0, 1e-300}
+	go a.send(&Envelope{Type: MsgTrain, Train: &Train{Round: 42, Weights: weights}}) //nolint:errcheck
+	got, err := b.recv(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Train.Round != 42 {
+		t.Fatalf("round = %d", got.Train.Round)
+	}
+	for i, w := range weights {
+		if got.Train.Weights[i] != w {
+			t.Fatalf("weights = %v", got.Train.Weights)
+		}
+	}
+}
+
+func TestProtocolRecvTimeout(t *testing.T) {
+	a, b := pipePair()
+	defer a.close() //nolint:errcheck
+	defer b.close() //nolint:errcheck
+	start := time.Now()
+	_, err := b.recv(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("recv with no sender must time out")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout not honored")
+	}
+}
+
+func TestProtocolRecvAfterClose(t *testing.T) {
+	a, b := pipePair()
+	a.close() //nolint:errcheck
+	if _, err := b.recv(200 * time.Millisecond); err == nil {
+		t.Fatal("recv from closed peer must error")
+	}
+}

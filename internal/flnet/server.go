@@ -1,0 +1,352 @@
+package flnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flcore"
+)
+
+// SelectFunc chooses the client IDs participating in a round from the
+// registered population. The aggregator passes a deterministic per-round
+// rng.
+type SelectFunc func(round int, ids []int, rng *rand.Rand) []int
+
+// UniformSelect returns a vanilla-FL selector over the registered IDs.
+func UniformSelect(clientsPerRound int) SelectFunc {
+	return func(round int, ids []int, rng *rand.Rand) []int {
+		if clientsPerRound >= len(ids) {
+			return ids
+		}
+		perm := rng.Perm(len(ids))
+		out := make([]int, clientsPerRound)
+		for i := range out {
+			out[i] = ids[perm[i]]
+		}
+		return out
+	}
+}
+
+// AggregatorConfig configures a (master) aggregator run.
+type AggregatorConfig struct {
+	Rounds          int
+	ClientsPerRound int
+	// Overselect selects ceil((1+Overselect)·ClientsPerRound) clients and
+	// keeps the first ClientsPerRound responses, discarding stragglers —
+	// the Bonawitz et al. 130% mitigation the paper contrasts with (0.3
+	// reproduces it; 0 disables over-selection).
+	Overselect float64
+	// RoundTimeout bounds how long the aggregator waits for updates each
+	// round; 0 means wait indefinitely.
+	RoundTimeout   time.Duration
+	InitialWeights []float64
+	Seed           int64
+}
+
+func (c AggregatorConfig) validate() error {
+	switch {
+	case c.Rounds <= 0:
+		return fmt.Errorf("flnet: Rounds = %d", c.Rounds)
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("flnet: ClientsPerRound = %d", c.ClientsPerRound)
+	case c.Overselect < 0:
+		return fmt.Errorf("flnet: Overselect = %v", c.Overselect)
+	case len(c.InitialWeights) == 0:
+		return fmt.Errorf("flnet: InitialWeights empty")
+	}
+	return nil
+}
+
+// RoundStats records one aggregator round.
+type RoundStats struct {
+	Round     int
+	Selected  int
+	Used      int // updates aggregated (≤ Selected under over-selection)
+	Discarded int // straggler updates dropped
+	Wall      time.Duration
+}
+
+// RunResult is a finished distributed training job.
+type RunResult struct {
+	Weights []float64
+	Rounds  []RoundStats
+}
+
+// registered is one connected worker from the aggregator's point of view.
+type registered struct {
+	id      int
+	samples int
+	c       *conn
+	updates chan *Envelope
+	err     error
+}
+
+// Aggregator is the FL server: it accepts worker registrations, optionally
+// profiles them, then drives synchronous FedAvg rounds.
+type Aggregator struct {
+	cfg AggregatorConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	workers map[int]*registered
+}
+
+// NewAggregator listens on addr (e.g. "127.0.0.1:0").
+func NewAggregator(addr string, cfg AggregatorConfig) (*Aggregator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: listen: %w", err)
+	}
+	return &Aggregator{cfg: cfg, ln: ln, workers: make(map[int]*registered)}, nil
+}
+
+// Addr returns the aggregator's listen address.
+func (a *Aggregator) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the listener and all worker connections.
+func (a *Aggregator) Close() {
+	a.ln.Close() //nolint:errcheck // shutdown path
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, w := range a.workers {
+		w.c.close() //nolint:errcheck // shutdown path
+	}
+}
+
+// WaitForWorkers accepts connections until n workers have registered or the
+// timeout elapses. Accepting polls in short slices so registration progress
+// is observed promptly even while the listener is idle.
+func (a *Aggregator) WaitForWorkers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	tcp, _ := a.ln.(*net.TCPListener)
+	for {
+		a.mu.Lock()
+		have := len(a.workers)
+		a.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("flnet: waiting for %d workers, have %d: timeout", n, have)
+		}
+		if tcp != nil {
+			slice := time.Now().Add(50 * time.Millisecond)
+			if slice.After(deadline) {
+				slice = deadline
+			}
+			if err := tcp.SetDeadline(slice); err != nil {
+				return fmt.Errorf("flnet: accept deadline: %w", err)
+			}
+		}
+		raw, err := a.ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue // poll registration progress
+			}
+			return fmt.Errorf("flnet: accept: %w", err)
+		}
+		go a.handshake(raw)
+	}
+}
+
+// handshake performs registration and starts the per-connection reader.
+func (a *Aggregator) handshake(raw net.Conn) {
+	c := newConn(raw)
+	env, err := c.recv(10 * time.Second)
+	if err != nil || env.Type != MsgRegister || env.Register == nil {
+		c.close() //nolint:errcheck // failed handshake
+		return
+	}
+	w := &registered{id: env.Register.ClientID, samples: env.Register.NumSamples, c: c, updates: make(chan *Envelope, 4)}
+	a.mu.Lock()
+	if _, dup := a.workers[w.id]; dup {
+		a.mu.Unlock()
+		c.close() //nolint:errcheck // duplicate registration
+		return
+	}
+	a.workers[w.id] = w
+	a.mu.Unlock()
+	go func() {
+		for {
+			env, err := c.recv(0)
+			if err != nil {
+				w.err = err
+				close(w.updates)
+				return
+			}
+			w.updates <- env
+		}
+	}()
+}
+
+// ids returns the sorted registered client IDs.
+func (a *Aggregator) ids() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]int, 0, len(a.workers))
+	for id := range a.workers {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ProfileWorkers sends every registered worker one profiling task and
+// returns measured training seconds per client — the network analogue of
+// core.Profile. Workers that fail to reply within timeout are reported in
+// the dropouts list.
+func (a *Aggregator) ProfileWorkers(timeout time.Duration) (map[int]float64, []int, error) {
+	ids := a.ids()
+	lat := make(map[int]float64, len(ids))
+	var dropouts []int
+	for _, id := range ids {
+		a.mu.Lock()
+		w := a.workers[id]
+		a.mu.Unlock()
+		if err := w.c.send(&Envelope{Type: MsgProfile, Profile: &Profile{Weights: a.cfg.InitialWeights}}); err != nil {
+			dropouts = append(dropouts, id)
+			continue
+		}
+	}
+	for _, id := range ids {
+		a.mu.Lock()
+		w := a.workers[id]
+		a.mu.Unlock()
+		env, ok := recvTimeout(w, timeout)
+		if !ok || env.Type != MsgProfileReply || env.ProfileReply == nil {
+			dropouts = append(dropouts, id)
+			continue
+		}
+		lat[id] = env.ProfileReply.Seconds
+	}
+	if len(lat) == 0 {
+		return nil, dropouts, fmt.Errorf("flnet: no workers completed profiling")
+	}
+	return lat, dropouts, nil
+}
+
+// recvTimeout pops the worker's next message through its reader channel.
+func recvTimeout(w *registered, timeout time.Duration) (*Envelope, bool) {
+	if timeout <= 0 {
+		env, ok := <-w.updates
+		return env, ok
+	}
+	select {
+	case env, ok := <-w.updates:
+		return env, ok
+	case <-time.After(timeout):
+		return nil, false
+	}
+}
+
+// Run drives cfg.Rounds synchronous rounds using sel to pick participants
+// and returns final weights plus per-round stats. It requires at least one
+// registered worker.
+func (a *Aggregator) Run(sel SelectFunc) (*RunResult, error) {
+	weights := append([]float64(nil), a.cfg.InitialWeights...)
+	res := &RunResult{}
+	for r := 0; r < a.cfg.Rounds; r++ {
+		rng := rand.New(rand.NewSource(a.cfg.Seed + int64(r)*1_000_003))
+		target := a.cfg.ClientsPerRound
+		want := target
+		if a.cfg.Overselect > 0 {
+			want = int(float64(target)*(1+a.cfg.Overselect) + 0.999)
+		}
+		all := a.ids()
+		if len(all) == 0 {
+			return nil, fmt.Errorf("flnet: round %d: no registered workers", r)
+		}
+		chosen := sel(r, all, rng)
+		if extra := want - len(chosen); a.cfg.Overselect > 0 && extra > 0 {
+			// Over-selection: top up with uniformly drawn spares beyond the
+			// policy's picks; only the first `target` responses count.
+			inChosen := make(map[int]bool, len(chosen))
+			for _, id := range chosen {
+				inChosen[id] = true
+			}
+			for _, i := range rng.Perm(len(all)) {
+				if extra == 0 {
+					break
+				}
+				if !inChosen[all[i]] {
+					chosen = append(chosen, all[i])
+					extra--
+				}
+			}
+		}
+		start := time.Now()
+		stats := RoundStats{Round: r, Selected: len(chosen)}
+		updates, err := a.RunRound(r, chosen, weights, target)
+		if err != nil {
+			return nil, err
+		}
+		stats.Used = len(updates)
+		if d := stats.Selected - stats.Used; d > 0 {
+			stats.Discarded = d
+		}
+		weights = flcore.FedAvg(updates)
+		stats.Wall = time.Since(start)
+		res.Rounds = append(res.Rounds, stats)
+	}
+	res.Weights = weights
+	a.FinishWorkers(a.cfg.Rounds)
+	return res, nil
+}
+
+// collect gathers up to target updates for round r from the live workers,
+// respecting the round timeout; late updates are discarded (straggler
+// mitigation).
+func (a *Aggregator) collect(live []*registered, target, round int) []flcore.Update {
+	type got struct {
+		u  flcore.Update
+		ok bool
+	}
+	ch := make(chan got, len(live))
+	var deadline time.Time
+	if a.cfg.RoundTimeout > 0 {
+		deadline = time.Now().Add(a.cfg.RoundTimeout)
+	}
+	for _, w := range live {
+		go func(w *registered) {
+			// Drain stale messages (e.g. a previous round's straggler
+			// update) until this round's update or the deadline.
+			for {
+				wait := time.Duration(0)
+				if !deadline.IsZero() {
+					wait = time.Until(deadline)
+					if wait <= 0 {
+						ch <- got{ok: false}
+						return
+					}
+				}
+				env, ok := recvTimeout(w, wait)
+				if !ok {
+					ch <- got{ok: false}
+					return
+				}
+				if env.Type == MsgUpdate && env.Update != nil && env.Update.Round == round {
+					ch <- got{u: flcore.Update{ClientID: env.Update.ClientID, Weights: env.Update.Weights, NumSamples: env.Update.NumSamples}, ok: true}
+					return
+				}
+			}
+		}(w)
+	}
+	var updates []flcore.Update
+	for i := 0; i < len(live); i++ {
+		g := <-ch
+		if g.ok {
+			updates = append(updates, g.u)
+			if len(updates) >= target {
+				break // remaining responders are stragglers; discard
+			}
+		}
+	}
+	return updates
+}

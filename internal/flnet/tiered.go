@@ -1,0 +1,33 @@
+package flnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// TierSelectFunc turns network-profiled latencies (ProfileWorkers output)
+// into a TiFL tier-based SelectFunc for the aggregator: tiers are built
+// server-side from the measured response times, and each round one tier is
+// drawn by the policy's probabilities with clientsPerRound workers sampled
+// inside it. This is TiFL running over the real TCP runtime end to end.
+//
+// It returns the built tiers so callers can log them or feed the
+// training-time estimator.
+func TierSelectFunc(latency map[int]float64, numTiers int, policy core.StaticPolicy, clientsPerRound int) (SelectFunc, []core.Tier, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, nil, err
+	}
+	tiers := core.BuildTiers(latency, numTiers, core.Quantile)
+	if len(tiers) != len(policy.Probs) {
+		return nil, nil, fmt.Errorf("flnet: built %d tiers for a %d-probability policy", len(tiers), len(policy.Probs))
+	}
+	sel := core.NewStaticSelector(tiers, policy, clientsPerRound)
+	fn := func(round int, ids []int, rng *rand.Rand) []int {
+		// The selector works over client IDs directly because tiers were
+		// built from the latency map's keys (worker IDs).
+		return sel.Select(round, rng)
+	}
+	return fn, tiers, nil
+}

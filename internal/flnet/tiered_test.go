@@ -1,0 +1,96 @@
+package flnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestTierSelectFuncBuildsFromProfiledLatencies(t *testing.T) {
+	lat := map[int]float64{}
+	for i := 0; i < 20; i++ {
+		lat[i] = float64(1 + i) // IDs 0..4 fastest
+	}
+	policy := core.StaticPolicy{Name: "fast", Probs: []float64{1, 0, 0, 0}}
+	fn, tiers, err := TierSelectFunc(lat, 4, policy, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 4 {
+		t.Fatalf("tiers = %d", len(tiers))
+	}
+	rng := rand.New(rand.NewSource(1))
+	for r := 0; r < 50; r++ {
+		for _, id := range fn(r, nil, rng) {
+			if id > 4 {
+				t.Fatalf("fast policy selected worker %d outside the fastest tier", id)
+			}
+		}
+	}
+}
+
+func TestTierSelectFuncValidation(t *testing.T) {
+	lat := map[int]float64{0: 1, 1: 2}
+	if _, _, err := TierSelectFunc(lat, 2, core.StaticPolicy{Name: "bad", Probs: []float64{0.9, 0.9}}, 1); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	if _, _, err := TierSelectFunc(lat, 2, core.PolicyUniform, 1); err == nil {
+		t.Fatal("5-probability policy over 2 tiers accepted")
+	}
+}
+
+func TestTiFLOverTCPEndToEnd(t *testing.T) {
+	// Full pipeline: register workers with different speeds, profile over
+	// the network, tier, then run rounds with a fast-leaning policy. Slow
+	// workers must never be selected, so rounds complete quickly.
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 4, ClientsPerRound: 2, InitialWeights: []float64{0}, Seed: 11,
+		RoundTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	delays := []time.Duration{0, 0, 0, 250 * time.Millisecond, 250 * time.Millisecond, 250 * time.Millisecond}
+	for id, d := range delays {
+		go RunWorker(agg.Addr(), WorkerConfig{ //nolint:errcheck
+			ClientID: id, NumSamples: 1, Train: echoTrain(1, 1, d),
+		})
+	}
+	if err := agg.WaitForWorkers(len(delays), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lat, _, err := agg.ProfileWorkers(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := core.StaticPolicy{Name: "fast", Probs: []float64{1, 0}}
+	fn, tiers, err := TierSelectFunc(lat, 2, policy, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastTier := map[int]bool{}
+	for _, id := range tiers[0].Members {
+		fastTier[id] = true
+	}
+	for id := 0; id < 3; id++ {
+		if !fastTier[id] {
+			t.Fatalf("fast worker %d not in tier 1 (tiers: %+v)", id, tiers)
+		}
+	}
+	start := time.Now()
+	res, err := agg.Run(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 rounds over only fast workers: well under the slow workers' delay
+	// budget (4 rounds × 250ms would be 1s+).
+	if time.Since(start) > 900*time.Millisecond {
+		t.Fatalf("tiered rounds took %v; slow workers likely selected", time.Since(start))
+	}
+	if res.Weights[0] != 4 {
+		t.Fatalf("weights = %v, want 4 after 4 rounds of +1", res.Weights)
+	}
+}

@@ -1,0 +1,74 @@
+package flnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// TrainFunc runs one local training pass starting from the given global
+// weights and returns the updated weights and the number of samples trained
+// (the FedAvg aggregation weight). round is -1 for profiling tasks.
+type TrainFunc func(round int, weights []float64) (newWeights []float64, numSamples int, err error)
+
+// WorkerConfig configures one FL client worker process.
+type WorkerConfig struct {
+	ClientID   int
+	NumSamples int
+	Train      TrainFunc
+	// DialTimeout bounds the initial connection (default 5s).
+	DialTimeout time.Duration
+}
+
+// RunWorker connects to the aggregator at addr, registers, and serves
+// profiling and training requests until the aggregator sends Done or the
+// connection drops. It returns nil on a clean Done.
+func RunWorker(addr string, cfg WorkerConfig) error {
+	if cfg.Train == nil {
+		return fmt.Errorf("flnet: worker %d has no TrainFunc", cfg.ClientID)
+	}
+	dt := cfg.DialTimeout
+	if dt <= 0 {
+		dt = 5 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", addr, dt)
+	if err != nil {
+		return fmt.Errorf("flnet: worker %d dial: %w", cfg.ClientID, err)
+	}
+	c := newConn(raw)
+	defer c.close() //nolint:errcheck // shutdown path
+	if err := c.send(&Envelope{Type: MsgRegister, Register: &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples}}); err != nil {
+		return err
+	}
+	for {
+		env, err := c.recv(0)
+		if err != nil {
+			return fmt.Errorf("flnet: worker %d: %w", cfg.ClientID, err)
+		}
+		switch env.Type {
+		case MsgProfile:
+			start := time.Now()
+			if _, _, err := cfg.Train(-1, env.Profile.Weights); err != nil {
+				return fmt.Errorf("flnet: worker %d profile: %w", cfg.ClientID, err)
+			}
+			reply := &ProfileReply{ClientID: cfg.ClientID, Seconds: time.Since(start).Seconds()}
+			if err := c.send(&Envelope{Type: MsgProfileReply, ProfileReply: reply}); err != nil {
+				return err
+			}
+		case MsgTrain:
+			w, n, err := cfg.Train(env.Train.Round, env.Train.Weights)
+			if err != nil {
+				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+			}
+			w = maskedTrainResult(env.Train, cfg.ClientID, w, n)
+			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n}
+			if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
+				return err
+			}
+		case MsgDone:
+			return nil
+		default:
+			return fmt.Errorf("flnet: worker %d: unexpected message type %d", cfg.ClientID, env.Type)
+		}
+	}
+}

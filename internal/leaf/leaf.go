@@ -1,0 +1,149 @@
+// Package leaf reproduces the LEAF FEMNIST benchmark population the paper
+// uses for its large-scale evaluation (Section 5.2.6): 182 clients (LEAF's
+// 0.05 sampling of FEMNIST), 62 classes, inherently non-IID data with both
+// quantity skew (clients hold very different sample counts) and class/
+// feature skew (each client is one "writer" with a private style), plus the
+// resource heterogeneity overlay the paper adds when extending LEAF into a
+// distributed system.
+//
+// The default training hyperparameters match the paper/LEAF: SGD with
+// learning rate 0.004, batch size 10, 10 clients per round, 1 local epoch,
+// 5 tiers, 2000 rounds.
+package leaf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+// Config describes a LEAF-like FEMNIST population.
+type Config struct {
+	// NumClients is the number of writers; the paper's 0.05 sampling of
+	// FEMNIST yields 182.
+	NumClients int
+	// MeanSamples is the mean per-client training-sample count; actual
+	// counts are lognormal around it (LEAF FEMNIST is heavily skewed).
+	MeanSamples int
+	// SigmaLog is the lognormal shape parameter for sample counts.
+	SigmaLog float64
+	// MinClasses/MaxClasses bound how many of the 62 classes each writer
+	// produces.
+	MinClasses, MaxClasses int
+	// FeatureSkewStd is the per-writer style offset (non-IID features).
+	FeatureSkewStd float64
+	// TestSamples sizes the global held-out test set.
+	TestSamples int
+	// LocalTestMax bounds each client's local test shard.
+	LocalTestMax int
+	// CPUGroups is the resource heterogeneity overlay (uniform-random
+	// assignment, equal counts per hardware type, per the paper).
+	CPUGroups []float64
+	Seed      int64
+}
+
+// Default is the paper-scale configuration (182 clients).
+var Default = Config{
+	NumClients:     182,
+	MeanSamples:    120,
+	SigmaLog:       0.6,
+	MinClasses:     8,
+	MaxClasses:     30,
+	FeatureSkewStd: 0.35,
+	TestSamples:    3100, // ~50 per class
+	LocalTestMax:   60,
+	CPUGroups:      simres.GroupsCIFAR,
+	Seed:           1,
+}
+
+// Population is a materialized LEAF-like federation.
+type Population struct {
+	Clients    []*flcore.Client
+	GlobalTest *dataset.Dataset
+	// Samples[i] is client i's training-sample count (quantity skew).
+	Samples []int
+}
+
+// Build materializes the population: per-writer sample counts, class
+// subsets, feature style offsets, local test shards, and CPU assignment.
+func Build(cfg Config) *Population {
+	if cfg.NumClients <= 0 {
+		panic(fmt.Sprintf("leaf: NumClients = %d", cfg.NumClients))
+	}
+	if cfg.MinClasses < 1 || cfg.MaxClasses > dataset.FEMNISTLike.NumClasses || cfg.MinClasses > cfg.MaxClasses {
+		panic(fmt.Sprintf("leaf: class bounds [%d,%d] invalid", cfg.MinClasses, cfg.MaxClasses))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := dataset.FEMNISTLike
+
+	// Per-client sample counts: lognormal, clipped to [10, 8·mean].
+	mu := math.Log(float64(cfg.MeanSamples)) - cfg.SigmaLog*cfg.SigmaLog/2
+	samples := make([]int, cfg.NumClients)
+	total := 0
+	for i := range samples {
+		n := int(math.Exp(mu + cfg.SigmaLog*rng.NormFloat64()))
+		if n < 10 {
+			n = 10
+		}
+		if max := cfg.MeanSamples * 8; n > max {
+			n = max
+		}
+		samples[i] = n
+		total += n
+	}
+
+	// One global pool large enough for all clients; per-class cursors deal
+	// samples out like LEAF's writer partitioning.
+	pool := dataset.Generate(spec, total+spec.NumClasses, cfg.Seed+100)
+	byClass := pool.ClassIndices()
+	cursor := make([]int, spec.NumClasses)
+	next := func(class int) int {
+		idxs := byClass[class]
+		v := idxs[cursor[class]%len(idxs)]
+		cursor[class]++
+		return v
+	}
+
+	globalTest := dataset.Generate(spec, cfg.TestSamples, cfg.Seed+200)
+
+	cpus := simres.AssignGroupsRandom(cfg.NumClients, cfg.CPUGroups, rng)
+	clients := make([]*flcore.Client, cfg.NumClients)
+	for i := 0; i < cfg.NumClients; i++ {
+		nc := cfg.MinClasses + rng.Intn(cfg.MaxClasses-cfg.MinClasses+1)
+		classes := rng.Perm(spec.NumClasses)[:nc]
+		idx := make([]int, 0, samples[i])
+		for s := 0; s < samples[i]; s++ {
+			idx = append(idx, next(classes[rng.Intn(nc)]))
+		}
+		local := pool.Subset(idx)
+		dataset.ApplyFeatureSkew(local, rng, cfg.FeatureSkewStd)
+		localTest := dataset.TestSubsetForClasses(globalTest, classes, cfg.LocalTestMax, rng)
+		clients[i] = &flcore.Client{ID: i, Train: local, Test: localTest, CPU: cpus[i]}
+	}
+	return &Population{Clients: clients, GlobalTest: globalTest, Samples: samples}
+}
+
+// TrainingConfig returns the LEAF defaults from the paper: SGD lr 0.004,
+// batch 10, 1 local epoch, 10 clients per round.
+func TrainingConfig(rounds int, seed int64, lm simres.LatencyModel, evalEvery int) flcore.Config {
+	return flcore.Config{
+		Rounds:          rounds,
+		ClientsPerRound: 10,
+		LocalEpochs:     1,
+		BatchSize:       10,
+		Seed:            seed,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, dataset.FEMNISTLike.Dim, []int{64}, dataset.FEMNISTLike.NumClasses, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer { return nn.NewSGD(0.004, 0) },
+		Latency:   lm,
+		EvalEvery: evalEvery,
+		EvalBatch: 256,
+		Parallel:  true,
+	}
+}

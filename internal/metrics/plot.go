@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LinePlot renders series as an ASCII scatter/line grid — a terminal
+// rendition of the paper's accuracy-over-rounds figures. Each series gets a
+// distinct glyph; overlapping points show the later series' glyph.
+func LinePlot(title string, series []Series, width, height int) string {
+	if width < 10 {
+		width = 60
+	}
+	if height < 4 {
+		height = 14
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Data bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+			points++
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) {
+				continue
+			}
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			grid[height-1-cy][cx] = g
+		}
+	}
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", minY)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("        +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "        %-*.4g%*.4g\n", width/2, minX, width-width/2, maxX)
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return b.String()
+}

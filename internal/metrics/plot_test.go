@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	s1 := Series{Name: "a", X: []float64{0, 1, 2}, Y: []float64{0, 0.5, 1}}
+	s2 := Series{Name: "b", X: []float64{0, 1, 2}, Y: []float64{1, 0.5, 0}}
+	out := LinePlot("test", []Series{s1, s2}, 40, 10)
+	if !strings.Contains(out, "== test ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing glyphs")
+	}
+	lines := strings.Split(out, "\n")
+	// title + 10 grid rows + axis + labels + 2 legend lines
+	if len(lines) < 14 {
+		t.Fatalf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	out := LinePlot("empty", nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestLinePlotSkipsNaN(t *testing.T) {
+	s := Series{Name: "n", X: []float64{0, 1}, Y: []float64{math.NaN(), 0.5}}
+	out := LinePlot("", []Series{s}, 30, 6)
+	if strings.Count(out, "*") != 2 { // one point + one legend glyph
+		t.Fatalf("NaN handling wrong:\n%s", out)
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	s := Series{Name: "c", X: []float64{1, 1}, Y: []float64{2, 2}}
+	out := LinePlot("", []Series{s}, 30, 6)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("constant series plot broken:\n%s", out)
+	}
+}
+
+func TestLinePlotExtremesOnGrid(t *testing.T) {
+	// Min and max values must land on the bottom and top rows.
+	s := Series{Name: "e", X: []float64{0, 10}, Y: []float64{0, 1}}
+	out := LinePlot("", []Series{s}, 20, 5)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Fatalf("min not on bottom row:\n%s", out)
+	}
+}

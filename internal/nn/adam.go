@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba): per-coordinate first and second
+// moment estimates with bias correction. Not used by the paper's
+// experiments (which use RMSprop and SGD) but provided for downstream
+// users of the library.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	m, v                  [][]float64
+	t                     int
+}
+
+// NewAdam returns Adam with the standard defaults β1=0.9, β2=0.999,
+// ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, p.Size())
+			a.v[i] = make([]float64, p.Size())
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v, g := a.m[i], a.v[i], grads[i].Data
+		for j := range m {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			p.Data[j] -= a.LR * (m[j] / c1) / (math.Sqrt(v[j]/c2) + a.Eps)
+		}
+	}
+}
+
+// Sigmoid applies 1/(1+e^-x) element-wise.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	if train {
+		s.out = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i, o := range s.out.Data {
+		g.Data[i] *= o * (1 - o)
+	}
+	return g
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (s *Sigmoid) Grads() []*tensor.Tensor { return nil }
+
+// Tanh applies tanh element-wise.
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Apply(math.Tanh)
+	if train {
+		t.out = out
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i, o := range t.out.Data {
+		g.Data[i] *= 1 - o*o
+	}
+	return g
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (t *Tanh) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := tensor.FromSlice([]float64{5}, 1)
+	g := tensor.New(1)
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		g.Data[0] = 2 * p.Data[0]
+		opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	}
+	if math.Abs(p.Data[0]) > 0.05 {
+		t.Fatalf("Adam did not converge: %v", p.Data[0])
+	}
+}
+
+func TestAdamBiasCorrection(t *testing.T) {
+	// First step with gradient g moves by ≈ lr·sign(g) thanks to bias
+	// correction (not lr·(1−β1)·g which would be tiny).
+	p := tensor.FromSlice([]float64{0}, 1)
+	g := tensor.FromSlice([]float64{0.001}, 1)
+	opt := NewAdam(0.1)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	if math.Abs(p.Data[0]+0.1) > 0.01 {
+		t.Fatalf("first Adam step = %v, want ≈ -0.1", p.Data[0])
+	}
+}
+
+func TestSigmoidForwardBackward(t *testing.T) {
+	s := NewSigmoid()
+	x := tensor.FromSlice([]float64{0}, 1, 1)
+	y := s.Forward(x, true)
+	if math.Abs(y.Data[0]-0.5) > 1e-12 {
+		t.Fatalf("sigmoid(0) = %v", y.Data[0])
+	}
+	g := s.Backward(tensor.FromSlice([]float64{1}, 1, 1))
+	if math.Abs(g.Data[0]-0.25) > 1e-12 {
+		t.Fatalf("sigmoid'(0) = %v, want 0.25", g.Data[0])
+	}
+}
+
+func TestTanhForwardBackward(t *testing.T) {
+	l := NewTanh()
+	x := tensor.FromSlice([]float64{0, 1}, 1, 2)
+	y := l.Forward(x, true)
+	if y.Data[0] != 0 || math.Abs(y.Data[1]-math.Tanh(1)) > 1e-12 {
+		t.Fatalf("tanh = %v", y.Data)
+	}
+	g := l.Backward(tensor.FromSlice([]float64{1, 1}, 1, 2))
+	if math.Abs(g.Data[0]-1) > 1e-12 {
+		t.Fatalf("tanh'(0) = %v, want 1", g.Data[0])
+	}
+}
+
+func TestSigmoidTanhGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := NewModel(
+		NewDense(rng, 4, 6),
+		NewTanh(),
+		NewDense(rng, 6, 5),
+		NewSigmoid(),
+		NewDense(rng, 5, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 4, 4)
+	numericalGradCheck(t, m, x, []int{0, 1, 2, 1}, 1e-4)
+}
+
+func TestProximalGradientDirection(t *testing.T) {
+	// With zero data gradient, the proximal step moves weights toward ref.
+	p := tensor.FromSlice([]float64{2}, 1)
+	g := tensor.New(1)
+	opt := NewProximal(NewSGD(0.1, 0), 1.0, []float64{0})
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	// grad becomes mu*(2-0)=2; SGD: 2 - 0.1*2 = 1.8
+	if math.Abs(p.Data[0]-1.8) > 1e-12 {
+		t.Fatalf("proximal step = %v, want 1.8", p.Data[0])
+	}
+}
+
+func TestProximalNegativeMuPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mu did not panic")
+		}
+	}()
+	NewProximal(NewSGD(0.1, 0), -1, []float64{0})
+}
+
+func TestProximalZeroMuIsInner(t *testing.T) {
+	p1 := tensor.FromSlice([]float64{1}, 1)
+	p2 := tensor.FromSlice([]float64{1}, 1)
+	g := tensor.FromSlice([]float64{3}, 1)
+	NewSGD(0.1, 0).Step([]*tensor.Tensor{p1}, []*tensor.Tensor{g.Clone()})
+	NewProximal(NewSGD(0.1, 0), 0, []float64{99}).Step([]*tensor.Tensor{p2}, []*tensor.Tensor{g.Clone()})
+	if p1.Data[0] != p2.Data[0] {
+		t.Fatalf("mu=0 proximal %v differs from inner %v", p2.Data[0], p1.Data[0])
+	}
+}

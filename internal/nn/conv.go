@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches, implemented by lowering
+// each batch to a column matrix (im2col) and multiplying against the kernel
+// matrix, the standard CPU formulation.
+type Conv2D struct {
+	InC, OutC      int
+	KH, KW         int
+	Stride, Pad    int
+	W              *tensor.Tensor // (OutC, InC*KH*KW)
+	B              *tensor.Tensor // (OutC)
+	dW, dB         *tensor.Tensor
+	cols           *tensor.Tensor // cached im2col(x) for backward
+	inN, inH, inW  int
+	outH, outW     int
+	lastTrainShape []int
+}
+
+// NewConv2D returns a convolution layer with Glorot-uniform kernels.
+func NewConv2D(rng *rand.Rand, inC, outC, kh, kw, stride, pad int) *Conv2D {
+	if stride < 1 {
+		panic(fmt.Sprintf("nn: conv stride %d < 1", stride))
+	}
+	fanIn := inC * kh * kw
+	fanOut := outC * kh * kw
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride, Pad: pad,
+		W:  tensor.GlorotUniform(rng, fanIn, fanOut, outC, inC*kh*kw),
+		B:  tensor.New(outC),
+		dW: tensor.New(outC, inC*kh*kw),
+		dB: tensor.New(outC),
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D input %v, want (N,%d,H,W)", x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh := tensor.ConvOutSize(h, c.KH, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.KW, c.Stride, c.Pad)
+	cols := tensor.Im2Col(x, c.KH, c.KW, c.Stride, c.Pad) // (N*OH*OW, InC*KH*KW)
+	if train {
+		c.cols = cols
+		c.inN, c.inH, c.inW = n, h, w
+		c.outH, c.outW = oh, ow
+	}
+	// (N*OH*OW, OutC) = cols · Wᵀ
+	flat := tensor.MatMulABT(cols, c.W)
+	for r := 0; r < flat.Dim(0); r++ {
+		row := flat.Data[r*c.OutC : (r+1)*c.OutC]
+		for j, b := range c.B.Data {
+			row[j] += b
+		}
+	}
+	return nhwcToNCHW(flat, n, oh, ow, c.OutC)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2D.Backward before Forward(train=true)")
+	}
+	// grad: (N, OutC, OH, OW) → flat (N*OH*OW, OutC)
+	gflat := nchwToNHWC(grad, c.inN, c.OutC, c.outH, c.outW)
+	// dW = gflatᵀ · cols → (OutC, InC*KH*KW)
+	c.dW = tensor.MatMulATB(gflat, c.cols)
+	c.dB.Zero()
+	for r := 0; r < gflat.Dim(0); r++ {
+		row := gflat.Data[r*c.OutC : (r+1)*c.OutC]
+		for j, g := range row {
+			c.dB.Data[j] += g
+		}
+	}
+	// dcols = gflat · W → scatter back to image space.
+	dcols := tensor.MatMul(gflat, c.W)
+	return tensor.Col2Im(dcols, c.inN, c.InC, c.inH, c.inW, c.KH, c.KW, c.Stride, c.Pad)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// nhwcToNCHW converts a (N*OH*OW, C) activation matrix into (N, C, OH, OW).
+func nhwcToNCHW(flat *tensor.Tensor, n, oh, ow, ch int) *tensor.Tensor {
+	out := tensor.New(n, ch, oh, ow)
+	i := 0
+	for img := 0; img < n; img++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				row := flat.Data[i*ch : (i+1)*ch]
+				for cIdx, v := range row {
+					out.Data[((img*ch+cIdx)*oh+y)*ow+x] = v
+				}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// nchwToNHWC converts a (N, C, OH, OW) tensor into a (N*OH*OW, C) matrix.
+func nchwToNHWC(x *tensor.Tensor, n, ch, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n*oh*ow, ch)
+	i := 0
+	for img := 0; img < n; img++ {
+		for y := 0; y < oh; y++ {
+			for xx := 0; xx < ow; xx++ {
+				row := out.Data[i*ch : (i+1)*ch]
+				for cIdx := 0; cIdx < ch; cIdx++ {
+					row[cIdx] = x.Data[((img*ch+cIdx)*oh+y)*ow+xx]
+				}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool is a 2-D max-pooling layer with a square window.
+type MaxPool struct {
+	Size, Stride int
+	arg          []int
+	inShape      []int
+}
+
+// NewMaxPool returns a max-pooling layer; the paper's CNNs use 2×2.
+func NewMaxPool(size, stride int) *MaxPool {
+	return &MaxPool{Size: size, Stride: stride}
+}
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, m.Size, m.Stride)
+	if train {
+		m.arg = arg
+		m.inShape = append(m.inShape[:0], x.Shape()...)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxUnpool2D(grad, m.arg, m.inShape)
+}
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool) Grads() []*tensor.Tensor { return nil }

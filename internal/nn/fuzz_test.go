@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecodeWeights exercises the weight codec against arbitrary byte
+// strings: it must never panic, and anything it accepts must re-encode to
+// an equivalent buffer.
+func FuzzDecodeWeights(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeWeights(nil))
+	f.Add(EncodeWeights([]float64{1, -2, math.Pi}))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := DecodeWeights(data)
+		if err != nil {
+			return
+		}
+		re := EncodeWeights(w)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode length %d != %d", len(re), len(data))
+		}
+		back, err := DecodeWeights(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		for i := range w {
+			if math.Float64bits(back[i]) != math.Float64bits(w[i]) {
+				t.Fatalf("round trip diverged at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package nn is a from-scratch neural-network substrate: layers (dense,
+// conv2d, maxpool, dropout, relu, flatten), softmax cross-entropy loss,
+// SGD and RMSprop optimizers, sequential models, and weight (de)serialization.
+//
+// It stands in for the TensorFlow training stack the TiFL paper runs on each
+// client: the FL layers (internal/flcore, internal/tier) only ever see a
+// model's flat weight vector and its train/eval entry points, exactly the
+// interface a real FL client exposes to the aggregator.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Layer is one differentiable stage of a sequential model.
+//
+// Forward consumes the previous layer's activation; when train is true the
+// layer may keep whatever state its Backward pass needs (inputs, masks,
+// argmax indices). Backward consumes dLoss/dOutput and returns dLoss/dInput,
+// accumulating parameter gradients internally until the optimizer step.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable tensors (possibly none); Grads
+	// returns the matching gradient tensors in the same order.
+	Params() []*tensor.Tensor
+	Grads() []*tensor.Tensor
+}
+
+// Dense is a fully connected layer computing y = x·W + b for a batch of
+// row vectors x with shape (batch, in).
+type Dense struct {
+	W, B   *tensor.Tensor
+	dW, dB *tensor.Tensor
+	in     *tensor.Tensor // cached input for backward
+}
+
+// NewDense returns a dense layer with Glorot-uniform weights and zero bias.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	return &Dense{
+		W:  tensor.GlorotUniform(rng, in, out, in, out),
+		B:  tensor.New(out),
+		dW: tensor.New(in, out),
+		dB: tensor.New(out),
+	}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		d.in = x
+	}
+	out := tensor.MatMul(x, d.W)
+	cols := d.B.Size()
+	for r := 0; r < out.Dim(0); r++ {
+		row := out.Data[r*cols : (r+1)*cols]
+		for j, b := range d.B.Data {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.in == nil {
+		panic("nn: Dense.Backward before Forward(train=true)")
+	}
+	d.dW = tensor.MatMulATB(d.in, grad)
+	cols := d.B.Size()
+	d.dB.Zero()
+	for r := 0; r < grad.Dim(0); r++ {
+		row := grad.Data[r*cols : (r+1)*cols]
+		for j, g := range row {
+			d.dB.Data[j] += g
+		}
+	}
+	return tensor.MatMulABT(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(out.Data) {
+			r.mask = make([]bool, len(out.Data))
+		}
+		r.mask = r.mask[:len(out.Data)]
+	}
+	for i, v := range out.Data {
+		pos := v > 0
+		if !pos {
+			out.Data[i] = 0
+		}
+		if train {
+			r.mask[i] = pos
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// Dropout zeroes a fraction Rate of activations during training and scales
+// the survivors by 1/(1-Rate) (inverted dropout), so inference needs no
+// rescaling. The paper's CNNs use 0.25 after pooling and 0.5 before the
+// final dense layer.
+type Dropout struct {
+	Rate float64
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout returns a dropout layer driven by rng; rate must be in [0, 1).
+func NewDropout(rng *rand.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %v outside [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		return x
+	}
+	out := x.Clone()
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]float64, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	for i := range out.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+			out.Data[i] *= scale
+		} else {
+			d.mask[i] = 0
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.Rate == 0 {
+		return grad
+	}
+	out := grad.Clone()
+	for i := range out.Data {
+		out.Data[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// Flatten reshapes (N, C, H, W) activations to (N, C·H·W) so convolutional
+// features can feed dense layers.
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = append(f.inShape[:0], x.Shape()...)
+	}
+	n := x.Dim(0)
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Model is a sequential stack of layers trained with softmax cross-entropy.
+// It is the unit the FL system replicates: the aggregator owns one global
+// Model and clients own structurally identical replicas whose weights are
+// overwritten at the start of every round.
+type Model struct {
+	Layers []Layer
+}
+
+// NewModel returns a sequential model over the given layers.
+func NewModel(layers ...Layer) *Model { return &Model{Layers: layers} }
+
+// Forward runs the full stack and returns the logits.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range m.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy loss of logits (N, K)
+// against integer labels, plus dLoss/dLogits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
+	}
+	grad = tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		grow := grad.Data[i*k : (i+1)*k]
+		// log-sum-exp for numerical stability
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			grow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		lbl := labels[i]
+		if lbl < 0 || lbl >= k {
+			panic(fmt.Sprintf("nn: label %d outside [0,%d)", lbl, k))
+		}
+		for j := range grow {
+			grow[j] *= inv
+		}
+		loss += -math.Log(math.Max(grow[lbl], 1e-15))
+		grow[lbl] -= 1
+	}
+	grad.ScaleInPlace(1 / float64(n))
+	return loss / float64(n), grad
+}
+
+// Softmax returns row-wise softmax probabilities of logits.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := logits.Clone()
+	for i := 0; i < n; i++ {
+		row := out.Data[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			row[j] = math.Exp(v - maxv)
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// TrainBatch runs one forward/backward pass on a mini-batch and applies one
+// optimizer step. It returns the batch's mean loss.
+func (m *Model) TrainBatch(x *tensor.Tensor, labels []int, opt Optimizer) float64 {
+	logits := m.Forward(x, true)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	opt.Step(m.Params(), m.Grads())
+	return loss
+}
+
+// Predict returns the argmax class for each row of x.
+func (m *Model) Predict(x *tensor.Tensor) []int {
+	return m.Forward(x, false).ArgMaxRows()
+}
+
+// Evaluate returns accuracy and mean loss of the model on (x, labels),
+// processing in batches of batchSize to bound memory (batchSize ≤ 0 means
+// one batch).
+func (m *Model) Evaluate(x *tensor.Tensor, labels []int, batchSize int) (acc, loss float64) {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	correct := 0
+	totalLoss := 0.0
+	rest := x.Size() / n
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape()[1:]...)
+		batch := tensor.FromSlice(x.Data[lo*rest:hi*rest], shape...)
+		logits := m.Forward(batch, false)
+		l, _ := SoftmaxCrossEntropy(logits, labels[lo:hi])
+		totalLoss += l * float64(hi-lo)
+		for i, p := range logits.ArgMaxRows() {
+			if p == labels[lo+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(n), totalLoss / float64(n)
+}
+
+// Params returns all trainable tensors across layers in a stable order.
+func (m *Model) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient tensors in the same order as Params.
+func (m *Model) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range m.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// NumParams returns the total number of trainable scalars.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// WeightsVector returns a flat copy of all trainable weights. This is the
+// representation exchanged between clients and the aggregator.
+func (m *Model) WeightsVector() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	for _, p := range m.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetWeightsVector overwrites all trainable weights from a flat vector
+// produced by WeightsVector on a structurally identical model.
+func (m *Model) SetWeightsVector(w []float64) {
+	off := 0
+	for _, p := range m.Params() {
+		n := p.Size()
+		if off+n > len(w) {
+			panic(fmt.Sprintf("nn: weight vector too short: have %d, need > %d", len(w), off+n))
+		}
+		copy(p.Data, w[off:off+n])
+		off += n
+	}
+	if off != len(w) {
+		panic(fmt.Sprintf("nn: weight vector length %d, model needs %d", len(w), off))
+	}
+}

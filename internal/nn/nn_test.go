@@ -1,0 +1,407 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := &Dense{
+		W:  tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2),
+		B:  tensor.FromSlice([]float64{10, 20}, 2),
+		dW: tensor.New(2, 2),
+		dB: tensor.New(2),
+	}
+	x := tensor.FromSlice([]float64{1, 1}, 1, 2)
+	y := d.Forward(x, false)
+	if y.Data[0] != 1+3+10 || y.Data[1] != 2+4+20 {
+		t.Fatalf("Dense forward = %v", y.Data)
+	}
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float64{-1, 0, 2}, 1, 3)
+	y := r.Forward(x, true)
+	if y.Data[0] != 0 || y.Data[1] != 0 || y.Data[2] != 2 {
+		t.Fatalf("ReLU forward = %v", y.Data)
+	}
+	g := r.Backward(tensor.FromSlice([]float64{5, 5, 5}, 1, 3))
+	if g.Data[0] != 0 || g.Data[1] != 0 || g.Data[2] != 5 {
+		t.Fatalf("ReLU backward = %v", g.Data)
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout(rand.New(rand.NewSource(1)), 0.5)
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 1, 4)
+	y := d.Forward(x, false)
+	if !y.AllClose(x, 0) {
+		t.Fatal("dropout at eval must be identity")
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewDropout(rng, 0.25)
+	n := 20000
+	x := tensor.Full(1, 1, n)
+	y := d.Forward(x, true)
+	mean := y.Mean()
+	if math.Abs(mean-1) > 0.03 {
+		t.Fatalf("inverted dropout mean = %v, want ≈1", mean)
+	}
+	zeros := 0
+	for _, v := range y.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(n)
+	if math.Abs(frac-0.25) > 0.03 {
+		t.Fatalf("dropped fraction = %v, want ≈0.25", frac)
+	}
+}
+
+func TestDropoutBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dropout rate 1.0 did not panic")
+		}
+	}()
+	NewDropout(rand.New(rand.NewSource(1)), 1.0)
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.RandNormal(rand.New(rand.NewSource(3)), 0, 1, 2, 3, 4, 5)
+	y := f.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 60 {
+		t.Fatalf("Flatten shape = %v", y.Shape())
+	}
+	back := f.Backward(y)
+	if !back.AllClose(x, 0) {
+		t.Fatal("Flatten backward must restore shape and values")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k := 1+r.Intn(5), 2+r.Intn(8)
+		p := Softmax(tensor.RandNormal(r, 0, 3, n, k))
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < k; j++ {
+				v := p.At(i, j)
+				if v < 0 || v > 1 {
+					return false
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCrossEntropyPerfectPrediction(t *testing.T) {
+	logits := tensor.FromSlice([]float64{100, 0, 0}, 1, 3)
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0})
+	if loss > 1e-9 {
+		t.Fatalf("loss of confident correct prediction = %v", loss)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradNumeric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	logits := tensor.RandNormal(rng, 0, 1, 3, 4)
+	labels := []int{1, 3, 0}
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	const h = 1e-6
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + h
+		lp, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig - h
+		lm, _ := SoftmaxCrossEntropy(logits, labels)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-grad.Data[i]) > 1e-5 {
+			t.Fatalf("grad[%d] = %v, numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyBadLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label did not panic")
+		}
+	}()
+	SoftmaxCrossEntropy(tensor.New(1, 3), []int{5})
+}
+
+// numericalGradCheck verifies model end-to-end backward gradients against
+// central differences on every parameter.
+func numericalGradCheck(t *testing.T, m *Model, x *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	logits := m.Forward(x, true)
+	_, grad := SoftmaxCrossEntropy(logits, labels)
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad = m.Layers[i].Backward(grad)
+	}
+	params, grads := m.Params(), m.Grads()
+	const h = 1e-5
+	for pi, p := range params {
+		for j := 0; j < p.Size(); j += 1 + p.Size()/17 { // sample indices
+			orig := p.Data[j]
+			p.Data[j] = orig + h
+			lp, _ := SoftmaxCrossEntropy(m.Forward(x, false), labels)
+			p.Data[j] = orig - h
+			lm, _ := SoftmaxCrossEntropy(m.Forward(x, false), labels)
+			p.Data[j] = orig
+			num := (lp - lm) / (2 * h)
+			got := grads[pi].Data[j]
+			if math.Abs(num-got) > tol*(1+math.Abs(num)) {
+				t.Fatalf("param %d[%d]: analytic %v, numeric %v", pi, j, got, num)
+			}
+		}
+	}
+}
+
+func TestDenseMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, 4, []int{6}, 3, 0)
+	x := tensor.RandNormal(rng, 0, 1, 5, 4)
+	numericalGradCheck(t, m, x, []int{0, 1, 2, 1, 0}, 1e-4)
+}
+
+func TestConvModelGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewModel(
+		NewConv2D(rng, 1, 2, 3, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool(2, 2),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 6, 6)
+	numericalGradCheck(t, m, x, []int{0, 2}, 1e-3)
+}
+
+func TestConv2DMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewConv2D(rng, 2, 3, 3, 3, 1, 1)
+	x := tensor.RandNormal(rng, 0, 1, 1, 2, 5, 5)
+	got := c.Forward(x, false)
+	// Naive direct convolution.
+	for oc := 0; oc < 3; oc++ {
+		for oy := 0; oy < 5; oy++ {
+			for ox := 0; ox < 5; ox++ {
+				s := c.B.Data[oc]
+				for ic := 0; ic < 2; ic++ {
+					for ky := 0; ky < 3; ky++ {
+						for kx := 0; kx < 3; kx++ {
+							iy, ix := oy-1+ky, ox-1+kx
+							if iy < 0 || iy >= 5 || ix < 0 || ix >= 5 {
+								continue
+							}
+							s += x.At(0, ic, iy, ix) * c.W.At(oc, (ic*3+ky)*3+kx)
+						}
+					}
+				}
+				if math.Abs(got.At(0, oc, oy, ox)-s) > 1e-9 {
+					t.Fatalf("conv mismatch at (%d,%d,%d): %v vs %v", oc, oy, ox, got.At(0, oc, oy, ox), s)
+				}
+			}
+		}
+	}
+}
+
+func TestModelLearnsToyProblem(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMLP(rng, 2, []int{16}, 2, 0)
+	// Two Gaussian blobs.
+	n := 200
+	x := tensor.New(n, 2)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 2
+		labels[i] = c
+		cx := float64(2*c) - 1
+		x.Set(cx+0.3*rng.NormFloat64(), i, 0)
+		x.Set(cx+0.3*rng.NormFloat64(), i, 1)
+	}
+	opt := NewSGD(0.1, 0.9)
+	for epoch := 0; epoch < 30; epoch++ {
+		m.TrainBatch(x, labels, opt)
+	}
+	acc, _ := m.Evaluate(x, labels, 64)
+	if acc < 0.95 {
+		t.Fatalf("toy accuracy = %v, want ≥0.95", acc)
+	}
+}
+
+func TestEvaluateBatchedMatchesWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, 3, []int{5}, 4, 0)
+	x := tensor.RandNormal(rng, 0, 1, 17, 3)
+	labels := make([]int, 17)
+	for i := range labels {
+		labels[i] = rng.Intn(4)
+	}
+	a1, l1 := m.Evaluate(x, labels, 0)
+	a2, l2 := m.Evaluate(x, labels, 4)
+	if a1 != a2 || math.Abs(l1-l2) > 1e-9 {
+		t.Fatalf("batched eval (%v,%v) != whole (%v,%v)", a2, l2, a1, l1)
+	}
+}
+
+func TestWeightsVectorRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := NewMLP(rng, 4, []int{8, 8}, 3, 0)
+	b := NewMLP(rand.New(rand.NewSource(11)), 4, []int{8, 8}, 3, 0)
+	w := a.WeightsVector()
+	if len(w) != a.NumParams() {
+		t.Fatalf("WeightsVector length %d, NumParams %d", len(w), a.NumParams())
+	}
+	b.SetWeightsVector(w)
+	x := tensor.RandNormal(rng, 0, 1, 3, 4)
+	if !a.Forward(x, false).AllClose(b.Forward(x, false), 1e-12) {
+		t.Fatal("models disagree after weight transfer")
+	}
+}
+
+func TestSetWeightsVectorLengthMismatchPanics(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(12)), 2, nil, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short weight vector did not panic")
+		}
+	}()
+	m.SetWeightsVector([]float64{1, 2, 3})
+}
+
+func TestSGDStepDirection(t *testing.T) {
+	p := tensor.FromSlice([]float64{1}, 1)
+	g := tensor.FromSlice([]float64{2}, 1)
+	NewSGD(0.5, 0).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	if p.Data[0] != 0 {
+		t.Fatalf("SGD step: %v, want 0", p.Data[0])
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := tensor.FromSlice([]float64{0}, 1)
+	g := tensor.FromSlice([]float64{1}, 1)
+	opt := NewSGD(0.1, 0.9)
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}) // v=-0.1, p=-0.1
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}) // v=-0.19, p=-0.29
+	if math.Abs(p.Data[0]+0.29) > 1e-12 {
+		t.Fatalf("momentum trajectory = %v, want -0.29", p.Data[0])
+	}
+}
+
+func TestRMSpropConvergesOnQuadratic(t *testing.T) {
+	p := tensor.FromSlice([]float64{5}, 1)
+	g := tensor.New(1)
+	opt := NewRMSprop(0.05, 0)
+	for i := 0; i < 500; i++ {
+		g.Data[0] = 2 * p.Data[0] // d/dx x² = 2x
+		opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	}
+	if math.Abs(p.Data[0]) > 0.05 {
+		t.Fatalf("RMSprop did not converge: x = %v", p.Data[0])
+	}
+}
+
+func TestRMSpropDecay(t *testing.T) {
+	opt := NewRMSprop(0.01, 0.995)
+	opt.DecayLR()
+	opt.DecayLR()
+	want := 0.01 * 0.995 * 0.995
+	if math.Abs(opt.LR-want) > 1e-15 {
+		t.Fatalf("LR after two decays = %v, want %v", opt.LR, want)
+	}
+}
+
+func TestBuilderShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mnist := NewPaperMNISTCNN(rng, 28, 28, 1, 10)
+	x := tensor.RandNormal(rng, 0, 1, 2, 1, 28, 28)
+	out := mnist.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("MNIST CNN output shape = %v", out.Shape())
+	}
+	cifar := NewPaperCIFARCNN(rng, 32, 32, 3, 10)
+	xc := tensor.RandNormal(rng, 0, 1, 1, 3, 32, 32)
+	outc := cifar.Forward(xc, false)
+	if outc.Dim(0) != 1 || outc.Dim(1) != 10 {
+		t.Fatalf("CIFAR CNN output shape = %v", outc.Shape())
+	}
+}
+
+func TestLogisticBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	m := NewLogistic(rng, 5, 3)
+	if m.NumParams() != 5*3+3 {
+		t.Fatalf("logistic params = %d", m.NumParams())
+	}
+}
+
+func TestEncodeDecodeWeights(t *testing.T) {
+	w := []float64{0, 1.5, -2.25, math.Pi}
+	got, err := DecodeWeights(EncodeWeights(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if got[i] != v {
+			t.Fatalf("round trip = %v, want %v", got, w)
+		}
+	}
+}
+
+func TestDecodeWeightsErrors(t *testing.T) {
+	if _, err := DecodeWeights([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer must error")
+	}
+	buf := EncodeWeights([]float64{1})
+	buf[0] ^= 0xFF
+	if _, err := DecodeWeights(buf); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	buf2 := EncodeWeights([]float64{1, 2})
+	if _, err := DecodeWeights(buf2[:len(buf2)-1]); err == nil {
+		t.Fatal("truncated buffer must error")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary weight vectors.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(w []float64) bool {
+		got, err := DecodeWeights(EncodeWeights(w))
+		if err != nil || len(got) != len(w) {
+			return false
+		}
+		for i := range w {
+			if math.Float64bits(got[i]) != math.Float64bits(w[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their gradients.
+type Optimizer interface {
+	Step(params, grads []*tensor.Tensor)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      [][]float64
+}
+
+// NewSGD returns an SGD optimizer; the LEAF FEMNIST default in the paper is
+// lr=0.004 with no momentum.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	if s.Momentum == 0 {
+		for i, p := range params {
+			p.AxpyInPlace(-s.LR, grads[i])
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, p.Size())
+		}
+	}
+	for i, p := range params {
+		v := s.vel[i]
+		g := grads[i].Data
+		for j := range v {
+			v[j] = s.Momentum*v[j] - s.LR*g[j]
+			p.Data[j] += v[j]
+		}
+	}
+}
+
+// RMSprop is the optimizer used for the paper's synthetic-dataset
+// experiments: initial learning rate 0.01 with multiplicative decay 0.995
+// applied once per local training pass (see DecayLR).
+type RMSprop struct {
+	LR    float64 // current learning rate
+	Rho   float64 // gradient second-moment smoothing, typically 0.9
+	Eps   float64 // numerical stabilizer
+	Decay float64 // multiplicative LR decay factor, e.g. 0.995
+	cache [][]float64
+}
+
+// NewRMSprop returns an RMSprop optimizer with the paper's hyperparameters
+// (rho 0.9, eps 1e-7) at the given initial learning rate and decay.
+func NewRMSprop(lr, decay float64) *RMSprop {
+	return &RMSprop{LR: lr, Rho: 0.9, Eps: 1e-7, Decay: decay}
+}
+
+// Step implements Optimizer.
+func (r *RMSprop) Step(params, grads []*tensor.Tensor) {
+	if r.cache == nil {
+		r.cache = make([][]float64, len(params))
+		for i, p := range params {
+			r.cache[i] = make([]float64, p.Size())
+		}
+	}
+	for i, p := range params {
+		c := r.cache[i]
+		g := grads[i].Data
+		for j := range c {
+			c[j] = r.Rho*c[j] + (1-r.Rho)*g[j]*g[j]
+			p.Data[j] -= r.LR * g[j] / (math.Sqrt(c[j]) + r.Eps)
+		}
+	}
+}
+
+// DecayLR applies one multiplicative decay step (LR *= Decay). The FL round
+// loop calls this once per round, matching the paper's "initial learning
+// rate 0.01 and decay 0.995".
+func (r *RMSprop) DecayLR() {
+	if r.Decay > 0 {
+		r.LR *= r.Decay
+	}
+}

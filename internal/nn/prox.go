@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Proximal wraps an optimizer with FedProx's proximal term (Li et al.,
+// "Federated Optimization in Heterogeneous Networks" — reference [23] of
+// the TiFL paper): the local objective gains μ/2·‖w − w_global‖², i.e.
+// every gradient gets μ·(w − w_global) added before the inner step. The
+// reference weights are the round's global model, so local updates are
+// pulled back toward it, which is FedProx's defence against client drift
+// under heterogeneity.
+type Proximal struct {
+	Inner Optimizer
+	Mu    float64
+	ref   []float64
+}
+
+// NewProximal wraps inner with a proximal term of strength mu anchored at
+// the flat reference weight vector ref (a copy is taken).
+func NewProximal(inner Optimizer, mu float64, ref []float64) *Proximal {
+	if mu < 0 {
+		panic(fmt.Sprintf("nn: negative proximal mu %v", mu))
+	}
+	return &Proximal{Inner: inner, Mu: mu, ref: append([]float64(nil), ref...)}
+}
+
+// Step implements Optimizer: grads += μ(w − ref), then the inner step.
+func (p *Proximal) Step(params, grads []*tensor.Tensor) {
+	off := 0
+	for i, pt := range params {
+		g := grads[i].Data
+		for j, w := range pt.Data {
+			g[j] += p.Mu * (w - p.ref[off+j])
+		}
+		off += pt.Size()
+	}
+	p.Inner.Step(params, grads)
+}

@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// weightsMagic guards against decoding garbage as a weight vector.
+const weightsMagic uint32 = 0x7F1F_0001
+
+// EncodeWeights serializes a flat weight vector to a compact binary form
+// (magic, count, little-endian float64s). This is the wire format used by
+// internal/flnet between clients and aggregators.
+func EncodeWeights(w []float64) []byte {
+	buf := make([]byte, 8+8*len(w))
+	binary.LittleEndian.PutUint32(buf[0:4], weightsMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(w)))
+	for i, v := range w {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DecodeWeights parses a buffer produced by EncodeWeights.
+func DecodeWeights(buf []byte) ([]float64, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("nn: weight buffer too short (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != weightsMagic {
+		return nil, fmt.Errorf("nn: bad weight buffer magic")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if len(buf) != 8+8*n {
+		return nil, fmt.Errorf("nn: weight buffer length %d, want %d for %d weights", len(buf), 8+8*n, n)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8+8*i:]))
+	}
+	return w, nil
+}

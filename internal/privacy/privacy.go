@@ -1,0 +1,149 @@
+// Package privacy implements the differential-privacy compatibility
+// analysis of TiFL (Section 4.6) plus the client-side mechanisms it
+// presumes: L2 update clipping and the Gaussian mechanism for client-level
+// DP-FedAvg.
+//
+// The paper's argument: if each client's local training round is (ε, δ)-DP,
+// then selecting a random subset each round *amplifies* the guarantee —
+// uniform selection of |C| from |K| gives (O(qε), qδ) with q = |C|/|K|;
+// tiered selection gives (O(q_max·ε), q_max·δ) where
+// q_j = (θ_j / n_tiers) · |C| / |n_j| is tier j's per-client sampling rate
+// and q_max is the largest across tiers. Both are implemented here exactly
+// as stated so experiments can report per-policy privacy budgets.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Guarantee is an (ε, δ) differential-privacy guarantee.
+type Guarantee struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// String renders the guarantee like "(0.50, 1.0e-05)-DP".
+func (g Guarantee) String() string {
+	return fmt.Sprintf("(%.4g, %.3g)-DP", g.Epsilon, g.Delta)
+}
+
+// AmplifyUniform applies subsampling amplification for vanilla FL's uniform
+// client selection: q = |C| / |K|, yielding (qε, qδ) per round (we report
+// the standard first-order bound; the paper writes O(qε)).
+func AmplifyUniform(base Guarantee, clientsPerRound, totalClients int) Guarantee {
+	if clientsPerRound <= 0 || totalClients <= 0 || clientsPerRound > totalClients {
+		panic(fmt.Sprintf("privacy: invalid selection %d of %d", clientsPerRound, totalClients))
+	}
+	q := float64(clientsPerRound) / float64(totalClients)
+	return Guarantee{Epsilon: q * base.Epsilon, Delta: q * base.Delta}
+}
+
+// TierSamplingRates returns each tier's per-client sampling rate
+// q_j = (θ_j / n_tiers) · |C| / |n_j| from Section 4.6, where θ_j are the
+// tier selection weights (θ_j/n_tiers is the probability tier j is chosen),
+// tierSizes are the per-tier client counts |n_j|, and clientsPerRound is
+// |C|.
+func TierSamplingRates(thetas []float64, tierSizes []int, clientsPerRound int) []float64 {
+	if len(thetas) != len(tierSizes) {
+		panic(fmt.Sprintf("privacy: %d weights vs %d tier sizes", len(thetas), len(tierSizes)))
+	}
+	n := float64(len(thetas))
+	out := make([]float64, len(thetas))
+	for j, th := range thetas {
+		if tierSizes[j] <= 0 {
+			panic(fmt.Sprintf("privacy: tier %d has size %d", j, tierSizes[j]))
+		}
+		q := (th / n) * float64(clientsPerRound) / float64(tierSizes[j])
+		if q > 1 {
+			q = 1 // a client cannot be sampled more than surely
+		}
+		out[j] = q
+	}
+	return out
+}
+
+// ThetasFromProbs converts a tier-selection probability vector (summing to
+// 1) to the paper's θ weights, which satisfy P(tier j) = θ_j / n_tiers.
+func ThetasFromProbs(probs []float64) []float64 {
+	n := float64(len(probs))
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		out[i] = p * n
+	}
+	return out
+}
+
+// AmplifyTiered applies subsampling amplification under tier-based
+// selection: the guarantee is governed by the worst (largest) per-client
+// sampling rate across tiers, q_max, yielding (q_max·ε, q_max·δ).
+func AmplifyTiered(base Guarantee, thetas []float64, tierSizes []int, clientsPerRound int) (Guarantee, float64) {
+	qs := TierSamplingRates(thetas, tierSizes, clientsPerRound)
+	qmax := 0.0
+	for _, q := range qs {
+		if q > qmax {
+			qmax = q
+		}
+	}
+	return Guarantee{Epsilon: qmax * base.Epsilon, Delta: qmax * base.Delta}, qmax
+}
+
+// ComposeRounds applies basic sequential composition over R rounds:
+// (Rε, Rδ). Conservative but sufficient for reporting budget growth.
+func ComposeRounds(per Guarantee, rounds int) Guarantee {
+	if rounds < 0 {
+		panic(fmt.Sprintf("privacy: negative rounds %d", rounds))
+	}
+	return Guarantee{Epsilon: float64(rounds) * per.Epsilon, Delta: float64(rounds) * per.Delta}
+}
+
+// ClipL2 scales update down to L2 norm `clip` if it exceeds it, in place,
+// and returns the pre-clip norm. Clipping bounds each client's sensitivity,
+// the prerequisite for the Gaussian mechanism.
+func ClipL2(update []float64, clip float64) float64 {
+	if clip <= 0 {
+		panic(fmt.Sprintf("privacy: clip bound %v must be positive", clip))
+	}
+	s := 0.0
+	for _, v := range update {
+		s += v * v
+	}
+	norm := math.Sqrt(s)
+	if norm > clip {
+		scale := clip / norm
+		for i := range update {
+			update[i] *= scale
+		}
+	}
+	return norm
+}
+
+// GaussianSigma returns the noise multiplier σ that makes one release of an
+// L2-sensitivity-`clip` quantity (ε, δ)-DP via the Gaussian mechanism:
+// σ = clip·√(2 ln(1.25/δ))/ε (the classic analytic bound, valid for ε ≤ 1).
+func GaussianSigma(clip float64, g Guarantee) float64 {
+	if g.Epsilon <= 0 || g.Delta <= 0 || g.Delta >= 1 {
+		panic(fmt.Sprintf("privacy: invalid guarantee %+v", g))
+	}
+	return clip * math.Sqrt(2*math.Log(1.25/g.Delta)) / g.Epsilon
+}
+
+// AddGaussianNoise perturbs update in place with N(0, σ²) noise per
+// coordinate using rng.
+func AddGaussianNoise(update []float64, sigma float64, rng *rand.Rand) {
+	if sigma < 0 {
+		panic(fmt.Sprintf("privacy: negative sigma %v", sigma))
+	}
+	for i := range update {
+		update[i] += sigma * rng.NormFloat64()
+	}
+}
+
+// PrivatizeUpdate clips update to L2 norm clip and adds Gaussian noise
+// calibrated to make the release (ε, δ)-DP, in place — one client's local
+// privacy step in client-level DP-FedAvg.
+func PrivatizeUpdate(update []float64, clip float64, g Guarantee, rng *rand.Rand) {
+	ClipL2(update, clip)
+	AddGaussianNoise(update, GaussianSigma(clip, g), rng)
+}

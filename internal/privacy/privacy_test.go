@@ -1,0 +1,207 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAmplifyUniform(t *testing.T) {
+	base := Guarantee{Epsilon: 1.0, Delta: 1e-5}
+	// Paper setting: |C|=5 of |K|=50 → q = 0.1.
+	got := AmplifyUniform(base, 5, 50)
+	if math.Abs(got.Epsilon-0.1) > 1e-12 || math.Abs(got.Delta-1e-6) > 1e-18 {
+		t.Fatalf("amplified = %+v", got)
+	}
+}
+
+func TestAmplifyUniformInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("selecting 10 of 5 did not panic")
+		}
+	}()
+	AmplifyUniform(Guarantee{1, 1e-5}, 10, 5)
+}
+
+func TestTierSamplingRates(t *testing.T) {
+	// 5 tiers of 10 clients, uniform weights θ=1, |C|=5:
+	// q_j = (1/5)·5/10 = 0.1 per tier.
+	thetas := []float64{1, 1, 1, 1, 1}
+	sizes := []int{10, 10, 10, 10, 10}
+	qs := TierSamplingRates(thetas, sizes, 5)
+	for j, q := range qs {
+		if math.Abs(q-0.1) > 1e-12 {
+			t.Fatalf("q[%d] = %v, want 0.1", j, q)
+		}
+	}
+}
+
+func TestTierSamplingRatesSkewed(t *testing.T) {
+	// A tier picked more often (θ=3) with fewer members has a higher rate.
+	qs := TierSamplingRates([]float64{3, 1}, []int{5, 20}, 4)
+	if qs[0] <= qs[1] {
+		t.Fatalf("hot small tier rate %v should exceed cold big tier %v", qs[0], qs[1])
+	}
+}
+
+func TestTierSamplingRateCapped(t *testing.T) {
+	qs := TierSamplingRates([]float64{10}, []int{2}, 10)
+	if qs[0] > 1 {
+		t.Fatalf("sampling rate %v exceeds 1", qs[0])
+	}
+}
+
+func TestAmplifyTieredUsesQmax(t *testing.T) {
+	base := Guarantee{Epsilon: 2, Delta: 1e-4}
+	g, qmax := AmplifyTiered(base, []float64{3, 1}, []int{5, 20}, 4)
+	wantQ := (3.0 / 2.0) * 4.0 / 5.0
+	if wantQ > 1 {
+		wantQ = 1
+	}
+	if math.Abs(qmax-wantQ) > 1e-12 {
+		t.Fatalf("qmax = %v, want %v", qmax, wantQ)
+	}
+	if math.Abs(g.Epsilon-qmax*2) > 1e-12 {
+		t.Fatalf("epsilon = %v", g.Epsilon)
+	}
+}
+
+func TestUniformTieringMatchesVanillaAmplification(t *testing.T) {
+	// Sanity check of the paper's claim: with equal tier weights and equal
+	// tier sizes the tiered guarantee equals the uniform-selection one.
+	base := Guarantee{Epsilon: 1, Delta: 1e-5}
+	uni := AmplifyUniform(base, 5, 50)
+	tiered, _ := AmplifyTiered(base, []float64{1, 1, 1, 1, 1}, []int{10, 10, 10, 10, 10}, 5)
+	if math.Abs(uni.Epsilon-tiered.Epsilon) > 1e-12 {
+		t.Fatalf("uniform %v vs tiered %v", uni.Epsilon, tiered.Epsilon)
+	}
+}
+
+func TestComposeRounds(t *testing.T) {
+	g := ComposeRounds(Guarantee{0.1, 1e-6}, 500)
+	if math.Abs(g.Epsilon-50) > 1e-9 || math.Abs(g.Delta-5e-4) > 1e-12 {
+		t.Fatalf("composed = %+v", g)
+	}
+}
+
+func TestClipL2(t *testing.T) {
+	u := []float64{3, 4} // norm 5
+	norm := ClipL2(u, 1)
+	if norm != 5 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	got := math.Hypot(u[0], u[1])
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v", got)
+	}
+	// Within bound: untouched.
+	v := []float64{0.3, 0.4}
+	ClipL2(v, 1)
+	if v[0] != 0.3 || v[1] != 0.4 {
+		t.Fatalf("in-bound vector modified: %v", v)
+	}
+}
+
+// Property: after ClipL2 the norm never exceeds the bound, and direction is
+// preserved.
+func TestClipL2Property(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		u := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range u {
+			u[i] = r.NormFloat64() * 10
+			orig[i] = u[i]
+		}
+		clip := 0.1 + r.Float64()*5
+		ClipL2(u, clip)
+		s, dot, so := 0.0, 0.0, 0.0
+		for i := range u {
+			s += u[i] * u[i]
+			dot += u[i] * orig[i]
+			so += orig[i] * orig[i]
+		}
+		if math.Sqrt(s) > clip*(1+1e-9) {
+			return false
+		}
+		return dot >= -1e-12 && dot*dot >= s*so*(1-1e-9) // parallel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianSigmaScaling(t *testing.T) {
+	g := Guarantee{Epsilon: 1, Delta: 1e-5}
+	s1 := GaussianSigma(1, g)
+	if s2 := GaussianSigma(2, g); math.Abs(s2-2*s1) > 1e-12 {
+		t.Fatalf("sigma not linear in clip: %v vs %v", s2, 2*s1)
+	}
+	tight := GaussianSigma(1, Guarantee{Epsilon: 0.5, Delta: 1e-5})
+	if tight <= s1 {
+		t.Fatal("smaller epsilon must need more noise")
+	}
+}
+
+func TestAddGaussianNoiseStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	u := make([]float64, n)
+	AddGaussianNoise(u, 2.0, rng)
+	mean, varSum := 0.0, 0.0
+	for _, v := range u {
+		mean += v
+	}
+	mean /= float64(n)
+	for _, v := range u {
+		varSum += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(varSum / float64(n))
+	if math.Abs(mean) > 0.05 || math.Abs(sd-2) > 0.05 {
+		t.Fatalf("noise stats mean %v sd %v, want 0 and 2", mean, sd)
+	}
+}
+
+func TestPrivatizeUpdateBoundsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u := []float64{100, 0, 0}
+	PrivatizeUpdate(u, 1, Guarantee{Epsilon: 1, Delta: 1e-5}, rng)
+	// The raw signal (norm 100) must have been clipped to ≤1 before noise;
+	// with sigma ≈ 4.84 the result stays in a modest range w.h.p.
+	norm := math.Sqrt(u[0]*u[0] + u[1]*u[1] + u[2]*u[2])
+	if norm > 30 {
+		t.Fatalf("privatized norm %v suggests clipping failed", norm)
+	}
+}
+
+func TestGuaranteeString(t *testing.T) {
+	s := Guarantee{Epsilon: 0.5, Delta: 1e-5}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	cases := []func(){
+		func() { TierSamplingRates([]float64{1}, []int{1, 2}, 1) },
+		func() { TierSamplingRates([]float64{1}, []int{0}, 1) },
+		func() { ComposeRounds(Guarantee{1, 1e-5}, -1) },
+		func() { ClipL2([]float64{1}, 0) },
+		func() { GaussianSigma(1, Guarantee{0, 1e-5}) },
+		func() { GaussianSigma(1, Guarantee{1, 0}) },
+		func() { AddGaussianNoise([]float64{1}, -1, rand.New(rand.NewSource(1))) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

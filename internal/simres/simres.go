@@ -1,0 +1,134 @@
+// Package simres models the heterogeneous client resources of the TiFL
+// testbed: CPU allocations per client group, a deterministic latency model
+// mapping (CPU share, samples trained) to response latency, and a virtual
+// clock that accumulates simulated training time.
+//
+// The paper's testbed pins each client group to a CPU fraction (e.g. 4 / 2 /
+// 1 / 0.5 / 0.1 CPUs for CIFAR-10) and measures wall-clock response latency.
+// Here latency is computed from the same inputs that drive the real number —
+// samples × per-sample cost / CPU share + communication overhead + bounded
+// jitter — so the quantities the paper reports (per-round time = max over
+// selected clients, Eq. 1; total time = Σ round times) reproduce with the
+// same ratios without needing a cluster.
+package simres
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CPU allocations per client group from Section 5.1 of the paper.
+var (
+	// GroupsMNIST: MNIST and Fashion-MNIST clients get 2, 1, 0.75, 0.5,
+	// 0.25 CPUs per group.
+	GroupsMNIST = []float64{2, 1, 0.75, 0.5, 0.25}
+	// GroupsCIFAR: CIFAR-10 and FEMNIST clients get 4, 2, 1, 0.5, 0.1 CPUs.
+	GroupsCIFAR = []float64{4, 2, 1, 0.5, 0.1}
+	// GroupsCaseStudy: the Section 3 heterogeneity case study uses
+	// 4, 2, 1, 1/3, 1/5 CPUs.
+	GroupsCaseStudy = []float64{4, 2, 1, 1.0 / 3, 1.0 / 5}
+)
+
+// LatencyModel converts a client's resources and workload into a response
+// latency in (simulated) seconds.
+type LatencyModel struct {
+	// CostPerSample is single-CPU compute seconds per trained sample.
+	CostPerSample float64
+	// CommLatency is the fixed per-round communication overhead in seconds
+	// (model download + upload).
+	CommLatency float64
+	// CommPerParam adds model-size-dependent transfer time: seconds per
+	// model parameter (down + up) at bandwidth scale 1.0. Zero disables
+	// size-dependent communication (the calibrated default).
+	CommPerParam float64
+	// JitterFrac adds uniform multiplicative noise in
+	// [1-JitterFrac, 1+JitterFrac]; real clients never produce identical
+	// latencies twice.
+	JitterFrac float64
+}
+
+// DefaultModel is calibrated so the Fig. 1a grid (500–5000 samples on
+// 4–0.2 CPUs) spans roughly 2–250 s/round like the paper's log-scale plot.
+var DefaultModel = LatencyModel{CostPerSample: 0.01, CommLatency: 0.5, JitterFrac: 0.05}
+
+// Latency returns the response latency for one training round on a client
+// with the given CPU share training `samples` samples for `epochs` local
+// epochs. rng supplies jitter; pass nil for a deterministic result.
+func (m LatencyModel) Latency(cpu float64, samples, epochs int, rng *rand.Rand) float64 {
+	return m.LatencyFull(cpu, samples, epochs, 0, 1, rng)
+}
+
+// LatencyFull extends Latency with model-size-dependent communication:
+// params is the model's parameter count and bandwidth the client's relative
+// link speed (1.0 nominal, 0.1 a 10x slower link; ≤0 treated as 1.0). The
+// paper's resource heterogeneity covers both "computation and communication
+// capacity"; CPU share drives the first term and bandwidth the second.
+func (m LatencyModel) LatencyFull(cpu float64, samples, epochs, params int, bandwidth float64, rng *rand.Rand) float64 {
+	if cpu <= 0 {
+		panic(fmt.Sprintf("simres: cpu share %v must be positive", cpu))
+	}
+	if bandwidth <= 0 {
+		bandwidth = 1
+	}
+	compute := m.CostPerSample * float64(samples*epochs) / cpu
+	comm := m.CommLatency + m.CommPerParam*float64(params)/bandwidth
+	lat := compute + comm
+	if m.JitterFrac > 0 && rng != nil {
+		lat *= 1 + m.JitterFrac*(2*rng.Float64()-1)
+	}
+	return lat
+}
+
+// AssignGroups splits n clients into len(cpus) equal, contiguous groups and
+// returns each client's CPU share: clients [0, n/g) get cpus[0], and so on.
+// This mirrors the paper's "5 groups with equal clients per group".
+func AssignGroups(n int, cpus []float64) []float64 {
+	g := len(cpus)
+	if g == 0 || n%g != 0 {
+		panic(fmt.Sprintf("simres: %d clients not divisible into %d groups", n, g))
+	}
+	out := make([]float64, n)
+	per := n / g
+	for i := range out {
+		out[i] = cpus[i/per]
+	}
+	return out
+}
+
+// AssignGroupsRandom assigns each of n clients a CPU share drawn uniformly
+// from cpus, the scheme the paper uses when extending LEAF ("resource
+// assignment ... through uniform random distribution resulting in equal
+// number of clients per hardware type" — we shuffle a balanced assignment).
+func AssignGroupsRandom(n int, cpus []float64, rng *rand.Rand) []float64 {
+	g := len(cpus)
+	if g == 0 {
+		panic("simres: no CPU groups")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = cpus[i%g] // balanced counts per hardware type
+	}
+	rng.Shuffle(n, func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Clock is a virtual clock measuring simulated seconds of federated
+// training. The engine advances it by each round's latency (the max over
+// selected clients, Eq. 1 in the paper).
+type Clock struct {
+	now float64
+}
+
+// Now returns the current simulated time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds; d must be non-negative.
+func (c *Clock) Advance(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("simres: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }

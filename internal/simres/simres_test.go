@@ -1,0 +1,157 @@
+package simres
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyScalesWithWork(t *testing.T) {
+	m := LatencyModel{CostPerSample: 0.01, CommLatency: 0}
+	base := m.Latency(1, 100, 1, nil)
+	if got := m.Latency(1, 200, 1, nil); math.Abs(got-2*base) > 1e-12 {
+		t.Fatalf("doubling samples: %v, want %v", got, 2*base)
+	}
+	if got := m.Latency(1, 100, 3, nil); math.Abs(got-3*base) > 1e-12 {
+		t.Fatalf("tripling epochs: %v, want %v", got, 3*base)
+	}
+	if got := m.Latency(2, 100, 1, nil); math.Abs(got-base/2) > 1e-12 {
+		t.Fatalf("doubling CPU: %v, want %v", got, base/2)
+	}
+}
+
+func TestLatencyCommFloor(t *testing.T) {
+	m := LatencyModel{CostPerSample: 0, CommLatency: 0.7}
+	if got := m.Latency(4, 1000, 1, nil); got != 0.7 {
+		t.Fatalf("comm-only latency = %v", got)
+	}
+}
+
+func TestLatencyJitterBounded(t *testing.T) {
+	m := LatencyModel{CostPerSample: 0.01, CommLatency: 0.5, JitterFrac: 0.05}
+	rng := rand.New(rand.NewSource(1))
+	det := m.Latency(1, 500, 1, nil)
+	for i := 0; i < 200; i++ {
+		got := m.Latency(1, 500, 1, rng)
+		if got < det*0.95-1e-9 || got > det*1.05+1e-9 {
+			t.Fatalf("jittered latency %v outside ±5%% of %v", got, det)
+		}
+	}
+}
+
+func TestLatencyBadCPUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero CPU did not panic")
+		}
+	}()
+	DefaultModel.Latency(0, 10, 1, nil)
+}
+
+func TestPaperCPUGroupRatios(t *testing.T) {
+	// The CIFAR group spread (4 vs 0.1 CPUs) must produce a 40x latency
+	// spread for equal data — this drives the paper's ~11x fast-vs-vanilla
+	// training-time gap.
+	m := LatencyModel{CostPerSample: 0.01, CommLatency: 0}
+	fast := m.Latency(GroupsCIFAR[0], 1000, 1, nil)
+	slow := m.Latency(GroupsCIFAR[4], 1000, 1, nil)
+	if math.Abs(slow/fast-40) > 1e-9 {
+		t.Fatalf("latency spread = %v, want 40", slow/fast)
+	}
+}
+
+func TestAssignGroups(t *testing.T) {
+	got := AssignGroups(10, []float64{4, 2, 1, 0.5, 0.1})
+	if len(got) != 10 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0] != 4 || got[1] != 4 || got[2] != 2 || got[9] != 0.1 {
+		t.Fatalf("assignment = %v", got)
+	}
+}
+
+func TestAssignGroupsIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("indivisible group assignment did not panic")
+		}
+	}()
+	AssignGroups(7, []float64{1, 2})
+}
+
+func TestAssignGroupsRandomBalanced(t *testing.T) {
+	cpus := []float64{4, 2, 1, 0.5, 0.1}
+	got := AssignGroupsRandom(100, cpus, rand.New(rand.NewSource(1)))
+	counts := map[float64]int{}
+	for _, c := range got {
+		counts[c]++
+	}
+	for _, c := range cpus {
+		if counts[c] != 20 {
+			t.Fatalf("cpu %v assigned %d times, want 20", c, counts[c])
+		}
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	c.Advance(1.5)
+	c.Advance(2.5)
+	if c.Now() != 4 {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestLatencyFullCommScaling(t *testing.T) {
+	m := LatencyModel{CostPerSample: 0, CommLatency: 0.5, CommPerParam: 1e-5}
+	base := m.LatencyFull(1, 0, 1, 100000, 1, nil) // 0.5 + 1.0
+	if math.Abs(base-1.5) > 1e-12 {
+		t.Fatalf("comm latency = %v, want 1.5", base)
+	}
+	slowLink := m.LatencyFull(1, 0, 1, 100000, 0.1, nil) // 0.5 + 10
+	if math.Abs(slowLink-10.5) > 1e-12 {
+		t.Fatalf("slow-link latency = %v, want 10.5", slowLink)
+	}
+	// Zero bandwidth treated as nominal.
+	if got := m.LatencyFull(1, 0, 1, 100000, 0, nil); got != base {
+		t.Fatalf("zero bandwidth = %v, want %v", got, base)
+	}
+}
+
+func TestLatencyFullBackwardCompatible(t *testing.T) {
+	m := LatencyModel{CostPerSample: 0.01, CommLatency: 0.5}
+	if m.Latency(2, 100, 1, nil) != m.LatencyFull(2, 100, 1, 0, 1, nil) {
+		t.Fatal("Latency must equal LatencyFull with no comm term")
+	}
+}
+
+// Property: latency is monotone in samples and antitone in CPU share.
+func TestLatencyMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := LatencyModel{CostPerSample: 0.001 + r.Float64()*0.02, CommLatency: r.Float64()}
+		cpu := 0.1 + r.Float64()*4
+		s := 1 + r.Intn(5000)
+		if m.Latency(cpu, s+100, 1, nil) < m.Latency(cpu, s, 1, nil) {
+			return false
+		}
+		return m.Latency(cpu*2, s, 1, nil) <= m.Latency(cpu, s, 1, nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

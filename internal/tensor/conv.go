@@ -1,0 +1,147 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the output spatial size of a convolution or pooling
+// with the given input size, kernel size, stride, and symmetric padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col lowers a batched image tensor x with shape (N, C, H, W) into a
+// matrix of shape (N*OH*OW, C*KH*KW) where each row holds one receptive
+// field. Convolution then becomes a single MatMul against the reshaped
+// kernel, which is how internal/nn implements Conv2D.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs rank-4 input, have %v", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape(), kh, kw, stride, pad))
+	}
+	out := New(n*oh*ow, c*kh*kw)
+	colW := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := out.Data[((img*oh+oy)*ow+ox)*colW : ((img*oh+oy)*ow+ox+1)*colW]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix >= 0 && ix < w {
+								row[idx] = x.Data[rowBase+ix]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a (N*OH*OW, C*KH*KW) matrix
+// of receptive-field gradients back into an image tensor of shape
+// (N, C, H, W), accumulating where fields overlap.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	colW := c * kh * kw
+	if cols.Rank() != 2 || cols.Dim(0) != n*oh*ow || cols.Dim(1) != colW {
+		panic(fmt.Sprintf("tensor: Col2Im input %v, want [%d %d]", cols.Shape(), n*oh*ow, colW))
+	}
+	out := New(n, c, h, w)
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := cols.Data[((img*oh+oy)*ow+ox)*colW : ((img*oh+oy)*ow+ox+1)*colW]
+				idx := 0
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := oy*stride - pad + ky
+						if iy < 0 || iy >= h {
+							idx += kw
+							continue
+						}
+						rowBase := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ox*stride - pad + kx
+							if ix >= 0 && ix < w {
+								out.Data[rowBase+ix] += row[idx]
+							}
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies 2-D max pooling with a square window and equal stride to
+// x with shape (N, C, H, W). It returns the pooled tensor of shape
+// (N, C, OH, OW) and the flat argmax indices into x.Data used by the
+// backward pass.
+func MaxPool2D(x *Tensor, size, stride int) (*Tensor, []int) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2D needs rank-4 input, have %v", x.Shape()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := ConvOutSize(h, size, stride, 0)
+	ow := ConvOutSize(w, size, stride, 0)
+	out := New(n, c, oh, ow)
+	arg := make([]int, out.Size())
+	oi := 0
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			chBase := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := chBase + (oy*stride)*w + ox*stride
+					best := x.Data[bestIdx]
+					for ky := 0; ky < size; ky++ {
+						rowBase := chBase + (oy*stride+ky)*w
+						for kx := 0; kx < size; kx++ {
+							idx := rowBase + ox*stride + kx
+							if x.Data[idx] > best {
+								best, bestIdx = x.Data[idx], idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					arg[oi] = bestIdx
+					oi++
+				}
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxUnpool2D scatters pooled gradients grad back to input positions using
+// the argmax indices produced by MaxPool2D. inputSize is the flat size of the
+// original input tensor.
+func MaxUnpool2D(grad *Tensor, arg []int, inputShape []int) *Tensor {
+	out := New(inputShape...)
+	for i, g := range grad.Data {
+		out.Data[arg[i]] += g
+	}
+	return out
+}

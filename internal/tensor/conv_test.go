@@ -1,0 +1,168 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{28, 3, 1, 0, 26},
+		{28, 3, 1, 1, 28},
+		{32, 5, 1, 2, 32},
+		{26, 2, 2, 0, 13},
+		{8, 3, 2, 0, 3},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel with stride 1 and no padding is a pure reshuffle.
+	rng := rand.New(rand.NewSource(1))
+	x := RandNormal(rng, 0, 1, 2, 3, 4, 4)
+	cols := Im2Col(x, 1, 1, 1, 0)
+	if cols.Dim(0) != 2*4*4 || cols.Dim(1) != 3 {
+		t.Fatalf("Im2Col shape = %v", cols.Shape())
+	}
+	// Element (img=0, oy=1, ox=2, ch=1) must equal x[0,1,1,2].
+	row := cols.Row((0*4+1)*4 + 2)
+	if row.Data[1] != x.At(0, 1, 1, 2) {
+		t.Fatal("Im2Col 1x1 mapping wrong")
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1 image, 1 channel, 3x3 input, 2x2 kernel, stride 1, no pad → 4 rows.
+	x := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 1, 3, 3)
+	cols := Im2Col(x, 2, 2, 1, 0)
+	want := [][]float64{
+		{1, 2, 4, 5},
+		{2, 3, 5, 6},
+		{4, 5, 7, 8},
+		{5, 6, 8, 9},
+	}
+	for i, w := range want {
+		row := cols.Row(i)
+		for j, v := range w {
+			if row.Data[j] != v {
+				t.Fatalf("row %d = %v, want %v", i, row.Data, w)
+			}
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	cols := Im2Col(x, 3, 3, 1, 1) // padded 3x3 windows over 2x2 input
+	if cols.Dim(0) != 4 || cols.Dim(1) != 9 {
+		t.Fatalf("shape = %v", cols.Shape())
+	}
+	// First window (oy=0,ox=0) has top row and left column zero-padded.
+	row := cols.Row(0)
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for j, v := range want {
+		if row.Data[j] != v {
+			t.Fatalf("padded row = %v, want %v", row.Data, want)
+		}
+	}
+}
+
+// Property: Col2Im(Im2Col(x)) with a 1x1 kernel reproduces x exactly, and
+// with overlapping kernels each element is counted once per covering window.
+func TestCol2ImAdjointOfIm2Col(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, c := 1+r.Intn(2), 1+r.Intn(3)
+		h := 3 + r.Intn(4)
+		w := 3 + r.Intn(4)
+		x := RandNormal(r, 0, 1, n, c, h, w)
+		cols := Im2Col(x, 1, 1, 1, 0)
+		back := Col2Im(cols, n, c, h, w, 1, 1, 1, 0)
+		return back.AllClose(x, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adjoint identity <Im2Col(x), y> == <x, Col2Im(y)> holds for
+// random x, y — this is exactly what makes the conv backward pass correct.
+func TestIm2ColCol2ImAdjointIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, c, h, w := 1, 1+r.Intn(2), 4+r.Intn(3), 4+r.Intn(3)
+		kh, kw := 2, 2
+		pad := r.Intn(2)
+		x := RandNormal(r, 0, 1, n, c, h, w)
+		cols := Im2Col(x, kh, kw, 1, pad)
+		y := RandNormal(r, 0, 1, cols.Dim(0), cols.Dim(1))
+		lhs := cols.Dot(y)
+		rhs := x.Dot(Col2Im(y, n, c, h, w, kh, kw, 1, pad))
+		return absf(lhs-rhs) < 1e-9*(1+absf(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMaxPool2DKnown(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 5, 6,
+		3, 4, 7, 8,
+		9, 10, 13, 14,
+		11, 12, 15, 16,
+	}, 1, 1, 4, 4)
+	out, arg := MaxPool2D(x, 2, 2)
+	want := []float64{4, 8, 12, 16}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("MaxPool2D = %v, want %v", out.Data, want)
+		}
+	}
+	// Gradient routed back through argmax positions only.
+	g := FromSlice([]float64{1, 1, 1, 1}, 1, 1, 2, 2)
+	back := MaxUnpool2D(g, arg, []int{1, 1, 4, 4})
+	if back.Sum() != 4 {
+		t.Fatalf("unpooled gradient mass = %v, want 4", back.Sum())
+	}
+	if back.At(0, 0, 1, 1) != 1 || back.At(0, 0, 0, 0) != 0 {
+		t.Fatal("gradient routed to wrong positions")
+	}
+}
+
+func TestMaxPoolPreservesMax(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := RandNormal(r, 0, 1, 1, 2, 4, 4)
+		out, _ := MaxPool2D(x, 2, 2)
+		return out.Max() == x.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIm2ColBadRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Im2Col on rank-2 input did not panic")
+		}
+	}()
+	Im2Col(New(3, 3), 2, 2, 1, 0)
+}

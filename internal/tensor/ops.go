@@ -1,0 +1,319 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Add returns t + o element-wise as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.mustSameSize(o, "Add")
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] += v
+	}
+	return r
+}
+
+// Sub returns t - o element-wise as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.mustSameSize(o, "Sub")
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] -= v
+	}
+	return r
+}
+
+// Mul returns the element-wise product t ⊙ o as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.mustSameSize(o, "Mul")
+	r := t.Clone()
+	for i, v := range o.Data {
+		r.Data[i] *= v
+	}
+	return r
+}
+
+// Scale returns s·t as a new tensor.
+func (t *Tensor) Scale(s float64) *Tensor {
+	r := t.Clone()
+	for i := range r.Data {
+		r.Data[i] *= s
+	}
+	return r
+}
+
+// AddInPlace adds o to t element-wise, modifying t.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	t.mustSameSize(o, "AddInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// AxpyInPlace computes t += a·o, modifying t.
+func (t *Tensor) AxpyInPlace(a float64, o *Tensor) {
+	t.mustSameSize(o, "AxpyInPlace")
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s.
+func (t *Tensor) ScaleInPlace(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	r := t.Clone()
+	for i, v := range r.Data {
+		r.Data[i] = f(v)
+	}
+	return r
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func (t *Tensor) Max() float64 {
+	if len(t.Data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.Data[0]
+	for _, v := range t.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.mustSameSize(o, "Dot")
+	s := 0.0
+	for i, v := range t.Data {
+		s += v * o.Data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean (L2) norm of t viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// ArgMaxRows returns, for each row of a matrix, the column index of the
+// largest element.
+func (t *Tensor) ArgMaxRows() []int {
+	t.mustRank(2)
+	rows, cols := t.shape[0], t.shape[1]
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		best, bestV := 0, row[0]
+		for j, v := range row[1:] {
+			if v > bestV {
+				best, bestV = j+1, v
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func (t *Tensor) mustSameSize(o *Tensor, op string) {
+	if len(t.Data) != len(o.Data) {
+		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// parallelThreshold is the number of multiply-adds below which MatMul runs
+// single-threaded; smaller problems lose more to goroutine scheduling than
+// they gain from parallelism.
+const parallelThreshold = 1 << 17
+
+// MatMul returns the matrix product a·b for rank-2 tensors.
+// It panics unless a is (m×k) and b is (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matMulInto(out, a, b, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a·b, reusing dst's storage. dst must be (m×n).
+func MatMulInto(dst, a, b *Tensor) {
+	a.mustRank(2)
+	b.mustRank(2)
+	dst.mustRank(2)
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch: %v x %v", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	matMulInto(dst, a, b, m, k, n)
+}
+
+// matMulInto accumulates a·b into out using an ikj loop order (streaming
+// through b rows) which is cache-friendly for row-major data. Rows of the
+// output are partitioned across goroutines when the problem is large.
+func matMulInto(out, a, b *Tensor, m, k, n int) {
+	work := m * k * n
+	rowFn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for p, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if work < parallelThreshold || m == 1 {
+		rowFn(0, m)
+		return
+	}
+	parallelRows(m, rowFn)
+}
+
+// MatMulATB returns aᵀ·b for rank-2 tensors a (k×m) and b (k×n), producing
+// an (m×n) result without materializing the transpose.
+func MatMulATB(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulATB dimension mismatch: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// out[i,j] = sum_p a[p,i]*b[p,j]; stream over p so both reads are rows.
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulABT returns a·bᵀ for rank-2 tensors a (m×k) and b (n×k), producing
+// an (m×n) result without materializing the transpose.
+func MatMulABT(a, b *Tensor) *Tensor {
+	a.mustRank(2)
+	b.mustRank(2)
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulABT dimension mismatch: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	rowFn := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if m*k*n < parallelThreshold || m == 1 {
+		rowFn(0, m)
+	} else {
+		parallelRows(m, rowFn)
+	}
+	return out
+}
+
+// Transpose returns the transpose of a rank-2 tensor as a new tensor.
+func (t *Tensor) Transpose() *Tensor {
+	t.mustRank(2)
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = t.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// parallelRows splits [0,m) into contiguous chunks, one per worker, and runs
+// fn on each chunk concurrently.
+func parallelRows(m int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		fn(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

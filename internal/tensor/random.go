@@ -1,0 +1,36 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandNormal returns a tensor with elements drawn i.i.d. from N(mean, std²)
+// using rng, so results are reproducible for a fixed seed.
+func RandNormal(rng *rand.Rand, mean, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// RandUniform returns a tensor with elements drawn i.i.d. from U[lo, hi).
+func RandUniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// GlorotUniform returns a tensor initialized with the Glorot/Xavier uniform
+// scheme for a layer with the given fan-in and fan-out, the standard
+// initialization for the dense and convolutional layers in internal/nn.
+func GlorotUniform(rng *rand.Rand, fanIn, fanOut int, shape ...int) *Tensor {
+	limit := 0.0
+	if fanIn+fanOut > 0 {
+		limit = math.Sqrt(6.0 / float64(fanIn+fanOut))
+	}
+	return RandUniform(rng, -limit, limit, shape...)
+}

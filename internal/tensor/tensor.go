@@ -1,0 +1,185 @@
+// Package tensor implements dense float64 tensors and the linear-algebra
+// kernels needed by the neural-network substrate (internal/nn): element-wise
+// arithmetic, matrix multiplication, 2-D convolution via im2col, and pooling.
+//
+// Tensors are row-major. The package is intentionally small and allocation
+// conscious: hot paths (MatMul, im2col) reuse caller-provided destinations
+// where possible and parallelize across goroutines when the work is large
+// enough to amortize scheduling.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float64 tensor.
+//
+// The zero value is an empty tensor; use New or the constructors below to
+// create one with a shape. Data is exposed so callers can iterate without
+// per-element bounds checks, but Shape must be treated as read-only; use
+// Reshape to change it.
+type Tensor struct {
+	shape []int
+	Data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics if any dimension is negative.
+func New(shape ...int) *Tensor {
+	n := checkedSize(shape)
+	return &Tensor{shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The slice is used
+// directly (not copied); it panics if len(data) does not match the shape.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkedSize(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (size %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+func checkedSize(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Shape returns the tensor's dimensions. The returned slice must not be
+// modified.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rows returns the first dimension of a matrix (rank-2 tensor).
+func (t *Tensor) Rows() int { t.mustRank(2); return t.shape[0] }
+
+// Cols returns the second dimension of a matrix (rank-2 tensor).
+func (t *Tensor) Cols() int { t.mustRank(2); return t.shape[1] }
+
+func (t *Tensor) mustRank(r int) {
+	if len(t.shape) != r {
+		panic(fmt.Sprintf("tensor: need rank %d, have shape %v", r, t.shape))
+	}
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Reshape returns a view of t with a new shape of the same total size.
+// The underlying data is shared with t.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkedSize(shape)
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape size %d to %v", len(t.Data), shape))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal sizes.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every element of t to zero.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i, d := range t.shape {
+		if o.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether every element of t is within tol of the
+// corresponding element of o, and the shapes match.
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, e.g. "Tensor[2 3]".
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
+
+// Row returns a view of row i of a matrix as a rank-1 tensor sharing data.
+func (t *Tensor) Row(i int) *Tensor {
+	t.mustRank(2)
+	cols := t.shape[1]
+	return &Tensor{shape: []int{cols}, Data: t.Data[i*cols : (i+1)*cols]}
+}

@@ -1,0 +1,330 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", x.Size())
+	}
+	if x.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", x.Rank())
+	}
+	for i, d := range []int{2, 3, 4} {
+		if x.Dim(i) != d {
+			t.Fatalf("Dim(%d) = %d, want %d", i, x.Dim(i), d)
+		}
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("New tensor not zero-filled: %v", v)
+		}
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with negative dim did not panic")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with bad length did not panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetOffsets(t *testing.T) {
+	x := New(2, 3)
+	x.Set(5, 1, 2)
+	if got := x.At(1, 2); got != 5 {
+		t.Fatalf("At(1,2) = %v, want 5", got)
+	}
+	if got := x.Data[1*3+2]; got != 5 {
+		t.Fatalf("row-major layout violated: Data[5] = %v", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.Reshape(3, 2)
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("Reshape does not share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape to wrong size did not panic")
+		}
+	}()
+	x.Reshape(4, 2)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := FromSlice([]float64{1, 2}, 2)
+	y := x.Clone()
+	y.Data[0] = 42
+	if x.Data[0] != 1 {
+		t.Fatal("Clone shares data with original")
+	}
+}
+
+func TestRowView(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	r := x.Row(1)
+	if r.Size() != 3 || r.Data[0] != 4 {
+		t.Fatalf("Row(1) = %v", r.Data)
+	}
+	r.Data[0] = 40
+	if x.At(1, 0) != 40 {
+		t.Fatal("Row must be a view, not a copy")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if got := a.Add(b).Data; got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a).Data; got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Mul(b).Data; got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := a.Scale(2).Data; got[2] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	if a.Data[0] != 1 {
+		t.Fatal("ops must not mutate receiver")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{10, 20}, 2)
+	a.AddInPlace(b)
+	if a.Data[1] != 22 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	a.AxpyInPlace(0.5, b)
+	if a.Data[0] != 16 {
+		t.Fatalf("AxpyInPlace = %v", a.Data)
+	}
+	a.ScaleInPlace(2)
+	if a.Data[0] != 32 {
+		t.Fatalf("ScaleInPlace = %v", a.Data)
+	}
+}
+
+func TestReductions(t *testing.T) {
+	x := FromSlice([]float64{1, -2, 3, 4}, 4)
+	if x.Sum() != 6 {
+		t.Fatalf("Sum = %v", x.Sum())
+	}
+	if x.Mean() != 1.5 {
+		t.Fatalf("Mean = %v", x.Mean())
+	}
+	if x.Max() != 4 {
+		t.Fatalf("Max = %v", x.Max())
+	}
+	if got := x.Dot(x); got != 1+4+9+16 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if math.Abs(x.Norm2()-math.Sqrt(30)) > 1e-12 {
+		t.Fatalf("Norm2 = %v", x.Norm2())
+	}
+}
+
+func TestArgMaxRows(t *testing.T) {
+	x := FromSlice([]float64{1, 5, 2, 9, 3, 4}, 2, 3)
+	got := x.ArgMaxRows()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRows = %v", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandNormal(rng, 0, 1, 7, 7)
+	id := New(7, 7)
+	for i := 0; i < 7; i++ {
+		id.Set(1, i, i)
+	}
+	if !MatMul(a, id).AllClose(a, 1e-12) || !MatMul(id, a).AllClose(a, 1e-12) {
+		t.Fatal("identity is not neutral for MatMul")
+	}
+}
+
+func TestMatMulMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatMul with mismatched inner dims did not panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatMulIntoReuses(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{1, 0, 0, 1}, 2, 2)
+	dst := Full(7, 2, 2)
+	MatMulInto(dst, a, b)
+	if !dst.AllClose(a, 0) {
+		t.Fatalf("MatMulInto = %v", dst.Data)
+	}
+}
+
+func TestMatMulParallelMatchesSerial(t *testing.T) {
+	// Large enough to cross parallelThreshold.
+	rng := rand.New(rand.NewSource(2))
+	a := RandNormal(rng, 0, 1, 80, 70)
+	b := RandNormal(rng, 0, 1, 70, 90)
+	got := MatMul(a, b)
+	want := New(80, 90)
+	for i := 0; i < 80; i++ {
+		for j := 0; j < 90; j++ {
+			s := 0.0
+			for p := 0; p < 70; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			want.Set(s, i, j)
+		}
+	}
+	if !got.AllClose(want, 1e-9) {
+		t.Fatal("parallel MatMul disagrees with naive triple loop")
+	}
+}
+
+func TestTransposedVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := RandNormal(rng, 0, 1, 5, 8)
+	b := RandNormal(rng, 0, 1, 5, 6)
+	if !MatMulATB(a, b).AllClose(MatMul(a.Transpose(), b), 1e-10) {
+		t.Fatal("MatMulATB != Aᵀ·B")
+	}
+	c := RandNormal(rng, 0, 1, 4, 8)
+	if !MatMulABT(a, c).AllClose(MatMul(a, c.Transpose()), 1e-10) {
+		t.Fatal("MatMulABT != A·Bᵀ")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := a.Transpose()
+	if at.Dim(0) != 3 || at.Dim(1) != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose = %v %v", at.Shape(), at.Data)
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) for random matrices.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n, q := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := RandNormal(r, 0, 1, m, k)
+		b := RandNormal(r, 0, 1, k, n)
+		c := RandNormal(r, 0, 1, n, q)
+		left := MatMul(MatMul(a, b), c)
+		right := MatMul(a, MatMul(b, c))
+		return left.AllClose(right, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and Sub(x,x) is zero.
+func TestElementwiseProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32)
+		a := RandNormal(r, 0, 1, n)
+		b := RandNormal(r, 0, 1, n)
+		if !a.Add(b).AllClose(b.Add(a), 1e-12) {
+			return false
+		}
+		return a.Sub(a).AllClose(New(n), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dot(x,x) == Norm2(x)².
+func TestNormDotProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		x := RandNormal(r, 0, 1, n)
+		d := x.Dot(x)
+		nn := x.Norm2()
+		return math.Abs(d-nn*nn) <= 1e-9*(1+math.Abs(d))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllCloseShapes(t *testing.T) {
+	a := New(2, 3)
+	b := New(3, 2)
+	if a.AllClose(b, 1) {
+		t.Fatal("AllClose must require matching shapes")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := RandNormal(rand.New(rand.NewSource(7)), 0, 1, 10)
+	b := RandNormal(rand.New(rand.NewSource(7)), 0, 1, 10)
+	if !a.AllClose(b, 0) {
+		t.Fatal("RandNormal not deterministic for fixed seed")
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	fanIn, fanOut := 20, 30
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	x := GlorotUniform(rng, fanIn, fanOut, 1000)
+	for _, v := range x.Data {
+		if v < -limit || v >= limit {
+			t.Fatalf("Glorot sample %v outside [-%v, %v)", v, limit, limit)
+		}
+	}
+}

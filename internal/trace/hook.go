@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"math"
+
+	"repro/internal/flcore"
+)
+
+// RoundHook adapts a Recorder to the engine's per-round callback
+// (flcore.Config.OnRound). tierOf maps client index to tier (from
+// core.TierOf); pass nil for vanilla runs, which records Tier = -1.
+func RoundHook(r *Recorder, tierOf map[int]int) func(flcore.RoundRecord) {
+	return func(rec flcore.RoundRecord) {
+		e := Event{
+			Round:    rec.Round,
+			Selected: append([]int(nil), rec.Selected...),
+			Latency:  rec.Latency,
+			SimTime:  rec.SimTime,
+			Tier:     -1,
+		}
+		if !math.IsNaN(rec.Acc) {
+			e.Accuracy = rec.Acc
+		}
+		if !math.IsNaN(rec.Loss) {
+			e.Loss = rec.Loss
+		}
+		if tierOf != nil && len(rec.Selected) > 0 {
+			if t, ok := tierOf[rec.Selected[0]]; ok {
+				e.Tier = t
+			}
+		}
+		r.Record(e)
+	}
+}

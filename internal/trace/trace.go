@@ -1,0 +1,155 @@
+// Package trace records federated training runs as structured JSONL event
+// streams — one event per round with the selection, latency, and accuracy
+// detail needed to debug scheduling behaviour after the fact — plus a
+// loader and summary statistics over recorded runs.
+//
+// The engine emits events through a small callback (flcore.Config.OnRound);
+// Recorder adapts that callback to any io.Writer, so traces can go to a
+// file, a buffer, or a network sink.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Event is one recorded training round.
+type Event struct {
+	Round    int     `json:"round"`
+	Selected []int   `json:"selected"`
+	Latency  float64 `json:"latency"`
+	SimTime  float64 `json:"sim_time"`
+	Accuracy float64 `json:"accuracy,omitempty"` // 0 when unevaluated (JSON lacks NaN)
+	Loss     float64 `json:"loss,omitempty"`
+	// Tier is the selected tier index when a tier policy ran (-1 for
+	// vanilla selection).
+	Tier int `json:"tier"`
+}
+
+// Recorder serializes events to a writer as JSONL. Safe for concurrent use.
+type Recorder struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewRecorder wraps w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{w: bufio.NewWriter(w)}
+}
+
+// Record appends one event. Errors are sticky and returned by Flush.
+func (r *Recorder) Record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		r.err = fmt.Errorf("trace: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := r.w.Write(data); err != nil {
+		r.err = fmt.Errorf("trace: %w", err)
+		return
+	}
+	r.n++
+}
+
+// Events returns how many events were recorded.
+func (r *Recorder) Events() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return r.err
+	}
+	return r.w.Flush()
+}
+
+// Load parses a JSONL trace.
+func Load(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Summary aggregates a recorded run.
+type Summary struct {
+	Rounds         int
+	TotalTime      float64
+	MeanLatency    float64
+	P50, P95, Max  float64
+	FinalAccuracy  float64 // last nonzero accuracy
+	SelectionCount map[int]int
+	TierCount      map[int]int
+}
+
+// Summarize computes run statistics from events.
+func Summarize(events []Event) Summary {
+	s := Summary{SelectionCount: map[int]int{}, TierCount: map[int]int{}}
+	if len(events) == 0 {
+		return s
+	}
+	lats := make([]float64, 0, len(events))
+	sum := 0.0
+	for _, e := range events {
+		s.Rounds++
+		lats = append(lats, e.Latency)
+		sum += e.Latency
+		if e.Latency > s.Max {
+			s.Max = e.Latency
+		}
+		for _, c := range e.Selected {
+			s.SelectionCount[c]++
+		}
+		s.TierCount[e.Tier]++
+		if e.Accuracy > 0 {
+			s.FinalAccuracy = e.Accuracy
+		}
+	}
+	s.TotalTime = events[len(events)-1].SimTime
+	s.MeanLatency = sum / float64(len(lats))
+	sort.Float64s(lats)
+	s.P50 = quantile(lats, 0.5)
+	s.P95 = quantile(lats, 0.95)
+	return s
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,215 @@
+// Package tifl is the public API of this reproduction of "TiFL: A
+// Tier-based Federated Learning System" (Chai et al., HPDC 2020).
+//
+// TiFL mitigates the straggler problem of synchronous cross-device
+// federated learning: it profiles client response latencies, groups clients
+// into tiers, and selects each round's participants from a single tier — by
+// a fixed policy (Table 1 of the paper) or adaptively based on per-tier
+// test accuracy under per-tier credit budgets (Algorithm 2).
+//
+// Quickstart:
+//
+//	clients := ...                             // your federated population
+//	sys, err := tifl.New(clients, tifl.Options{})
+//	res := sys.Train(cfg, testSet, tifl.Adaptive(tifl.AdaptiveConfig{ClientsPerRound: 5}))
+//
+// See examples/ for runnable end-to-end programs and internal/experiments
+// for the paper's full evaluation harness.
+package tifl
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/estimate"
+	"repro/internal/flcore"
+	"repro/internal/privacy"
+	"repro/internal/simres"
+)
+
+// Re-exported building blocks, so downstream users need only this package.
+type (
+	// Client is one federated data party (see flcore.Client).
+	Client = flcore.Client
+	// Config holds federated training hyperparameters (see flcore.Config).
+	Config = flcore.Config
+	// Result is a finished training job (see flcore.Result).
+	Result = flcore.Result
+	// Dataset is a labeled feature dataset (see dataset.Dataset).
+	Dataset = dataset.Dataset
+	// Tier is one latency group of clients (see core.Tier).
+	Tier = core.Tier
+	// StaticPolicy is a fixed tier-probability policy (see core.StaticPolicy).
+	StaticPolicy = core.StaticPolicy
+	// AdaptiveConfig parameterizes Algorithm 2 (see core.AdaptiveConfig).
+	AdaptiveConfig = core.AdaptiveConfig
+	// ProfilerConfig controls latency profiling (see core.ProfilerConfig).
+	ProfilerConfig = core.ProfilerConfig
+	// LatencyModel maps resources to response latency (see simres.LatencyModel).
+	LatencyModel = simres.LatencyModel
+	// Guarantee is an (ε, δ) differential-privacy guarantee.
+	Guarantee = privacy.Guarantee
+)
+
+// The paper's Table 1 policies, re-exported.
+var (
+	PolicySlow    = core.PolicySlow
+	PolicyUniform = core.PolicyUniform
+	PolicyRandom  = core.PolicyRandom
+	PolicyFast    = core.PolicyFast
+	PolicyFast1   = core.PolicyFast1
+	PolicyFast2   = core.PolicyFast2
+	PolicyFast3   = core.PolicyFast3
+)
+
+// Options configures profiling and tiering for a System.
+type Options struct {
+	// Latency is the resource model used for profiling and training
+	// latencies; zero value uses simres.DefaultModel.
+	Latency LatencyModel
+	// Profiler overrides the profiling pass; zero value uses
+	// core.DefaultProfiler.
+	Profiler ProfilerConfig
+	// NumTiers is m, the number of latency tiers (default 5, the paper's
+	// setting).
+	NumTiers int
+	// EqualWidthTiers selects the paper's equal-width histogram split
+	// instead of the default balanced quantile split.
+	EqualWidthTiers bool
+}
+
+// System is a profiled and tiered federation, ready to train under any
+// selection policy.
+type System struct {
+	clients  []*Client
+	latency  LatencyModel
+	tiers    []Tier
+	dropouts []int
+}
+
+// New profiles the clients and builds tiers. It returns an error if the
+// population is empty or profiling excludes every client.
+func New(clients []*Client, opts Options) (*System, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("tifl: no clients")
+	}
+	lm := opts.Latency
+	if lm == (LatencyModel{}) {
+		lm = simres.DefaultModel
+	}
+	pc := opts.Profiler
+	if pc.SyncRounds == 0 {
+		pc = core.DefaultProfiler
+	}
+	m := opts.NumTiers
+	if m == 0 {
+		m = 5
+	}
+	prof := core.Profile(clients, lm, pc)
+	if len(prof.Latency) == 0 {
+		return nil, fmt.Errorf("tifl: all %d clients dropped out during profiling", len(clients))
+	}
+	strategy := core.Quantile
+	if opts.EqualWidthTiers {
+		strategy = core.EqualWidth
+	}
+	tiers := core.BuildTiers(prof.Latency, m, strategy)
+	return &System{clients: clients, latency: lm, tiers: tiers, dropouts: prof.Dropouts}, nil
+}
+
+// Tiers returns the latency tiers, fastest first.
+func (s *System) Tiers() []Tier { return s.tiers }
+
+// Dropouts returns clients excluded during profiling.
+func (s *System) Dropouts() []int { return s.dropouts }
+
+// Clients returns the profiled population.
+func (s *System) Clients() []*Client { return s.clients }
+
+// Policy selects how each round's clients are chosen.
+type Policy struct {
+	kind     policyKind
+	static   StaticPolicy
+	adaptive AdaptiveConfig
+}
+
+type policyKind int
+
+const (
+	kindVanilla policyKind = iota
+	kindStatic
+	kindAdaptive
+)
+
+// Vanilla is conventional FL: |C| clients uniformly from the whole pool.
+func Vanilla() Policy { return Policy{kind: kindVanilla} }
+
+// Static selects tiers by the fixed probabilities of p (Section 4.3).
+func Static(p StaticPolicy) Policy { return Policy{kind: kindStatic, static: p} }
+
+// Adaptive selects tiers by Algorithm 2 (Section 4.4).
+func Adaptive(cfg AdaptiveConfig) Policy { return Policy{kind: kindAdaptive, adaptive: cfg} }
+
+// Selector materializes the policy against this system's tiers; the result
+// plugs into a flcore.Engine. clientsPerRound is |C|.
+func (s *System) Selector(p Policy, clientsPerRound int) flcore.Selector {
+	switch p.kind {
+	case kindVanilla:
+		return &flcore.RandomSelector{NumClients: len(s.clients), ClientsPerRound: clientsPerRound}
+	case kindStatic:
+		return core.NewStaticSelector(s.tiers, p.static, clientsPerRound)
+	case kindAdaptive:
+		cfg := p.adaptive
+		if cfg.ClientsPerRound == 0 {
+			cfg.ClientsPerRound = clientsPerRound
+		}
+		return core.NewAdaptiveSelector(s.tiers, s.clients, cfg)
+	default:
+		panic(fmt.Sprintf("tifl: unknown policy kind %d", p.kind))
+	}
+}
+
+// Train runs a federated training job over this system's clients with the
+// given policy, evaluating on test.
+func (s *System) Train(cfg Config, test *Dataset, p Policy) *Result {
+	return s.Engine(cfg, test).Run(s.Selector(p, cfg.ClientsPerRound))
+}
+
+// Engine builds a training engine over this system's clients for callers
+// that need the lower-level API: checkpoint/resume (flcore.Checkpoint),
+// custom round loops, or manual update handling. The system's latency
+// model is applied when cfg leaves it zero.
+func (s *System) Engine(cfg Config, test *Dataset) *flcore.Engine {
+	if cfg.Latency == (LatencyModel{}) {
+		cfg.Latency = s.latency
+	}
+	return flcore.NewEngine(cfg, s.clients, test)
+}
+
+// EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a
+// static policy over this system's tiers.
+func (s *System) EstimateTrainingTime(p StaticPolicy, rounds int) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if len(p.Probs) != len(s.tiers) {
+		return 0, fmt.Errorf("tifl: policy %q has %d probabilities for %d tiers", p.Name, len(p.Probs), len(s.tiers))
+	}
+	return estimate.TrainingTime(core.TierLatencies(s.tiers), p.Probs, rounds), nil
+}
+
+// PrivacyGuarantee reports the per-round client-level DP guarantee under
+// tier-based selection with the given tier weights θ (Section 4.6), given
+// each client's local round is base-DP.
+func (s *System) PrivacyGuarantee(base Guarantee, thetas []float64, clientsPerRound int) (Guarantee, error) {
+	if len(thetas) != len(s.tiers) {
+		return Guarantee{}, fmt.Errorf("tifl: %d tier weights for %d tiers", len(thetas), len(s.tiers))
+	}
+	sizes := make([]int, len(s.tiers))
+	for i, t := range s.tiers {
+		sizes[i] = len(t.Members)
+	}
+	g, _ := privacy.AmplifyTiered(base, thetas, sizes, clientsPerRound)
+	return g, nil
+}

@@ -1,0 +1,189 @@
+package tifl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+	"repro/internal/simres"
+)
+
+func testPopulation(t testing.TB) ([]*Client, *Dataset) {
+	t.Helper()
+	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
+	test := dataset.Generate(dataset.CIFAR10Like, 500, 2)
+	rng := rand.New(rand.NewSource(3))
+	parts := dataset.PartitionIID(train.Len(), 50, rng)
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+	return flcore.BuildClients(train, test, parts, cpus, 40, 4), test
+}
+
+func testConfig(rounds int) Config {
+	return Config{
+		Rounds: rounds, ClientsPerRound: 5, LocalEpochs: 1, BatchSize: 10, Seed: 5,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, dataset.CIFAR10Like.Dim, []int{24}, 10, 0)
+		},
+		Optimizer: func(round int) nn.Optimizer { return nn.NewSGD(0.05, 0.9) },
+		EvalEvery: 5,
+		Parallel:  true,
+	}
+}
+
+func TestNewBuildsFiveTiers(t *testing.T) {
+	clients, _ := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Tiers()) != 5 {
+		t.Fatalf("tiers = %d, want 5", len(sys.Tiers()))
+	}
+	if len(sys.Dropouts()) != 0 {
+		t.Fatalf("dropouts = %v", sys.Dropouts())
+	}
+	if len(sys.Clients()) != 50 {
+		t.Fatalf("clients = %d", len(sys.Clients()))
+	}
+}
+
+func TestNewEmptyErrors(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("empty population accepted")
+	}
+}
+
+func TestTrainVanillaVsFast(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla := sys.Train(testConfig(15), test, Vanilla())
+	fast := sys.Train(testConfig(15), test, Static(PolicyFast))
+	if fast.TotalTime >= vanilla.TotalTime {
+		t.Fatalf("fast %v not faster than vanilla %v", fast.TotalTime, vanilla.TotalTime)
+	}
+	if vanilla.FinalAcc <= 0.2 || fast.FinalAcc <= 0.2 {
+		t.Fatalf("accuracies too low: vanilla %v fast %v", vanilla.FinalAcc, fast.FinalAcc)
+	}
+}
+
+func TestTrainAdaptive(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Train(testConfig(12), test, Adaptive(AdaptiveConfig{Interval: 4, TestPerTier: 60}))
+	if res.FinalAcc <= 0.2 {
+		t.Fatalf("adaptive accuracy %v", res.FinalAcc)
+	}
+	if len(res.History) != 12 {
+		t.Fatalf("history = %d rounds", len(res.History))
+	}
+}
+
+func TestEstimateTrainingTime(t *testing.T) {
+	clients, _ := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sys.EstimateTrainingTime(PolicyUniform, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= 0 {
+		t.Fatalf("estimate = %v", est)
+	}
+	// Slow policy must estimate higher than fast.
+	slow, _ := sys.EstimateTrainingTime(PolicySlow, 100)
+	fast, _ := sys.EstimateTrainingTime(PolicyFast, 100)
+	if slow <= fast {
+		t.Fatalf("slow %v ≤ fast %v", slow, fast)
+	}
+	if _, err := sys.EstimateTrainingTime(StaticPolicy{Name: "bad", Probs: []float64{1}}, 10); err == nil {
+		t.Fatal("mismatched policy accepted")
+	}
+}
+
+func TestPrivacyGuarantee(t *testing.T) {
+	clients, _ := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Guarantee{Epsilon: 1, Delta: 1e-5}
+	g, err := sys.PrivacyGuarantee(base, []float64{1, 1, 1, 1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 equal tiers of 10: q = (1/5)·5/10 = 0.1 → amplified ε = 0.1.
+	if math.Abs(g.Epsilon-0.1) > 1e-12 {
+		t.Fatalf("amplified epsilon = %v", g.Epsilon)
+	}
+	if _, err := sys.PrivacyGuarantee(base, []float64{1}, 5); err == nil {
+		t.Fatal("mismatched thetas accepted")
+	}
+}
+
+func TestEqualWidthOption(t *testing.T) {
+	clients, _ := testPopulation(t)
+	sys, err := New(clients, Options{EqualWidthTiers: true, NumTiers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal-width over the skewed CPU spectrum collapses fast groups
+	// together; we only require a valid partition (≥2 tiers, all clients).
+	total := 0
+	for _, tr := range sys.Tiers() {
+		total += len(tr.Members)
+	}
+	if total != 50 {
+		t.Fatalf("tiers cover %d clients", total)
+	}
+	if len(sys.Tiers()) < 2 {
+		t.Fatalf("tiers = %d", len(sys.Tiers()))
+	}
+}
+
+func TestEngineAccessorCheckpointFlow(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(6)
+	sel := sys.Selector(Static(PolicyUniform), cfg.ClientsPerRound)
+
+	// Run 3 rounds, checkpoint, resume in a new engine for the tail.
+	half := cfg
+	half.Rounds = 3
+	engA := sys.Engine(half, test)
+	engA.Run(sel)
+	snap := engA.Snapshot()
+
+	engB := sys.Engine(cfg, test)
+	if err := engB.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	tail := engB.Run(sys.Selector(Static(PolicyUniform), cfg.ClientsPerRound))
+	if len(tail.History) != 3 || tail.History[0].Round != 3 {
+		t.Fatalf("resumed tail = %d rounds from %d", len(tail.History), tail.History[0].Round)
+	}
+}
+
+func TestProfilerDropoutsSurface(t *testing.T) {
+	clients, _ := testPopulation(t)
+	sys, err := New(clients, Options{Profiler: ProfilerConfig{SyncRounds: 3, Tmax: 2.0, Epochs: 1, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Dropouts()) == 0 {
+		t.Fatal("tight Tmax should exclude the 0.1-CPU clients")
+	}
+}
