@@ -103,6 +103,12 @@ func BenchmarkExtensionDrift(b *testing.B) {
 	}
 }
 
+func BenchmarkExtensionTieredAsync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionTieredAsync(benchScale())
+	}
+}
+
 func BenchmarkAblationTieringStrategy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationTiering(benchScale())
@@ -201,6 +207,31 @@ func BenchmarkAdaptiveSelection(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sel.Select(i, rng)
+	}
+}
+
+func BenchmarkTieredAsync50Clients(b *testing.B) {
+	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
+	test := dataset.Generate(dataset.CIFAR10Like, 500, 2)
+	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
+	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
+	clients := flcore.BuildClients(train, test, parts, cpus, 40, 1)
+	prof := core.Profile(clients, simres.DefaultModel, core.DefaultProfiler)
+	tiers := core.TierMembers(core.BuildTiers(prof.Latency, 5, core.Quantile))
+	cfg := flcore.TieredAsyncConfig{
+		Duration: 60, ClientsPerRound: 5, EvalInterval: 30,
+		Seed: 2, BatchSize: 10, LocalEpochs: 1,
+		Model: func(rng *rand.Rand) *nn.Model {
+			return nn.NewMLP(rng, train.Dim(), []int{32}, 10, 0)
+		},
+		Optimizer:  func(round int) nn.Optimizer { return nn.NewRMSprop(0.01, 0.995) },
+		Latency:    simres.DefaultModel,
+		TierWeight: core.FedATWeights(),
+		EvalBatch:  256,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flcore.RunTieredAsync(cfg, tiers, clients, test)
 	}
 }
 

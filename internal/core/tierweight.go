@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/flcore"
+)
+
+// Cross-tier aggregation weights for the tiered-asynchronous engine
+// (flcore.TieredAsyncEngine). In FedAT (Chai et al., SC 2021) tiers commit
+// at very different rates — the fastest tier may finish ten rounds while
+// the slowest finishes one — so weighting commits uniformly would bias the
+// global model toward fast-tier data. FedAT inverts the commit frequencies:
+// tier k's weight is proportional to the commit count of its mirror tier
+// (fastest borrows the slowest's count and vice versa), normalized over all
+// tiers, which exactly rebalances the aggregate contribution per tier.
+
+// UniformTierWeights weights every tier commit at the neutral multiplier
+// 1 — each committed tier round mixes at the engine's base rate, the
+// tiered analogue of FedAsync's flat mixing, and the baseline against
+// which FedAT's weighting is measured.
+func UniformTierWeights() flcore.TierWeightFunc {
+	return func(tier int, commits []int) float64 { return 1 }
+}
+
+// FedATWeights returns FedAT's slower-tier-favoring cross-tier weighting:
+// the committing tier's weight is proportional to its mirror tier's share
+// of all commits so far, Laplace-smoothed so tiers still waiting on their
+// mirror's first commit are not zeroed out, and rescaled by the tier count
+// so a perfectly balanced commit mix yields the neutral multiplier 1.
+// Tiers are ordered fastest first, matching BuildTiers.
+func FedATWeights() flcore.TierWeightFunc {
+	return func(tier int, commits []int) float64 {
+		if tier < 0 || tier >= len(commits) {
+			panic(fmt.Sprintf("core: tier %d with %d commit counts", tier, len(commits)))
+		}
+		total := 0
+		for _, c := range commits {
+			total += c
+		}
+		m := len(commits)
+		mirror := m - 1 - tier
+		return float64(m) * float64(commits[mirror]+1) / float64(total+m)
+	}
+}
+
+// TierMembers extracts the member index sets from built tiers in tier
+// order — the membership form flcore.RunTieredAsync consumes.
+func TierMembers(tiers []Tier) [][]int {
+	out := make([][]int, len(tiers))
+	for i, t := range tiers {
+		out[i] = append([]int(nil), t.Members...)
+	}
+	return out
+}

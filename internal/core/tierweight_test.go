@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFedATWeightsFavorSlowTiers(t *testing.T) {
+	w := FedATWeights()
+	// Fast tier 0 committed 40 rounds, slow tier 2 only 5: the slow tier's
+	// commit must carry strictly more weight than the fast tier's.
+	commits := []int{40, 15, 5}
+	fast, slow := w(0, commits), w(2, commits)
+	if slow <= fast {
+		t.Fatalf("slow weight %v not above fast %v", slow, fast)
+	}
+	// Weights are mirror-tier commit shares scaled by the tier count.
+	wantFast := 3 * float64(5+1) / float64(60+3)
+	if math.Abs(fast-wantFast) > 1e-12 {
+		t.Fatalf("fast weight = %v, want %v", fast, wantFast)
+	}
+}
+
+func TestFedATWeightsBalancedMixIsNeutral(t *testing.T) {
+	w := FedATWeights()
+	for tier := 0; tier < 4; tier++ {
+		if got := w(tier, []int{7, 7, 7, 7}); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("tier %d weight %v under balanced commits, want 1", tier, got)
+		}
+	}
+}
+
+func TestFedATWeightsNoCommitsYet(t *testing.T) {
+	w := FedATWeights()
+	// Laplace smoothing: before any commits every tier gets the neutral
+	// weight instead of a division by zero or a hard zero.
+	for tier := 0; tier < 3; tier++ {
+		if got := w(tier, []int{0, 0, 0}); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("tier %d weight %v with no commits, want 1", tier, got)
+		}
+	}
+}
+
+func TestFedATWeightsOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range tier accepted")
+		}
+	}()
+	FedATWeights()(3, []int{1, 1, 1})
+}
+
+func TestUniformTierWeightsNeutral(t *testing.T) {
+	w := UniformTierWeights()
+	if got := w(1, []int{9, 1, 0}); got != 1 {
+		t.Fatalf("uniform weight = %v, want 1", got)
+	}
+}
+
+func TestTierMembersCopies(t *testing.T) {
+	tiers := []Tier{
+		{ID: 0, Members: []int{1, 2}},
+		{ID: 1, Members: []int{3}},
+	}
+	m := TierMembers(tiers)
+	if len(m) != 2 || len(m[0]) != 2 || m[1][0] != 3 {
+		t.Fatalf("members = %v", m)
+	}
+	m[0][0] = 99
+	if tiers[0].Members[0] != 1 {
+		t.Fatal("TierMembers aliases the tier's member slice")
+	}
+}

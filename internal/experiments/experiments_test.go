@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/metrics"
 )
 
 func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
@@ -195,6 +198,44 @@ func TestExtensionBaselines(t *testing.T) {
 	}
 }
 
+func TestExtensionTieredAsync(t *testing.T) {
+	out := RunExtensionTieredAsync(tinyScale())
+	rows := out.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want sync/async/tiered", len(rows))
+	}
+	// Tiered-async must reach the synchronous engine's final accuracy,
+	// and do so in less simulated wall-clock than the FedAsync baseline
+	// (FedAT's headline claim). Work on the raw series rather than the
+	// table cells: the table rounds to 4 significant digits and renders
+	// never-reached as "n/a".
+	series := out.Series["accuracy_over_time"]
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want sync/async/tiered", len(series))
+	}
+	target := series[0].FinalY()
+	asyncTime := metrics.TimeToAccuracy(series[1], target)
+	tieredTime := metrics.TimeToAccuracy(series[2], target)
+	if math.IsNaN(tieredTime) {
+		t.Fatalf("tiered-async never reached sync accuracy %v", target)
+	}
+	if !math.IsNaN(asyncTime) && tieredTime >= asyncTime {
+		t.Fatalf("tiered-async %v not faster to target than FedAsync %v", tieredTime, asyncTime)
+	}
+	// Fast tiers must commit at least as many rounds as slow tiers.
+	commits := out.Tables[1].Rows
+	first := parseF(t, commits[0][1])
+	last := parseF(t, commits[len(commits)-1][1])
+	if first < last {
+		t.Fatalf("fastest tier committed %v rounds, slowest %v", first, last)
+	}
+	// Same seed, same histories: the experiment is fully deterministic.
+	again := RunExtensionTieredAsync(tinyScale())
+	if out.Render() != again.Render() {
+		t.Fatal("two runs with the same seed produced different reports")
+	}
+}
+
 func TestExtensionDrift(t *testing.T) {
 	s := tinyScale()
 	s.Rounds = 30
@@ -221,8 +262,8 @@ func TestByID(t *testing.T) {
 	if ByID("nope") != nil {
 		t.Fatal("ByID(nope) should be nil")
 	}
-	if len(All()) != 17 {
-		t.Fatalf("runners = %d, want 17", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("runners = %d, want 18", len(All()))
 	}
 }
 

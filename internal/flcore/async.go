@@ -88,6 +88,9 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *dataset.Dataset) *Result
 	if cfg.Duration <= 0 || cfg.Concurrency <= 0 || cfg.Model == nil || cfg.Optimizer == nil {
 		panic(fmt.Sprintf("flcore: invalid AsyncConfig %+v", cfg))
 	}
+	if zeroLatency(cfg.Latency) {
+		panic("flcore: AsyncConfig.Latency produces zero response latency; simulated time cannot advance")
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
 	weights := global.WeightsVector()

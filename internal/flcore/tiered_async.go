@@ -1,0 +1,336 @@
+package flcore
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/simres"
+)
+
+// Tiered-asynchronous federated learning (FedAT-style, Chai et al., SC
+// 2021): the hybrid between TiFL's synchronous tier-based rounds and the
+// fully asynchronous FedAsync baseline (async.go). Each tier runs its own
+// synchronous mini-FedAvg loop — every tier round selects clients from that
+// tier only, trains them from the tier's pulled snapshot of the global
+// model, and FedAvg-aggregates their updates — but the tiers advance
+// independently over the shared simulated clock: fast tiers commit many
+// rounds while a slow tier finishes one. Every committed tier round is
+// mixed into the global model with a rate that is discounted by staleness
+// (how many commits landed since the tier pulled) and scaled by a
+// cross-tier weight that favors slower tiers (FedAT's weighted
+// aggregation), so infrequent slow-tier contributions are not drowned out.
+//
+// All randomness is keyed on (Seed, tier round, client) exactly like the
+// synchronous engine — a client belongs to one tier, so the keying is
+// collision-free — which makes runs reproducible and comparable
+// wall-clock-for-wall-clock with both the sync and async engines.
+
+// TierWeightFunc maps a committing tier to its cross-tier aggregation
+// weight given the per-tier commit counts so far (commits[k] includes the
+// current commit of tier `tier`). The weight is a multiplier on the base
+// mixing rate Alpha: 1 is neutral, above 1 boosts the tier's commits,
+// below 1 damps them. Implementations live in internal/core (FedAT's
+// inverted-frequency weights); nil means neutral for every tier.
+type TierWeightFunc func(tier int, commits []int) float64
+
+// TieredAsyncConfig configures a tiered-asynchronous run.
+type TieredAsyncConfig struct {
+	// Duration is the simulated training time budget in seconds.
+	Duration float64
+	// ClientsPerRound is |C| within each tier's synchronous round.
+	ClientsPerRound int
+	// Alpha is the base server mixing rate per committed tier round
+	// (default 0.6, matching the async baseline's per-update rate).
+	Alpha float64
+	// StalenessExp is the staleness discount exponent a in
+	// (staleness+1)^(−a) (default 0.5, matching the async baseline).
+	StalenessExp float64
+	// TierWeight supplies the slower-tier-favoring cross-tier weight;
+	// nil means uniform (see core.FedATWeights for the FedAT policy).
+	TierWeight TierWeightFunc
+	// EvalInterval evaluates the global model every so many simulated
+	// seconds (0 = only at the end).
+	EvalInterval float64
+	BatchSize   int
+	LocalEpochs int
+	Seed        int64
+	Model       ModelFactory
+	// Optimizer receives the committing tier's LOCAL round index: each
+	// tier's synchronous loop owns its round-indexed schedule (LR decay
+	// advances at the tier's own pace, as in FedAT), so a slow tier that
+	// has only run a few rounds trains near the start of the schedule
+	// even late in simulated time. Keying the schedule on the global
+	// commit version instead would decay it numTiers-fold faster than
+	// the sync and async engines under the same Optimizer factory.
+	Optimizer OptimizerFactory
+	Latency   simres.LatencyModel
+	EvalBatch int
+	// OnCommit, if set, receives every tier-round commit as it is applied
+	// (the tiered analogue of Config.OnRound).
+	OnCommit func(rec TierRoundRecord)
+}
+
+func (c *TieredAsyncConfig) withDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.6
+	}
+	if c.StalenessExp == 0 {
+		c.StalenessExp = 0.5
+	}
+	if c.LocalEpochs == 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 10
+	}
+}
+
+// TierRoundRecord captures one committed tier round.
+type TierRoundRecord struct {
+	// Tier is the committing tier (0 = fastest), TierRound its local round
+	// counter, Version the global commit index this commit produced.
+	Tier, TierRound, Version int
+	// Selected are the tier members trained this round.
+	Selected []int
+	// Staleness is the number of global commits that landed between this
+	// tier's pull and its commit.
+	Staleness int
+	// Weight is the effective mixing rate applied (alpha after tier
+	// weighting and staleness discount).
+	Weight float64
+	// Latency is the tier round's duration (max over selected clients);
+	// SimTime the simulated time at commit.
+	Latency, SimTime float64
+}
+
+// TieredAsyncResult extends Result with the per-tier commit log.
+type TieredAsyncResult struct {
+	Result
+	// TierRounds is every committed tier round in commit order.
+	TierRounds []TierRoundRecord
+	// Commits counts committed rounds per tier.
+	Commits []int
+}
+
+// tierRun is one in-flight tier round in the event queue.
+type tierRun struct {
+	tier      int
+	tierRound int
+	pulledVer int     // global version at dispatch (pull) time
+	finish    float64 // simulated completion time
+	selected  []int
+	weights   []float64 // tier-level FedAvg of the round's client updates
+	latency   float64
+}
+
+type tierRunHeap []*tierRun
+
+func (h tierRunHeap) Len() int { return len(h) }
+func (h tierRunHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].tier < h[j].tier // deterministic tie-break
+}
+func (h tierRunHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *tierRunHeap) Push(x any)   { *h = append(*h, x.(*tierRun)) }
+func (h *tierRunHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TieredAsyncEngine drives tiered-asynchronous training: one synchronous
+// mini-FedAvg loop per tier, asynchronous staleness-weighted commits into
+// the shared global model.
+type TieredAsyncEngine struct {
+	Cfg     TieredAsyncConfig
+	Tiers   [][]int // member client indices per tier, fastest first
+	Clients []*Client
+	Test    *dataset.Dataset
+
+	eng     *Engine // reused for TrainClient's deterministic local pass
+	weights []float64
+	clock   simres.Clock
+	version int
+	rounds  []int // per-tier local round counters
+}
+
+// NewTieredAsyncEngine validates the configuration and tier membership and
+// builds the engine. Tiers are ordered fastest first (core.BuildTiers
+// order); every tier must be non-empty and the tiers disjoint — the
+// collision-free rng keying depends on each client belonging to one tier.
+func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Client, test *dataset.Dataset) *TieredAsyncEngine {
+	cfg.withDefaults()
+	if cfg.Duration <= 0 || cfg.ClientsPerRound <= 0 || cfg.Model == nil || cfg.Optimizer == nil {
+		panic(fmt.Sprintf("flcore: invalid TieredAsyncConfig %+v", cfg))
+	}
+	if zeroLatency(cfg.Latency) {
+		panic("flcore: TieredAsyncConfig.Latency produces zero response latency; simulated time cannot advance")
+	}
+	if len(tiers) == 0 {
+		panic("flcore: tiered-async needs at least one tier")
+	}
+	tierOf := make(map[int]int, len(clients))
+	for i, members := range tiers {
+		if len(members) == 0 {
+			panic(fmt.Sprintf("flcore: tier %d is empty", i))
+		}
+		for _, ci := range members {
+			if ci < 0 || ci >= len(clients) {
+				panic(fmt.Sprintf("flcore: tier %d member %d out of range [0,%d)", i, ci, len(clients)))
+			}
+			if prev, dup := tierOf[ci]; dup {
+				panic(fmt.Sprintf("flcore: client %d in tiers %d and %d", ci, prev, i))
+			}
+			tierOf[ci] = i
+		}
+	}
+	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
+	syncCfg := Config{
+		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
+		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
+	}
+	return &TieredAsyncEngine{
+		Cfg:     cfg,
+		Tiers:   tiers,
+		Clients: clients,
+		Test:    test,
+		eng:     &Engine{Cfg: syncCfg, Clients: clients, global: global},
+		weights: global.WeightsVector(),
+		rounds:  make([]int, len(tiers)),
+	}
+}
+
+// GlobalWeights returns the current global weight vector (not a copy).
+func (e *TieredAsyncEngine) GlobalWeights() []float64 { return e.weights }
+
+// Clock returns the engine's simulated clock.
+func (e *TieredAsyncEngine) Clock() *simres.Clock { return &e.clock }
+
+// dispatch runs tier t's next synchronous mini-round from the current
+// global model and queues its completion event. The round's clients are
+// drawn with an rng keyed on (Seed, tier round, tier), and each client's
+// local pass is keyed on (Seed, tier round, client) via Engine.TrainClient,
+// so dispatch order cannot perturb results.
+func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
+	r := e.rounds[t]
+	e.rounds[t]++
+	selRng := rand.New(rand.NewSource(mix(e.Cfg.Seed, r, -(100 + t))))
+	members := e.Tiers[t]
+	want := e.Cfg.ClientsPerRound
+	var selected []int
+	if want >= len(members) {
+		selected = append([]int(nil), members...)
+	} else {
+		perm := selRng.Perm(len(members))
+		selected = make([]int, want)
+		for i := range selected {
+			selected[i] = members[perm[i]]
+		}
+	}
+	pulled := append([]float64(nil), e.weights...)
+	updates := make([]Update, len(selected))
+	for i, ci := range selected {
+		updates[i] = e.eng.TrainClient(r, ci, pulled)
+	}
+	lat := MaxLatency(updates)
+	heap.Push(h, &tierRun{
+		tier: t, tierRound: r, pulledVer: e.version,
+		finish: now + lat, selected: selected,
+		weights: FedAvg(updates), latency: lat,
+	})
+}
+
+// zeroLatency reports whether the model can only produce zero latencies —
+// a duration-bounded event loop over such a model would never terminate.
+func zeroLatency(m simres.LatencyModel) bool {
+	return m.CostPerSample <= 0 && m.CommLatency <= 0 && m.CommPerParam <= 0
+}
+
+// tierWeight evaluates the configured cross-tier weight for a commit.
+func (e *TieredAsyncEngine) tierWeight(tier int, commits []int) float64 {
+	if e.Cfg.TierWeight == nil {
+		return 1
+	}
+	w := e.Cfg.TierWeight(tier, commits)
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("flcore: tier weight %v for tier %d", w, tier))
+	}
+	return w
+}
+
+// Run executes tiered-asynchronous training until the simulated duration
+// elapses, returning the result with history sampled at EvalInterval
+// boundaries (Round counts global commits) plus the full commit log.
+func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
+	res := &TieredAsyncResult{Commits: make([]int, len(e.Tiers))}
+	h := &tierRunHeap{}
+	heap.Init(h)
+	for t := range e.Tiers {
+		e.dispatch(t, 0, h)
+	}
+
+	nextEval := e.Cfg.EvalInterval
+	evalNow := func(now float64) {
+		rec := RoundRecord{Round: e.version, SimTime: now, Acc: math.NaN(), Loss: math.NaN()}
+		if e.Test != nil {
+			e.eng.global.SetWeightsVector(e.weights)
+			rec.Acc, rec.Loss = e.eng.global.Evaluate(e.Test.InputTensor(), e.Test.Y, e.Cfg.EvalBatch)
+		}
+		res.History = append(res.History, rec)
+	}
+
+	for h.Len() > 0 {
+		run := heap.Pop(h).(*tierRun)
+		if run.finish > e.Cfg.Duration {
+			break
+		}
+		e.clock.Advance(run.finish - e.clock.Now())
+		now := e.clock.Now()
+		for e.Cfg.EvalInterval > 0 && now >= nextEval {
+			evalNow(nextEval)
+			nextEval += e.Cfg.EvalInterval
+		}
+
+		res.Commits[run.tier]++
+		staleness := e.version - run.pulledVer
+		alpha := e.Cfg.Alpha * e.tierWeight(run.tier, res.Commits) *
+			math.Pow(float64(staleness)+1, -e.Cfg.StalenessExp)
+		if alpha > 1 {
+			alpha = 1
+		}
+		for i := range e.weights {
+			e.weights[i] = (1-alpha)*e.weights[i] + alpha*run.weights[i]
+		}
+		e.version++
+
+		rec := TierRoundRecord{
+			Tier: run.tier, TierRound: run.tierRound, Version: e.version,
+			Selected: run.selected, Staleness: staleness, Weight: alpha,
+			Latency: run.latency, SimTime: now,
+		}
+		res.TierRounds = append(res.TierRounds, rec)
+		if e.Cfg.OnCommit != nil {
+			e.Cfg.OnCommit(rec)
+		}
+		e.dispatch(run.tier, now, h)
+	}
+	evalNow(e.clock.Now())
+	final := res.History[len(res.History)-1]
+	res.FinalAcc, res.FinalLoss = final.Acc, final.Loss
+	res.TotalTime = e.clock.Now()
+	res.Weights = append([]float64(nil), e.weights...)
+	return res
+}
+
+// RunTieredAsync is the one-shot convenience wrapper mirroring RunAsync.
+func RunTieredAsync(cfg TieredAsyncConfig, tiers [][]int, clients []*Client, test *dataset.Dataset) *TieredAsyncResult {
+	return NewTieredAsyncEngine(cfg, tiers, clients, test).Run()
+}

@@ -1,0 +1,93 @@
+package flnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Failure-path coverage for the aggregator's round collection: a worker
+// whose connection drops mid-round, and a round deadline expiring while
+// over-selected stragglers are still training.
+
+// failTrain returns a TrainFunc that errors on training rounds, which makes
+// RunWorker return and close its connection mid-round (profiling calls,
+// round -1, still succeed so registration-time profiling is unaffected).
+func failTrain() TrainFunc {
+	return func(round int, weights []float64) ([]float64, int, error) {
+		if round >= 0 {
+			return nil, 0, fmt.Errorf("synthetic mid-round failure")
+		}
+		return weights, 1, nil
+	}
+}
+
+func TestWorkerDisconnectMidRound(t *testing.T) {
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 3, InitialWeights: []float64{0}, Seed: 20,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 0, NumSamples: 1, Train: echoTrain(1, 1, 0)}) //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 1, NumSamples: 1, Train: echoTrain(1, 1, 0)}) //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 2, NumSamples: 1, Train: failTrain()})        //nolint:errcheck
+	if err := agg.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := agg.Run(UniformSelect(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dead worker's closed connection must be detected immediately —
+	// the round must not sit out the full 5 s timeout waiting for it.
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("round waited for the disconnected worker")
+	}
+	if res.Rounds[0].Selected != 3 || res.Rounds[0].Used != 2 {
+		t.Fatalf("stats = %+v, want 2 of 3 updates", res.Rounds[0])
+	}
+	// FedAvg over the two surviving echo(+1) workers.
+	if res.Weights[0] != 1 {
+		t.Fatalf("weights = %v, want 1", res.Weights)
+	}
+}
+
+func TestCollectTimeoutWithOverselection(t *testing.T) {
+	// Target 2, overselect 0.5 → 3 selected; two workers sleep far past
+	// the round deadline, so the deadline (not straggler completion) ends
+	// the round with a single usable update.
+	timeout := 300 * time.Millisecond
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, Overselect: 0.5,
+		InitialWeights: []float64{0}, Seed: 21, RoundTimeout: timeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 0, NumSamples: 1, Train: echoTrain(1, 1, 0)})             //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 1, NumSamples: 1, Train: echoTrain(1, 1, 3*time.Second)}) //nolint:errcheck
+	go RunWorker(agg.Addr(), WorkerConfig{ClientID: 2, NumSamples: 1, Train: echoTrain(1, 1, 3*time.Second)}) //nolint:errcheck
+	if err := agg.WaitForWorkers(3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := agg.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < timeout || elapsed > 2*time.Second {
+		t.Fatalf("round took %v, want roughly the %v deadline", elapsed, timeout)
+	}
+	if res.Rounds[0].Selected != 3 || res.Rounds[0].Used != 1 || res.Rounds[0].Discarded != 2 {
+		t.Fatalf("stats = %+v, want 1 used / 2 discarded of 3", res.Rounds[0])
+	}
+	if res.Weights[0] != 1 {
+		t.Fatalf("weights = %v, want the fast worker's update", res.Weights)
+	}
+}

@@ -50,6 +50,15 @@ type (
 	LatencyModel = simres.LatencyModel
 	// Guarantee is an (ε, δ) differential-privacy guarantee.
 	Guarantee = privacy.Guarantee
+	// TieredAsyncConfig configures FedAT-style tiered-asynchronous training
+	// (see flcore.TieredAsyncConfig).
+	TieredAsyncConfig = flcore.TieredAsyncConfig
+	// TieredAsyncResult is a finished tiered-asynchronous job with its
+	// per-tier commit log (see flcore.TieredAsyncResult).
+	TieredAsyncResult = flcore.TieredAsyncResult
+	// TierWeightFunc supplies cross-tier aggregation weights (see
+	// flcore.TierWeightFunc).
+	TierWeightFunc = flcore.TierWeightFunc
 )
 
 // The paper's Table 1 policies, re-exported.
@@ -185,6 +194,30 @@ func (s *System) Engine(cfg Config, test *Dataset) *flcore.Engine {
 		cfg.Latency = s.latency
 	}
 	return flcore.NewEngine(cfg, s.clients, test)
+}
+
+// FedATWeights is FedAT's slower-tier-favoring cross-tier weighting (see
+// core.FedATWeights), the default for TrainTieredAsync.
+func FedATWeights() TierWeightFunc { return core.FedATWeights() }
+
+// UniformTierWeights mixes every tier commit at the neutral base rate (see
+// core.UniformTierWeights).
+func UniformTierWeights() TierWeightFunc { return core.UniformTierWeights() }
+
+// TrainTieredAsync runs FedAT-style tiered-asynchronous training over this
+// system's tiers: each tier runs its own synchronous mini-FedAvg rounds,
+// tiers advance asynchronously over simulated time, and every committed
+// tier round is mixed into the global model with a staleness-discounted,
+// slower-tier-favoring weight. The system's latency model and FedAT's
+// cross-tier weights are applied when cfg leaves them zero.
+func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredAsyncResult {
+	if cfg.Latency == (LatencyModel{}) {
+		cfg.Latency = s.latency
+	}
+	if cfg.TierWeight == nil {
+		cfg.TierWeight = core.FedATWeights()
+	}
+	return flcore.RunTieredAsync(cfg, core.TierMembers(s.tiers), s.clients, test)
 }
 
 // EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a

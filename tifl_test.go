@@ -177,6 +177,30 @@ func TestEngineAccessorCheckpointFlow(t *testing.T) {
 	}
 }
 
+func TestTrainTieredAsync(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	res := sys.TrainTieredAsync(TieredAsyncConfig{
+		Duration: 60, ClientsPerRound: 5, EvalInterval: 20, Seed: 5,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, EvalBatch: 128,
+	}, test)
+	if len(res.Commits) != len(sys.Tiers()) {
+		t.Fatalf("commit counts %v for %d tiers", res.Commits, len(sys.Tiers()))
+	}
+	// Tier 1 holds the 4-CPU clients; tier 5 the 0.1-CPU clients. Fast
+	// tiers must commit more rounds within the shared simulated budget.
+	if res.Commits[0] <= res.Commits[len(res.Commits)-1] {
+		t.Fatalf("fast tier commits %v not above slow tier", res.Commits)
+	}
+	if len(res.TierRounds) == 0 || math.IsNaN(res.FinalAcc) {
+		t.Fatalf("empty run: %d commits, final acc %v", len(res.TierRounds), res.FinalAcc)
+	}
+}
+
 func TestProfilerDropoutsSurface(t *testing.T) {
 	clients, _ := testPopulation(t)
 	sys, err := New(clients, Options{Profiler: ProfilerConfig{SyncRounds: 3, Tmax: 2.0, Epochs: 1, Seed: 1}})
