@@ -3,11 +3,17 @@
 // aggregator process and any number of worker processes, each training a
 // private synthetic shard.
 //
-// Aggregator (waits for -workers, profiles them, then runs -rounds):
+// Synchronous aggregator (waits for -workers, profiles them, then runs
+// -rounds of FedAvg):
 //
 //	tifl-node -role aggregator -addr :7070 -workers 5 -rounds 20 -per-round 3
 //
-// Workers (one per shell / machine):
+// Tiered-asynchronous aggregator (profiles, builds -tiers latency tiers,
+// then runs FedAT-style per-tier rounds until -commits commits):
+//
+//	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -per-round 2
+//
+// Workers (one per shell / machine; they serve either aggregator kind):
 //
 //	tifl-node -role worker -addr host:7070 -id 0
 //	tifl-node -role worker -addr host:7070 -id 1 ...
@@ -20,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flnet"
 	"repro/internal/nn"
@@ -28,13 +35,17 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", "aggregator | worker")
+		role     = flag.String("role", "", "aggregator | tiered-aggregator | worker")
 		addr     = flag.String("addr", "127.0.0.1:7070", "aggregator address")
 		workers  = flag.Int("workers", 3, "aggregator: workers to wait for")
 		rounds   = flag.Int("rounds", 20, "aggregator: training rounds")
-		perRound = flag.Int("per-round", 2, "aggregator: clients per round")
+		perRound = flag.Int("per-round", 2, "aggregator: clients per round (per tier round when tiered)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "aggregator: per-round timeout")
 		over     = flag.Float64("overselect", 0, "aggregator: over-selection fraction (0.3 = paper's 130%)")
+		numTiers = flag.Int("tiers", 2, "tiered-aggregator: latency tiers to build")
+		commits  = flag.Int("commits", 40, "tiered-aggregator: global commits to run")
+		alpha    = flag.Float64("alpha", 0, "tiered-aggregator: base mixing rate (0 = default 0.6)")
+		staleExp = flag.Float64("staleness-exp", 0, "tiered-aggregator: staleness discount exponent (0 = default 0.5)")
 		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
 		samples  = flag.Int("samples", 400, "worker: local training samples")
 		seed     = flag.Int64("seed", 1, "seed")
@@ -84,6 +95,42 @@ func main() {
 		}
 		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 
+	case "tiered-aggregator":
+		init := arch(rand.New(rand.NewSource(*seed))).WeightsVector()
+		agg, err := flnet.NewTieredAsyncAggregator(*addr, flnet.TieredAsyncConfig{
+			GlobalCommits: *commits, ClientsPerRound: *perRound,
+			Alpha: *alpha, StalenessExp: *staleExp,
+			TierWeight:   core.FedATWeights(),
+			RoundTimeout: *timeout, InitialWeights: init, Seed: *seed,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer agg.Close()
+		fmt.Printf("tiered-async aggregator listening on %s, waiting for %d workers...\n", agg.Addr(), *workers)
+		if err := agg.WaitForWorkers(*workers, 10*time.Minute); err != nil {
+			fail("%v", err)
+		}
+		res, tiers, dropouts, err := agg.ProfileAndRun(*numTiers, *timeout)
+		if len(dropouts) > 0 {
+			fmt.Printf("profiling dropouts (excluded from all tiers): %v\n", dropouts)
+		}
+		if err != nil {
+			fail("tiered training: %v", err)
+		}
+		for _, tr := range tiers {
+			fmt.Printf("tier %d (mean latency %.3fs): workers %v → %d commits\n",
+				tr.ID+1, tr.MeanLatency, tr.Members, res.Commits[tr.ID])
+		}
+		test := dataset.Generate(spec, 1000, *seed+999)
+		model := arch(rand.New(rand.NewSource(*seed)))
+		model.SetWeightsVector(res.Weights)
+		acc, loss := model.Evaluate(test.X, test.Y, 256)
+		last := res.Log[len(res.Log)-1]
+		fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f)\n",
+			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight)
+		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
+
 	case "worker":
 		local := dataset.Generate(spec, *samples, *seed+int64(*id)*31)
 		fmt.Printf("worker %d: %d local samples, connecting to %s\n", *id, local.Len(), *addr)
@@ -97,7 +144,12 @@ func main() {
 			})
 			return model.WeightsVector(), local.Len(), nil
 		}
-		err := flnet.RunWorker(*addr, flnet.WorkerConfig{ClientID: *id, NumSamples: local.Len(), Train: train})
+		err := flnet.RunWorker(*addr, flnet.WorkerConfig{
+			ClientID: *id, NumSamples: local.Len(), Train: train,
+			OnTierAssign: func(tier, numTiers int) {
+				fmt.Printf("worker %d: assigned to tier %d of %d\n", *id, tier+1, numTiers)
+			},
+		})
 		if err != nil {
 			fail("%v", err)
 		}

@@ -3,6 +3,13 @@
 // each training a private non-IID shard of a synthetic dataset, with
 // network profiling for tiering and 130% over-selection straggler
 // mitigation.
+//
+// A second phase runs the same population under the tiered-asynchronous
+// socket protocol (flnet.TieredAsyncAggregator): workers are profiled over
+// the network, split into latency tiers, and each tier commits its own
+// mini-FedAvg rounds asynchronously into the global model with FedAT's
+// staleness-discounted, slower-tier-favoring weights — so the slow worker
+// stops gating every round instead of being discarded.
 package main
 
 import (
@@ -12,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flnet"
 	"repro/internal/nn"
@@ -42,37 +50,46 @@ func main() {
 	fmt.Printf("aggregator on %s; launching %d workers\n", agg.Addr(), numWorkers)
 
 	// Workers: each holds a 2-class shard; worker 5 is artificially slow,
-	// exercising the straggler-discard path.
+	// exercising the straggler-discard path (sync) and the slow tier
+	// (tiered-async). launchWorkers is reused by both phases because
+	// workers exit when an aggregator sends Done.
 	train := dataset.Generate(spec, 3000, 2)
 	parts := dataset.PartitionByClass(train, numWorkers, 2, rand.New(rand.NewSource(3)))
-	var wg sync.WaitGroup
-	for id := 0; id < numWorkers; id++ {
-		local := train.Subset(parts[id])
-		delay := time.Duration(0)
-		if id == numWorkers-1 {
-			delay = 400 * time.Millisecond
+	launchWorkers := func(addr string) *sync.WaitGroup {
+		var wg sync.WaitGroup
+		for id := 0; id < numWorkers; id++ {
+			local := train.Subset(parts[id])
+			delay := time.Duration(0)
+			if id == numWorkers-1 {
+				delay = 400 * time.Millisecond
+			}
+			wg.Add(1)
+			go func(id int, local *dataset.Dataset, delay time.Duration) {
+				defer wg.Done()
+				trainFn := func(round int, weights []float64) ([]float64, int, error) {
+					time.Sleep(delay)
+					rng := rand.New(rand.NewSource(int64(id) + int64(round)*7919))
+					model := arch(rng)
+					model.SetWeightsVector(weights)
+					opt := nn.NewRMSprop(0.01, 0.995)
+					local.Batches(10, rng, func(x *tensor.Tensor, y []int) {
+						model.TrainBatch(x, y, opt)
+					})
+					return model.WeightsVector(), local.Len(), nil
+				}
+				if err := flnet.RunWorker(addr, flnet.WorkerConfig{
+					ClientID: id, NumSamples: local.Len(), Train: trainFn,
+					OnTierAssign: func(tier, numTiers int) {
+						fmt.Printf("  worker %d assigned to tier %d of %d\n", id, tier+1, numTiers)
+					},
+				}); err != nil {
+					fmt.Printf("worker %d: %v\n", id, err)
+				}
+			}(id, local, delay)
 		}
-		wg.Add(1)
-		go func(id int, local *dataset.Dataset, delay time.Duration) {
-			defer wg.Done()
-			trainFn := func(round int, weights []float64) ([]float64, int, error) {
-				time.Sleep(delay)
-				rng := rand.New(rand.NewSource(int64(id) + int64(round)*7919))
-				model := arch(rng)
-				model.SetWeightsVector(weights)
-				opt := nn.NewRMSprop(0.01, 0.995)
-				local.Batches(10, rng, func(x *tensor.Tensor, y []int) {
-					model.TrainBatch(x, y, opt)
-				})
-				return model.WeightsVector(), local.Len(), nil
-			}
-			if err := flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{
-				ClientID: id, NumSamples: local.Len(), Train: trainFn,
-			}); err != nil {
-				fmt.Printf("worker %d: %v\n", id, err)
-			}
-		}(id, local, delay)
+		return &wg
 	}
+	wg := launchWorkers(agg.Addr())
 
 	if err := agg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
 		panic(err)
@@ -108,4 +125,38 @@ func main() {
 	acc, _ := model.Evaluate(test.X, test.Y, 256)
 	fmt.Printf("\n%d rounds over TCP, %d straggler updates discarded, final accuracy %.4f\n",
 		rounds, discarded, acc)
+
+	// Phase 2: tiered-asynchronous over the same sockets. Instead of
+	// discarding the slow worker's updates, profile-built tiers let it
+	// commit at its own pace with FedAT's cross-tier weighting.
+	fmt.Println("\n--- tiered-asynchronous (FedAT-style) over TCP ---")
+	tagg, err := flnet.NewTieredAsyncAggregator("127.0.0.1:0", flnet.TieredAsyncConfig{
+		GlobalCommits: 8 * rounds, ClientsPerRound: perRound,
+		TierWeight:   core.FedATWeights(),
+		RoundTimeout: 30 * time.Second, InitialWeights: init, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer tagg.Close()
+	twg := launchWorkers(tagg.Addr())
+	if err := tagg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
+		panic(err)
+	}
+	tres, tiers, dropouts, err := tagg.ProfileAndRun(2, 30*time.Second)
+	if err != nil {
+		panic(err)
+	}
+	if len(dropouts) > 0 {
+		fmt.Printf("profiling dropouts: %v\n", dropouts)
+	}
+	twg.Wait()
+	for _, tr := range tiers {
+		fmt.Printf("tier %d (mean latency %.3fs): workers %v → %d commits\n",
+			tr.ID+1, tr.MeanLatency, tr.Members, tres.Commits[tr.ID])
+	}
+	model.SetWeightsVector(tres.Weights)
+	tacc, _ := model.Evaluate(test.X, test.Y, 256)
+	fmt.Printf("%d async commits over TCP (no updates discarded), final accuracy %.4f\n",
+		len(tres.Log), tacc)
 }

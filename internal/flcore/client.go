@@ -1,10 +1,19 @@
-// Package flcore implements the vanilla cross-device federated-learning
-// substrate from Section 3.1 of the TiFL paper: clients holding private
-// shards, the FedAvg aggregator (Algorithm 1), and the synchronous round
-// engine whose per-round latency is the maximum over selected clients
-// (Eq. 1). TiFL's tier-based selection (internal/core) plugs into this
-// engine through the Selector interface without touching the training loop,
-// mirroring the paper's "non-intrusive" design claim.
+// Package flcore implements the cross-device federated-learning substrate
+// from Section 3.1 of the TiFL paper and its training engines: clients
+// holding private shards, the FedAvg aggregator (Algorithm 1), the
+// synchronous round Engine whose per-round latency is the maximum over
+// selected clients (Eq. 1), the fully asynchronous FedAsync baseline
+// (AsyncEngine), and the FedAT-style tiered-asynchronous hybrid
+// (TieredAsyncEngine) — per-tier synchronous mini-rounds with
+// staleness-weighted asynchronous commits. TiFL's tier-based selection
+// (internal/core) plugs into the synchronous engine through the Selector
+// interface without touching the training loop, mirroring the paper's
+// "non-intrusive" design claim.
+//
+// All engine randomness is keyed on (seed, round, client), so runs are
+// bit-reproducible, parallel execution matches sequential execution, and
+// the distributed runtime (internal/flnet) reproduces the simulator's
+// local computation exactly via Engine.TrainClient and TierCohort.
 package flcore
 
 import (

@@ -54,10 +54,17 @@ type TieredAsyncConfig struct {
 	// EvalInterval evaluates the global model every so many simulated
 	// seconds (0 = only at the end).
 	EvalInterval float64
-	BatchSize   int
+	// BatchSize is the local mini-batch size (default 10, the paper's
+	// setting).
+	BatchSize int
+	// LocalEpochs is the local epochs per selected client per tier round
+	// (default 1).
 	LocalEpochs int
-	Seed        int64
-	Model       ModelFactory
+	// Seed keys every random stream — model init, per-tier cohort
+	// selection, and per-client local training.
+	Seed int64
+	// Model builds a fresh model replica (see ModelFactory).
+	Model ModelFactory
 	// Optimizer receives the committing tier's LOCAL round index: each
 	// tier's synchronous loop owns its round-indexed schedule (LR decay
 	// advances at the tier's own pace, as in FedAT), so a slow tier that
@@ -66,7 +73,11 @@ type TieredAsyncConfig struct {
 	// commit version instead would decay it numTiers-fold faster than
 	// the sync and async engines under the same Optimizer factory.
 	Optimizer OptimizerFactory
-	Latency   simres.LatencyModel
+	// Latency maps client resources to simulated response latency; it must
+	// be able to produce non-zero latencies or simulated time cannot
+	// advance.
+	Latency simres.LatencyModel
+	// EvalBatch bounds evaluation batch size (0 = whole set at once).
 	EvalBatch int
 	// OnCommit, if set, receives every tier-round commit as it is applied
 	// (the tiered analogue of Config.OnRound).
@@ -214,6 +225,26 @@ func (e *TieredAsyncEngine) GlobalWeights() []float64 { return e.weights }
 // Clock returns the engine's simulated clock.
 func (e *TieredAsyncEngine) Clock() *simres.Clock { return &e.clock }
 
+// TierCohort draws tier t's participants for its local round r from the
+// tier's member list: everyone when want covers the tier, otherwise a
+// permutation prefix from an rng keyed on (seed, tier round, tier). A client
+// belongs to exactly one tier, so the keying never collides with the
+// per-client training streams. Exported so the socket runtime
+// (flnet.TieredAsyncAggregator) draws cohorts identical to the simulated
+// engine's under the same seed and tier membership.
+func TierCohort(seed int64, tierRound, tier int, members []int, want int) []int {
+	if want >= len(members) {
+		return append([]int(nil), members...)
+	}
+	rng := rand.New(rand.NewSource(mix(seed, tierRound, -(100 + tier))))
+	perm := rng.Perm(len(members))
+	out := make([]int, want)
+	for i := range out {
+		out[i] = members[perm[i]]
+	}
+	return out
+}
+
 // dispatch runs tier t's next synchronous mini-round from the current
 // global model and queues its completion event. The round's clients are
 // drawn with an rng keyed on (Seed, tier round, tier), and each client's
@@ -222,19 +253,7 @@ func (e *TieredAsyncEngine) Clock() *simres.Clock { return &e.clock }
 func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
 	r := e.rounds[t]
 	e.rounds[t]++
-	selRng := rand.New(rand.NewSource(mix(e.Cfg.Seed, r, -(100 + t))))
-	members := e.Tiers[t]
-	want := e.Cfg.ClientsPerRound
-	var selected []int
-	if want >= len(members) {
-		selected = append([]int(nil), members...)
-	} else {
-		perm := selRng.Perm(len(members))
-		selected = make([]int, want)
-		for i := range selected {
-			selected[i] = members[perm[i]]
-		}
-	}
+	selected := TierCohort(e.Cfg.Seed, r, t, e.Tiers[t], e.Cfg.ClientsPerRound)
 	pulled := append([]float64(nil), e.weights...)
 	updates := make([]Update, len(selected))
 	for i, ci := range selected {
@@ -252,6 +271,23 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
 // a duration-bounded event loop over such a model would never terminate.
 func zeroLatency(m simres.LatencyModel) bool {
 	return m.CostPerSample <= 0 && m.CommLatency <= 0 && m.CommPerParam <= 0
+}
+
+// CommitMix folds one committed tier round into the global weight vector in
+// place: the effective rate is alpha scaled by the cross-tier weight and
+// discounted by staleness as (staleness+1)^(−stalenessExp), clamped to 1.
+// It returns the effective rate applied. This is THE FedAT mixing rule —
+// shared with the socket runtime (flnet.TieredAsyncAggregator) so the
+// simulated and distributed global models cannot drift apart.
+func CommitMix(global, commit []float64, alpha, tierWeight float64, staleness int, stalenessExp float64) float64 {
+	a := alpha * tierWeight * math.Pow(float64(staleness)+1, -stalenessExp)
+	if a > 1 {
+		a = 1
+	}
+	for i := range global {
+		global[i] = (1-a)*global[i] + a*commit[i]
+	}
+	return a
 }
 
 // tierWeight evaluates the configured cross-tier weight for a commit.
@@ -301,14 +337,8 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 
 		res.Commits[run.tier]++
 		staleness := e.version - run.pulledVer
-		alpha := e.Cfg.Alpha * e.tierWeight(run.tier, res.Commits) *
-			math.Pow(float64(staleness)+1, -e.Cfg.StalenessExp)
-		if alpha > 1 {
-			alpha = 1
-		}
-		for i := range e.weights {
-			e.weights[i] = (1-alpha)*e.weights[i] + alpha*run.weights[i]
-		}
+		alpha := CommitMix(e.weights, run.weights, e.Cfg.Alpha,
+			e.tierWeight(run.tier, res.Commits), staleness, e.Cfg.StalenessExp)
 		e.version++
 
 		rec := TierRoundRecord{

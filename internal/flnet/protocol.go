@@ -5,6 +5,17 @@
 // tiering, per-round timeouts, and the 130% over-selection straggler
 // mitigation the paper discusses (Section 2).
 //
+// Two training protocols run over the same worker connections:
+//
+//   - Aggregator drives synchronous FedAvg rounds (Algorithm 1), with
+//     tier-based selection plugged in via TierSelectFunc.
+//   - TieredAsyncAggregator is the socket port of the FedAT-style
+//     tiered-asynchronous engine (flcore.TieredAsyncEngine): one goroutine
+//     per tier drives synchronous mini-FedAvg rounds over that tier's live
+//     workers, and committed tier rounds funnel through a channel into a
+//     single global-model goroutine applying staleness-discounted,
+//     slower-tier-favoring mixing (core.FedATWeights).
+//
 // Messages are gob-encoded over TCP. The aggregator owns the global model
 // as a flat weight vector; workers run caller-supplied TrainFuncs, so the
 // same nn/flcore training code runs in-process or across machines.
@@ -29,6 +40,8 @@ const (
 	MsgUpdate
 	MsgPartial
 	MsgDone
+	MsgTierAssign
+	MsgTierCommit
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
@@ -42,6 +55,8 @@ type Envelope struct {
 	Update       *Update
 	Partial      *Partial
 	Done         *Done
+	TierAssign   *TierAssign
+	TierCommit   *TierCommit
 }
 
 // Register announces a worker to its aggregator.
@@ -94,6 +109,33 @@ type Partial struct {
 // Done tells a worker training is finished.
 type Done struct {
 	Rounds int
+}
+
+// TierAssign tells a worker which latency tier it was placed in after
+// server-side profiling and tiering (tier 0 is fastest, per
+// core.BuildTiers). Workers need no tier knowledge to train — their tier's
+// aggregator loop drives them — but the assignment lets them log placement
+// and lets future work adapt locally (e.g. update compression for slow
+// tiers).
+type TierAssign struct {
+	Tier     int
+	NumTiers int
+}
+
+// TierCommit is one tier's finished mini-FedAvg round on its way to the
+// global model: the tier-level aggregate, the tier's local round counter,
+// and the global version the round was trained from (PulledVersion), from
+// which the committer derives staleness. Inside TieredAsyncAggregator these
+// envelopes flow over the in-process commit channel; the wire encoding
+// exists so a tier loop can run as a separate child-aggregator process
+// (hierarchy.go style) without a protocol change.
+type TierCommit struct {
+	Tier          int
+	TierRound     int
+	PulledVersion int
+	Weights       []float64
+	Clients       int
+	Seconds       float64 // wall-clock duration of the tier round
 }
 
 // conn wraps a net.Conn with gob codecs and deadline helpers.

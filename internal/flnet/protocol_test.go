@@ -25,6 +25,8 @@ func TestProtocolRoundTripAllTypes(t *testing.T) {
 		{Type: MsgUpdate, Update: &Update{Round: 3, ClientID: 7, Weights: []float64{5}, NumSamples: 4}},
 		{Type: MsgPartial, Partial: &Partial{Round: 1, WeightedSum: []float64{10}, TotalWeight: 2, Clients: 2}},
 		{Type: MsgDone, Done: &Done{Rounds: 8}},
+		{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: 1, NumTiers: 3}},
+		{Type: MsgTierCommit, TierCommit: &TierCommit{Tier: 1, TierRound: 4, PulledVersion: 9, Weights: []float64{0.5}, Clients: 2, Seconds: 0.125}},
 	}
 	go func() {
 		for _, m := range msgs {

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flcore"
@@ -82,6 +83,7 @@ type registered struct {
 	samples int
 	c       *conn
 	updates chan *Envelope
+	dead    atomic.Bool // set by the reader goroutine when the conn drops
 	err     error
 }
 
@@ -178,12 +180,25 @@ func (a *Aggregator) handshake(raw net.Conn) {
 			env, err := c.recv(0)
 			if err != nil {
 				w.err = err
+				w.dead.Store(true)
 				close(w.updates)
 				return
 			}
 			w.updates <- env
 		}
 	}()
+}
+
+// liveWorker returns the registered worker with the given ID if its
+// connection is still up, nil otherwise.
+func (a *Aggregator) liveWorker(id int) *registered {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	w := a.workers[id]
+	if w == nil || w.dead.Load() {
+		return nil
+	}
+	return w
 }
 
 // ids returns the sorted registered client IDs.

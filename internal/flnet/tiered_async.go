@@ -1,0 +1,391 @@
+package flnet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flcore"
+)
+
+// Tiered-asynchronous training over real sockets: the port of
+// flcore.TieredAsyncEngine (FedAT-style, Chai et al., SC 2021) onto the TCP
+// runtime. One aggregator goroutine per tier drives synchronous mini-FedAvg
+// rounds over that tier's live worker connections — broadcast the pulled
+// global snapshot, collect updates with the same disconnect tolerance and
+// round timeout as the synchronous Aggregator — and every finished tier
+// round travels as a MsgTierCommit envelope through a commit channel into a
+// single global-model goroutine, which applies the staleness-discounted,
+// cross-tier-weighted mixing. Tiers therefore advance at their real network
+// and compute speeds: a fast tier commits many rounds while a slow tier
+// finishes one, exactly the behaviour the simulated engine models with its
+// event queue.
+//
+// Selection inside each tier uses flcore.TierCohort with the same
+// (seed, tier round, tier) keying as the simulation, so under identical
+// seeds and tier membership both runtimes draw identical cohorts; only the
+// commit interleaving differs (real wall clock here, simulated latency
+// there).
+
+// TieredAsyncConfig configures a distributed tiered-asynchronous run.
+type TieredAsyncConfig struct {
+	// GlobalCommits is the total number of tier-round commits to apply to
+	// the global model before finishing — the distributed analogue of the
+	// simulated engine's Duration budget.
+	GlobalCommits int
+	// ClientsPerRound is |C| within each tier's synchronous mini-round.
+	ClientsPerRound int
+	// Alpha is the base server mixing rate per committed tier round
+	// (default 0.6, matching flcore.TieredAsyncConfig).
+	Alpha float64
+	// StalenessExp is the staleness discount exponent a in
+	// (staleness+1)^(−a) (default 0.5, matching flcore.TieredAsyncConfig).
+	StalenessExp float64
+	// TierWeight supplies the cross-tier commit weight; nil means neutral
+	// for every tier (core.FedATWeights gives FedAT's
+	// slower-tier-favoring policy).
+	TierWeight flcore.TierWeightFunc
+	// RoundTimeout bounds how long a tier waits for its cohort's updates
+	// each mini-round; 0 means wait indefinitely.
+	RoundTimeout time.Duration
+	// InitialWeights is the starting global model.
+	InitialWeights []float64
+	// Seed keys per-tier cohort selection (flcore.TierCohort).
+	Seed int64
+}
+
+func (c *TieredAsyncConfig) withDefaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 0.6
+	}
+	if c.StalenessExp == 0 {
+		c.StalenessExp = 0.5
+	}
+}
+
+func (c TieredAsyncConfig) validate() error {
+	switch {
+	case c.GlobalCommits <= 0:
+		return fmt.Errorf("flnet: GlobalCommits = %d", c.GlobalCommits)
+	case c.ClientsPerRound <= 0:
+		return fmt.Errorf("flnet: ClientsPerRound = %d", c.ClientsPerRound)
+	case len(c.InitialWeights) == 0:
+		return fmt.Errorf("flnet: InitialWeights empty")
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("flnet: Alpha = %v", c.Alpha)
+	case c.StalenessExp < 0:
+		return fmt.Errorf("flnet: StalenessExp = %v", c.StalenessExp)
+	}
+	return nil
+}
+
+// TierCommitStats records one applied commit, in commit order — the network
+// analogue of flcore.TierRoundRecord.
+type TierCommitStats struct {
+	// Tier is the committing tier (0 = fastest), TierRound its local round
+	// counter, Version the global commit index this commit produced.
+	Tier, TierRound, Version int
+	// Staleness is the number of global commits applied between this
+	// tier's pull and its commit.
+	Staleness int
+	// Weight is the effective mixing rate applied (alpha after tier
+	// weighting and staleness discount).
+	Weight float64
+	// Clients is how many cohort members' updates made the tier aggregate
+	// (fewer than the cohort under disconnects or the round timeout).
+	Clients int
+	// Seconds is the tier round's wall-clock duration.
+	Seconds float64
+}
+
+// TieredAsyncRunResult is a finished distributed tiered-asynchronous job.
+type TieredAsyncRunResult struct {
+	// Weights is the final global model.
+	Weights []float64
+	// Commits counts applied commits per tier.
+	Commits []int
+	// Log is every applied commit in order.
+	Log []TierCommitStats
+}
+
+// TieredAsyncAggregator is the FL server for tiered-asynchronous training.
+// It reuses the base Aggregator's listener, registration, and profiling;
+// Run replaces the synchronous round loop with per-tier loops and the
+// asynchronous commit protocol.
+type TieredAsyncAggregator struct {
+	*Aggregator
+	tcfg TieredAsyncConfig
+
+	gmu     sync.Mutex // guards version + gweights
+	version int
+	gw      []float64
+}
+
+// NewTieredAsyncAggregator listens on addr (e.g. "127.0.0.1:0").
+func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncAggregator, error) {
+	cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	base, err := NewAggregator(addr, AggregatorConfig{
+		Rounds: cfg.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
+		RoundTimeout: cfg.RoundTimeout, InitialWeights: cfg.InitialWeights,
+		Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TieredAsyncAggregator{
+		Aggregator: base,
+		tcfg:       cfg,
+		gw:         append([]float64(nil), cfg.InitialWeights...),
+	}, nil
+}
+
+// snapshot returns the current global version and a copy of the weights —
+// the tier loops' "pull".
+func (ta *TieredAsyncAggregator) snapshot() (int, []float64) {
+	ta.gmu.Lock()
+	defer ta.gmu.Unlock()
+	return ta.version, append([]float64(nil), ta.gw...)
+}
+
+// applyCommit mixes one tier commit into the global model and returns its
+// stats. A mismatched weight length or an invalid TierWeight is a
+// configuration error (mismatched worker model architecture, broken weight
+// policy) that no later commit can heal, so it is reported rather than
+// dropped — the loud-failure analogue of the simulated engine's panics.
+func (ta *TieredAsyncAggregator) applyCommit(tc *TierCommit, commits []int) (TierCommitStats, error) {
+	ta.gmu.Lock()
+	defer ta.gmu.Unlock()
+	if len(tc.Weights) != len(ta.gw) {
+		return TierCommitStats{}, fmt.Errorf("flnet: tier %d commit carries %d weights, global model has %d", tc.Tier, len(tc.Weights), len(ta.gw))
+	}
+	commits[tc.Tier]++
+	w := 1.0
+	if ta.tcfg.TierWeight != nil {
+		w = ta.tcfg.TierWeight(tc.Tier, commits)
+		if w < 0 || math.IsNaN(w) {
+			commits[tc.Tier]--
+			return TierCommitStats{}, fmt.Errorf("flnet: tier weight %v for tier %d", w, tc.Tier)
+		}
+	}
+	staleness := ta.version - tc.PulledVersion
+	alpha := flcore.CommitMix(ta.gw, tc.Weights, ta.tcfg.Alpha, w, staleness, ta.tcfg.StalenessExp)
+	ta.version++
+	return TierCommitStats{
+		Tier: tc.Tier, TierRound: tc.TierRound, Version: ta.version,
+		Staleness: staleness, Weight: alpha, Clients: tc.Clients,
+		Seconds: tc.Seconds,
+	}, nil
+}
+
+// tierAlive reports whether any tier member's connection is still up.
+func (ta *TieredAsyncAggregator) tierAlive(members []int) bool {
+	for _, id := range members {
+		if ta.liveWorker(id) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// tierLoop drives tier t's synchronous mini-FedAvg rounds until the global
+// committer signals done or the tier can no longer make progress (its last
+// live worker is gone, or maxEmptyRounds consecutive rounds produced no
+// update). Each round pulls a global snapshot, trains the deterministically
+// drawn cohort (skipping workers whose connections dropped),
+// FedAvg-aggregates whatever responses arrive before the round timeout, and
+// sends the result into the commit channel as a MsgTierCommit envelope.
+func (ta *TieredAsyncAggregator) tierLoop(t int, members []int, commitCh chan<- *Envelope, done <-chan struct{}) {
+	// A tier that times out this many rounds in a row (each with
+	// maxEmptyRounds collection windows) stops participating; when every
+	// tier stops, Run reports the failure instead of hanging.
+	const maxEmptyRounds = 3
+	empty := 0
+	for r := 0; ; r++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if !ta.tierAlive(members) || empty >= maxEmptyRounds {
+			return
+		}
+		cohort := flcore.TierCohort(ta.tcfg.Seed, r, t, members, ta.tcfg.ClientsPerRound)
+		var conns []*registered
+		for _, id := range cohort {
+			if w := ta.liveWorker(id); w != nil {
+				conns = append(conns, w) // dead cohort members: train the rest
+			}
+		}
+		if len(conns) == 0 {
+			// Whole cohort dead while the tier still has live members
+			// elsewhere: the next round draws a different cohort. Back off
+			// briefly so the redraw loop cannot burn a core while dead
+			// flags propagate.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		version, weights := ta.snapshot()
+		start := time.Now()
+		var live []*registered
+		for _, w := range conns {
+			if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: r, Weights: weights}}); err != nil {
+				continue
+			}
+			live = append(live, w)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		updates := ta.collect(live, len(live), r)
+		// A cohort that is slow in its entirety can outlast RoundTimeout.
+		// Its round-r updates stay valid, so grant extra collection windows
+		// for the same round before giving it up — an all-slow tier still
+		// commits instead of being perpetually one round behind with every
+		// late update discarded as stale. (A single member persistently
+		// slower than the rest of its cohort is still dropped each round,
+		// like a sync-path straggler; the mitigation for that is better
+		// tiering — latency-homogeneous tiers by construction, and the
+		// re-profiling/re-tiering direction in the ROADMAP.)
+		for retry := 0; len(updates) == 0 && retry < maxEmptyRounds-1; retry++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if !ta.tierAlive(members) {
+				return
+			}
+			updates = ta.collect(live, len(live), r)
+		}
+		if len(updates) == 0 {
+			empty++
+			continue
+		}
+		empty = 0
+		env := &Envelope{Type: MsgTierCommit, TierCommit: &TierCommit{
+			Tier: t, TierRound: r, PulledVersion: version,
+			Weights: flcore.FedAvg(updates), Clients: len(updates),
+			Seconds: time.Since(start).Seconds(),
+		}}
+		select {
+		case commitCh <- env:
+		case <-done:
+			return
+		}
+	}
+}
+
+// Run partitions the registered workers into the given tiers (member worker
+// IDs per tier, fastest first — core.TierMembers form), announces the
+// placement to each worker, and drives tiered-asynchronous training until
+// GlobalCommits commits have been applied. Workers that disconnect — even
+// between profiling and Run — are tolerated round to round; Run fails if
+// every tier stops making progress (all workers lost, or rounds repeatedly
+// timing out empty) before the commit target is reached, or on the first
+// malformed commit (wrong weight length, invalid TierWeight) — a
+// configuration error no later commit can heal.
+func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("flnet: tiered-async needs at least one tier")
+	}
+	seen := make(map[int]int)
+	for t, members := range tiers {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("flnet: tier %d is empty", t)
+		}
+		for _, id := range members {
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("flnet: worker %d in tiers %d and %d", id, prev, t)
+			}
+			seen[id] = t
+			// A member must have registered at some point; one that has
+			// since dropped is tolerated like any mid-run disconnect.
+			ta.mu.Lock()
+			_, registered := ta.workers[id]
+			ta.mu.Unlock()
+			if !registered {
+				return nil, fmt.Errorf("flnet: tier %d member %d never registered", t, id)
+			}
+		}
+	}
+	// Announce placements (best effort: a worker that just dropped is
+	// handled by its tier loop like any other disconnect).
+	for t, members := range tiers {
+		for _, id := range members {
+			if w := ta.liveWorker(id); w != nil {
+				w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: t, NumTiers: len(tiers)}}) //nolint:errcheck // best effort
+			}
+		}
+	}
+
+	commitCh := make(chan *Envelope)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for t, members := range tiers {
+		wg.Add(1)
+		go func(t int, members []int) {
+			defer wg.Done()
+			ta.tierLoop(t, members, commitCh, done)
+		}(t, members)
+	}
+	loopsExited := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(loopsExited)
+	}()
+
+	// The single global-model goroutine is this one: it owns the commit
+	// order, applying envelopes as tiers race to deliver them.
+	res := &TieredAsyncRunResult{Commits: make([]int, len(tiers))}
+	applied := 0
+	for applied < ta.tcfg.GlobalCommits {
+		select {
+		case env := <-commitCh:
+			stats, err := ta.applyCommit(env.TierCommit, res.Commits)
+			if err != nil {
+				close(done)
+				ta.FinishWorkers(applied)
+				wg.Wait()
+				_, res.Weights = ta.snapshot()
+				return res, err
+			}
+			res.Log = append(res.Log, stats)
+			applied++
+		case <-loopsExited:
+			ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers
+			_, res.Weights = ta.snapshot()
+			return res, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+		}
+	}
+	// Done goes out before waiting on the tier loops: workers finishing an
+	// in-flight round send their update, read Done, and close their
+	// connections, which unblocks any loop still collecting — so the final
+	// wait is bounded even when RoundTimeout is generous.
+	close(done)
+	ta.FinishWorkers(applied)
+	wg.Wait()
+	_, res.Weights = ta.snapshot()
+	return res, nil
+}
+
+// ProfileAndRun is the end-to-end entry point: profile every registered
+// worker over the network (core.Profile's Section 4.2 pass, measured on
+// real connections), build numTiers latency tiers from the measurements,
+// and run the tiered-asynchronous protocol over them. It returns the built
+// tiers and the profiling dropouts alongside the result — a worker that
+// missed its profiling reply is excluded from every tier and sits out the
+// whole run, so callers should surface the dropout list.
+func (ta *TieredAsyncAggregator) ProfileAndRun(numTiers int, profileTimeout time.Duration) (*TieredAsyncRunResult, []core.Tier, []int, error) {
+	lat, dropouts, err := ta.ProfileWorkers(profileTimeout)
+	if err != nil {
+		return nil, nil, dropouts, err
+	}
+	tiers := core.BuildTiers(lat, numTiers, core.Quantile)
+	res, err := ta.Run(core.TierMembers(tiers))
+	return res, tiers, dropouts, err
+}

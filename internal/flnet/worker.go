@@ -18,6 +18,9 @@ type WorkerConfig struct {
 	Train      TrainFunc
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
+	// OnTierAssign, if set, receives the worker's tier placement when a
+	// tiered-async aggregator announces it (tier 0 is fastest).
+	OnTierAssign func(tier, numTiers int)
 }
 
 // RunWorker connects to the aggregator at addr, registers, and serves
@@ -64,6 +67,10 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n}
 			if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
 				return err
+			}
+		case MsgTierAssign:
+			if cfg.OnTierAssign != nil && env.TierAssign != nil {
+				cfg.OnTierAssign(env.TierAssign.Tier, env.TierAssign.NumTiers)
 			}
 		case MsgDone:
 			return nil

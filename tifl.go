@@ -19,11 +19,13 @@ package tifl
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/estimate"
 	"repro/internal/flcore"
+	"repro/internal/flnet"
 	"repro/internal/privacy"
 	"repro/internal/simres"
 )
@@ -59,6 +61,9 @@ type (
 	// TierWeightFunc supplies cross-tier aggregation weights (see
 	// flcore.TierWeightFunc).
 	TierWeightFunc = flcore.TierWeightFunc
+	// NetTieredAsyncResult is a finished distributed tiered-asynchronous
+	// job with its per-commit log (see flnet.TieredAsyncRunResult).
+	NetTieredAsyncResult = flnet.TieredAsyncRunResult
 )
 
 // The paper's Table 1 policies, re-exported.
@@ -218,6 +223,98 @@ func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredA
 		cfg.TierWeight = core.FedATWeights()
 	}
 	return flcore.RunTieredAsync(cfg, core.TierMembers(s.tiers), s.clients, test)
+}
+
+// NetOptions configures the socket layer of a distributed tiered-async run
+// (TrainTieredAsyncNet).
+type NetOptions struct {
+	// Addr is the aggregator listen address (default "127.0.0.1:0", an
+	// ephemeral loopback port).
+	Addr string
+	// GlobalCommits is the number of tier-round commits to apply before
+	// finishing — the wall-clock analogue of TieredAsyncConfig.Duration.
+	GlobalCommits int
+	// RoundTimeout bounds each tier mini-round (default 60s).
+	RoundTimeout time.Duration
+	// WorkerTimeout bounds the registration wait (default 30s).
+	WorkerTimeout time.Duration
+}
+
+// TrainTieredAsyncNet runs the same FedAT-style protocol as
+// TrainTieredAsync, but over real TCP: it starts a
+// flnet.TieredAsyncAggregator on net.Addr, launches one in-process flnet
+// worker per client (each training via the engine's deterministic
+// per-client pass, so local computation matches the simulation exactly),
+// partitions the workers into this system's profiled tiers, and drives
+// per-tier mini-FedAvg rounds with asynchronous staleness-weighted commits
+// until net.GlobalCommits commits have been applied. cfg supplies the
+// training hyperparameters; its Duration, EvalInterval, and OnCommit fields
+// are ignored — pacing is real wall clock here. The final model is
+// evaluated on test when it is non-nil.
+func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test *Dataset) (*NetTieredAsyncResult, float64, error) {
+	if cfg.Latency == (LatencyModel{}) {
+		cfg.Latency = s.latency
+	}
+	if cfg.TierWeight == nil {
+		cfg.TierWeight = core.FedATWeights()
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 10
+	}
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 1
+	}
+	if net.Addr == "" {
+		net.Addr = "127.0.0.1:0"
+	}
+	if net.RoundTimeout == 0 {
+		net.RoundTimeout = 60 * time.Second
+	}
+	if net.WorkerTimeout == 0 {
+		net.WorkerTimeout = 30 * time.Second
+	}
+	if cfg.Model == nil || cfg.Optimizer == nil {
+		return nil, 0, fmt.Errorf("tifl: TrainTieredAsyncNet needs Model and Optimizer factories")
+	}
+	eng := flcore.NewEngine(flcore.Config{
+		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
+		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
+	}, s.clients, nil)
+	init := eng.GlobalWeights()
+	agg, err := flnet.NewTieredAsyncAggregator(net.Addr, flnet.TieredAsyncConfig{
+		GlobalCommits: net.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
+		Alpha: cfg.Alpha, StalenessExp: cfg.StalenessExp, TierWeight: cfg.TierWeight,
+		RoundTimeout: net.RoundTimeout, InitialWeights: init, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer agg.Close()
+	for i := range s.clients {
+		idx := i
+		go flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with the aggregator
+			ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
+			Train: func(round int, weights []float64) ([]float64, int, error) {
+				u := eng.TrainClient(round, idx, weights)
+				return u.Weights, u.NumSamples, nil
+			},
+		})
+	}
+	if err := agg.WaitForWorkers(len(s.clients), net.WorkerTimeout); err != nil {
+		return nil, 0, err
+	}
+	res, err := agg.Run(core.TierMembers(s.tiers))
+	if err != nil {
+		return nil, 0, err
+	}
+	acc := 0.0
+	if test != nil {
+		model := eng.GlobalModel()
+		model.SetWeightsVector(res.Weights)
+		acc, _ = model.Evaluate(test.InputTensor(), test.Y, cfg.EvalBatch)
+	}
+	return res, acc, nil
 }
 
 // EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a

@@ -201,6 +201,48 @@ func TestTrainTieredAsync(t *testing.T) {
 	}
 }
 
+func TestTrainTieredAsyncNet(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	commits := 40
+	if testing.Short() {
+		commits = 15
+	}
+	res, acc, err := sys.TrainTieredAsyncNet(TieredAsyncConfig{
+		ClientsPerRound: 5, Seed: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
+		EvalBatch: 128,
+	}, NetOptions{GlobalCommits: commits}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Commits {
+		total += c
+	}
+	if total != commits || len(res.Log) != commits {
+		t.Fatalf("commits %v (log %d), want %d total", res.Commits, len(res.Log), commits)
+	}
+	if len(res.Commits) != len(sys.Tiers()) {
+		t.Fatalf("%d commit counters for %d tiers", len(res.Commits), len(sys.Tiers()))
+	}
+	if acc <= 0.15 {
+		t.Fatalf("distributed accuracy %v at chance", acc)
+	}
+	// Validation errors surface instead of panicking.
+	if _, _, err := sys.TrainTieredAsyncNet(TieredAsyncConfig{ClientsPerRound: 5}, NetOptions{GlobalCommits: 1}, nil); err == nil {
+		t.Fatal("missing Model/Optimizer accepted")
+	}
+	if _, _, err := sys.TrainTieredAsyncNet(TieredAsyncConfig{
+		ClientsPerRound: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
+	}, NetOptions{}, nil); err == nil {
+		t.Fatal("zero GlobalCommits accepted")
+	}
+}
+
 func TestProfilerDropoutsSurface(t *testing.T) {
 	clients, _ := testPopulation(t)
 	sys, err := New(clients, Options{Profiler: ProfilerConfig{SyncRounds: 3, Tmax: 2.0, Epochs: 1, Seed: 1}})
