@@ -13,10 +13,13 @@
 //
 //	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -per-round 2
 //
-// Workers (one per shell / machine; they serve either aggregator kind):
+// Workers (one per shell / machine; they serve either aggregator kind).
+// -codec compresses the worker's uplink updates — negotiated at
+// registration, so compressed and plain workers mix freely:
 //
 //	tifl-node -role worker -addr host:7070 -id 0
-//	tifl-node -role worker -addr host:7070 -id 1 ...
+//	tifl-node -role worker -addr host:7070 -id 1 -codec topk@0.1
+//	tifl-node -role worker -addr host:7070 -id 2 -codec int8
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flnet"
@@ -48,9 +52,18 @@ func main() {
 		staleExp = flag.Float64("staleness-exp", 0, "tiered-aggregator: staleness discount exponent (0 = default 0.5)")
 		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
 		samples  = flag.Int("samples", 400, "worker: local training samples")
+		codecArg = flag.String("codec", "none", "worker: uplink update compression (none | int8 | int8@<chunk> | topk@<fraction>)")
 		seed     = flag.Int64("seed", 1, "seed")
 	)
 	flag.Parse()
+
+	codec, err := compress.Parse(*codecArg)
+	if err != nil {
+		fail("%v", err)
+	}
+	if codec.ID() == compress.IDNone {
+		codec = nil // dense updates, no compression path
+	}
 
 	spec := dataset.CIFAR10Like
 	arch := func(rng *rand.Rand) *nn.Model {
@@ -90,9 +103,11 @@ func main() {
 		model.SetWeightsVector(res.Weights)
 		acc, loss := model.Evaluate(test.X, test.Y, 256)
 		for _, rs := range res.Rounds {
-			fmt.Printf("round %3d: selected %d, used %d, discarded %d, wall %v\n",
-				rs.Round, rs.Selected, rs.Used, rs.Discarded, rs.Wall.Round(time.Millisecond))
+			fmt.Printf("round %3d: selected %d, used %d, discarded %d, uplink %d B, wall %v\n",
+				rs.Round, rs.Selected, rs.Used, rs.Discarded, rs.UplinkBytes, rs.Wall.Round(time.Millisecond))
 		}
+		fmt.Printf("total uplink %d bytes (dense would be %d)\n",
+			res.UplinkBytes, int64(usedUpdates(res))*int64(compress.DenseBytes(len(init))))
 		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 
 	case "tiered-aggregator":
@@ -127,8 +142,8 @@ func main() {
 		model.SetWeightsVector(res.Weights)
 		acc, loss := model.Evaluate(test.X, test.Y, 256)
 		last := res.Log[len(res.Log)-1]
-		fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f)\n",
-			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight)
+		fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes\n",
+			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes)
 		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 
 	case "worker":
@@ -144,8 +159,11 @@ func main() {
 			})
 			return model.WeightsVector(), local.Len(), nil
 		}
+		if codec != nil {
+			fmt.Printf("worker %d: compressing uplink updates with %s\n", *id, codec.Name())
+		}
 		err := flnet.RunWorker(*addr, flnet.WorkerConfig{
-			ClientID: *id, NumSamples: local.Len(), Train: train,
+			ClientID: *id, NumSamples: local.Len(), Train: train, Codec: codec,
 			OnTierAssign: func(tier, numTiers int) {
 				fmt.Printf("worker %d: assigned to tier %d of %d\n", *id, tier+1, numTiers)
 			},
@@ -163,4 +181,13 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "tifl-node: "+format+"\n", args...)
 	os.Exit(2)
+}
+
+// usedUpdates counts the updates aggregated over a synchronous run.
+func usedUpdates(res *flnet.RunResult) int {
+	n := 0
+	for _, rs := range res.Rounds {
+		n += rs.Used
+	}
+	return n
 }

@@ -9,7 +9,9 @@
 // the network, split into latency tiers, and each tier commits its own
 // mini-FedAvg rounds asynchronously into the global model with FedAT's
 // staleness-discounted, slower-tier-favoring weights — so the slow worker
-// stops gating every round instead of being discarded.
+// stops gating every round instead of being discarded. Phase-2 workers
+// also compress their uplink updates with top-k sparsification (negotiated
+// at registration via internal/compress), cutting bytes-on-wire ~10x.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/flnet"
@@ -55,7 +58,7 @@ func main() {
 	// workers exit when an aggregator sends Done.
 	train := dataset.Generate(spec, 3000, 2)
 	parts := dataset.PartitionByClass(train, numWorkers, 2, rand.New(rand.NewSource(3)))
-	launchWorkers := func(addr string) *sync.WaitGroup {
+	launchWorkers := func(addr string, codec compress.Codec) *sync.WaitGroup {
 		var wg sync.WaitGroup
 		for id := 0; id < numWorkers; id++ {
 			local := train.Subset(parts[id])
@@ -78,7 +81,7 @@ func main() {
 					return model.WeightsVector(), local.Len(), nil
 				}
 				if err := flnet.RunWorker(addr, flnet.WorkerConfig{
-					ClientID: id, NumSamples: local.Len(), Train: trainFn,
+					ClientID: id, NumSamples: local.Len(), Train: trainFn, Codec: codec,
 					OnTierAssign: func(tier, numTiers int) {
 						fmt.Printf("  worker %d assigned to tier %d of %d\n", id, tier+1, numTiers)
 					},
@@ -89,7 +92,7 @@ func main() {
 		}
 		return &wg
 	}
-	wg := launchWorkers(agg.Addr())
+	wg := launchWorkers(agg.Addr(), nil) // phase 1: dense updates
 
 	if err := agg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
 		panic(err)
@@ -139,7 +142,7 @@ func main() {
 		panic(err)
 	}
 	defer tagg.Close()
-	twg := launchWorkers(tagg.Addr())
+	twg := launchWorkers(tagg.Addr(), compress.NewTopK(0.1))
 	if err := tagg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
 		panic(err)
 	}
@@ -157,6 +160,13 @@ func main() {
 	}
 	model.SetWeightsVector(tres.Weights)
 	tacc, _ := model.Evaluate(test.X, test.Y, 256)
+	clientsUsed := 0
+	for _, s := range tres.Log {
+		clientsUsed += s.Clients
+	}
+	denseBytes := int64(clientsUsed) * int64(compress.DenseBytes(len(init)))
 	fmt.Printf("%d async commits over TCP (no updates discarded), final accuracy %.4f\n",
 		len(tres.Log), tacc)
+	fmt.Printf("uplink %d bytes with top-k@10%% compression (dense would be %d, %.1fx more)\n",
+		tres.UplinkBytes, denseBytes, float64(denseBytes)/float64(tres.UplinkBytes))
 }

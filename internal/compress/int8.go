@@ -1,0 +1,153 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// int8Magic guards against decoding garbage as a quantized vector.
+const int8Magic uint32 = 0x7F1F_C811
+
+// DefaultInt8Chunk is the default quantization chunk: small enough that one
+// outlier coordinate cannot flatten the resolution of the whole vector,
+// large enough that the per-chunk float32 scale is amortized to ~0.4% of
+// the payload.
+const DefaultInt8Chunk = 1024
+
+// Int8 is uniform 8-bit quantization with a per-chunk scale: each chunk of
+// Chunk coordinates stores one float32 scale s = max|v|/127 and one int8
+// q = round(v/s) per coordinate, reconstructing v ≈ q·s. The payload is
+// ~n bytes against the dense 8n — an ~8x reduction with bounded per-chunk
+// error, which error feedback (EncodeDelta) carries forward.
+type Int8 struct {
+	// Chunk is the quantization chunk length (0 = DefaultInt8Chunk).
+	Chunk int
+}
+
+// NewInt8 returns an Int8 codec with the given chunk (0 = default).
+func NewInt8(chunk int) Int8 { return Int8{Chunk: chunk} }
+
+func (c Int8) chunk() int {
+	if c.Chunk <= 0 {
+		return DefaultInt8Chunk
+	}
+	return c.Chunk
+}
+
+// Name implements Codec.
+func (c Int8) Name() string {
+	if c.Chunk > 0 && c.Chunk != DefaultInt8Chunk {
+		return fmt.Sprintf("int8@%d", c.Chunk)
+	}
+	return "int8"
+}
+
+// ID implements Codec.
+func (Int8) ID() byte { return IDInt8 }
+
+// Lossless implements Codec.
+func (Int8) Lossless() bool { return false }
+
+// EncodedBytes implements Codec: 12-byte header, float32 scale per chunk,
+// one byte per coordinate.
+func (c Int8) EncodedBytes(n int) int {
+	chunk := c.chunk()
+	chunks := (n + chunk - 1) / chunk
+	return 12 + 4*chunks + n
+}
+
+// Encode implements Codec. Layout (little-endian): magic u32, count u32,
+// chunk u32, then per chunk a float32 scale followed by that chunk's int8
+// quantized coordinates.
+func (c Int8) Encode(w []float64) []byte {
+	chunk := c.chunk()
+	buf := make([]byte, 0, c.EncodedBytes(len(w)))
+	buf = binary.LittleEndian.AppendUint32(buf, int8Magic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(chunk))
+	for start := 0; start < len(w); start += chunk {
+		end := start + chunk
+		if end > len(w) {
+			end = len(w)
+		}
+		// Non-finite coordinates (diverged training) are excluded from the
+		// scale and quantized deterministically below — NaN to 0, ±Inf to
+		// the chunk extremes — so encoding never depends on the platform's
+		// float→int conversion of non-finite values.
+		maxAbs := 0.0
+		for _, v := range w[start:end] {
+			if a := math.Abs(v); a > maxAbs && !math.IsInf(a, 1) {
+				maxAbs = a
+			}
+		}
+		// Clamp so reconstructed values (up to 127·scale) stay within
+		// float32 range — Decode rejects larger scales as corrupt.
+		if maxAbs > math.MaxFloat32 {
+			maxAbs = math.MaxFloat32
+		}
+		scale := float32(maxAbs / 127)
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(scale))
+		for _, v := range w[start:end] {
+			q := int8(0)
+			if scale > 0 {
+				switch r := math.RoundToEven(v / float64(scale)); {
+				case r > 127: // includes +Inf
+					q = 127
+				case r < -127: // includes -Inf
+					q = -127
+				case math.IsNaN(r):
+					q = 0
+				default:
+					q = int8(r)
+				}
+			}
+			buf = append(buf, byte(q))
+		}
+	}
+	return buf
+}
+
+// Decode implements Codec.
+func (c Int8) Decode(payload []byte, n int) ([]float64, error) {
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("compress: int8 payload too short (%d bytes)", len(payload))
+	}
+	if binary.LittleEndian.Uint32(payload[0:4]) != int8Magic {
+		return nil, fmt.Errorf("compress: bad int8 payload magic")
+	}
+	count := int(binary.LittleEndian.Uint32(payload[4:8]))
+	chunk := int(binary.LittleEndian.Uint32(payload[8:12]))
+	if count != n {
+		return nil, fmt.Errorf("compress: int8 payload carries %d weights, want %d", count, n)
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("compress: int8 payload chunk %d", chunk)
+	}
+	chunks := (n + chunk - 1) / chunk
+	if want := 12 + 4*chunks + n; len(payload) != want {
+		return nil, fmt.Errorf("compress: int8 payload length %d, want %d for %d weights", len(payload), want, n)
+	}
+	out := make([]float64, n)
+	off := 12
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		scale := math.Float32frombits(binary.LittleEndian.Uint32(payload[off:]))
+		off += 4
+		// Reject non-finite scales and scales whose reconstructed values
+		// (up to 127·scale) leave the float32 range — vectors no encoder
+		// could have produced. The bound carries a one-ulp margin because
+		// Encode's clamped float64 scale may round up in float32.
+		if s := float64(scale); math.IsNaN(s) || s < 0 || s > math.MaxFloat32/127*(1+1e-6) {
+			return nil, fmt.Errorf("compress: int8 payload scale %v", scale)
+		}
+		for i := start; i < end; i++ {
+			out[i] = float64(int8(payload[off])) * float64(scale)
+			off++
+		}
+	}
+	return out, nil
+}

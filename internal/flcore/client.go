@@ -40,6 +40,14 @@ type Client struct {
 	// (1.0 nominal; 0 means 1.0). Only matters when the latency model's
 	// CommPerParam is set.
 	Bandwidth float64
+
+	// residual is the client-side error-feedback state of lossy update
+	// compression (Config.Codec): the mass the codec dropped from previous
+	// rounds, carried into the next round's delta so compression delays
+	// information instead of losing it. Engines manage it through
+	// Engine.TrainClient; it is per-client state exactly because the paper
+	// of record for this technique keeps the residual on the client.
+	residual []float64
 }
 
 // NumSamples returns the size of the client's training shard — the FedAvg
@@ -62,6 +70,9 @@ type Update struct {
 	Weights    []float64
 	NumSamples int
 	Latency    float64
+	// WireBytes is the encoded uplink size of this update — the codec
+	// payload under compression, the dense nn.EncodeWeights size otherwise.
+	WireBytes int
 }
 
 // FedAvg computes the sample-weighted average of client weight vectors

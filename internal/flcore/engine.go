@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/simres"
@@ -67,6 +68,14 @@ type Config struct {
 	// FedProx-style partial work on stragglers (slow clients train fewer
 	// epochs so they respond in time).
 	EpochsFor func(c *Client, round int) int
+	// Codec, if set, compresses every client's uplink update with
+	// error feedback: the client's weight delta (plus the residual its
+	// codec dropped in earlier rounds) is encoded, the aggregator sees the
+	// decoded reconstruction, and the encoding error stays client-side for
+	// the next round. The latency model then charges for actual encoded
+	// bytes (dense download + compressed upload) instead of a dense
+	// parameter round trip. nil trains uncompressed.
+	Codec compress.Codec
 }
 
 func (c *Config) validate() error {
@@ -96,6 +105,9 @@ type RoundRecord struct {
 	// Acc/Loss are global test metrics, NaN when the round was not
 	// evaluated.
 	Acc, Loss float64
+	// UplinkBytes is the round's total encoded update traffic (sum of the
+	// selected clients' wire payloads).
+	UplinkBytes int64
 }
 
 // Result is a finished federated training job.
@@ -104,7 +116,10 @@ type Result struct {
 	FinalAcc  float64
 	FinalLoss float64
 	TotalTime float64 // simulated seconds for all rounds
-	Weights   []float64
+	// UplinkBytes is the total encoded client→server update traffic over
+	// the whole job — the quantity update compression shrinks.
+	UplinkBytes int64
+	Weights     []float64
 }
 
 // AccuracyAt returns the last evaluated accuracy at or before simulated
@@ -145,12 +160,24 @@ func NewEngine(cfg Config, clients []*Client, globalTest *dataset.Dataset) *Engi
 		panic("flcore: no clients")
 	}
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
+	resetResiduals(clients)
 	return &Engine{
 		Cfg:        cfg,
 		Clients:    clients,
 		GlobalTest: globalTest,
 		global:     global,
 		weights:    global.WeightsVector(),
+	}
+}
+
+// resetResiduals clears every client's error-feedback state. Engines call
+// it at construction so each training job starts with clean residuals —
+// reusing one client population across jobs (as tifl.System does) must not
+// leak one run's compression error into the next, and a fresh flnet worker
+// starts with a nil residual too, keeping sim and net equivalent.
+func resetResiduals(clients []*Client) {
+	for _, c := range clients {
+		c.residual = nil
 	}
 }
 
@@ -195,8 +222,32 @@ func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) 
 		})
 	}
 	weightsOut := model.WeightsVector()
-	lat := e.Cfg.Latency.LatencyFull(c.EffectiveCPU(round), c.NumSamples(), epochs, len(weightsOut), c.Bandwidth, rng)
-	u := Update{ClientID: c.ID, Weights: weightsOut, NumSamples: c.NumSamples(), Latency: lat}
+	wire := compress.DenseBytes(len(weightsOut))
+	var lat float64
+	// The dense codec (IDNone) is a wire format, not a compression: treat
+	// it like nil so a "none" run stays bit-identical to an uncompressed
+	// one (flnet workers and tifl-node special-case it the same way).
+	if e.Cfg.Codec != nil && e.Cfg.Codec.ID() != compress.IDNone {
+		// Error-feedback compression: encode delta+residual, keep the
+		// encoding error on the client, and hand the aggregator the exact
+		// reconstruction the wire payload decodes to — so the simulated
+		// engine and a real flnet worker produce identical updates.
+		delta := make([]float64, len(weightsOut))
+		for i := range delta {
+			delta[i] = weightsOut[i] - globalWeights[i]
+		}
+		payload, rec, residual := compress.EncodeDelta(e.Cfg.Codec, delta, c.residual)
+		c.residual = residual
+		for i := range weightsOut {
+			weightsOut[i] = globalWeights[i] + rec[i]
+		}
+		wire = len(payload)
+		lat = e.Cfg.Latency.LatencyBytes(c.EffectiveCPU(round), c.NumSamples(), epochs,
+			compress.DenseBytes(len(weightsOut))+wire, c.Bandwidth, rng)
+	} else {
+		lat = e.Cfg.Latency.LatencyFull(c.EffectiveCPU(round), c.NumSamples(), epochs, len(weightsOut), c.Bandwidth, rng)
+	}
+	u := Update{ClientID: c.ID, Weights: weightsOut, NumSamples: c.NumSamples(), Latency: lat, WireBytes: wire}
 	if e.Cfg.TransformUpdate != nil {
 		e.Cfg.TransformUpdate(round, globalWeights, &u)
 	}
@@ -219,8 +270,13 @@ func (e *Engine) Run(sel Selector) *Result {
 		e.global.SetWeightsVector(e.weights)
 		lat := MaxLatency(updates)
 		e.clock.Advance(lat)
+		var upBytes int64
+		for _, u := range updates {
+			upBytes += int64(u.WireBytes)
+		}
+		res.UplinkBytes += upBytes
 
-		rec := RoundRecord{Round: r, Selected: selected, Latency: lat, SimTime: e.clock.Now(), Acc: math.NaN(), Loss: math.NaN()}
+		rec := RoundRecord{Round: r, Selected: selected, Latency: lat, SimTime: e.clock.Now(), Acc: math.NaN(), Loss: math.NaN(), UplinkBytes: upBytes}
 		last := r == e.Cfg.Rounds-1
 		if e.GlobalTest != nil && (last || (e.Cfg.EvalEvery > 0 && r%e.Cfg.EvalEvery == 0)) {
 			rec.Acc, rec.Loss = e.global.Evaluate(e.GlobalTest.InputTensor(), e.GlobalTest.Y, e.Cfg.EvalBatch)

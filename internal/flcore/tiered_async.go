@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/simres"
 )
@@ -82,6 +83,11 @@ type TieredAsyncConfig struct {
 	// OnCommit, if set, receives every tier-round commit as it is applied
 	// (the tiered analogue of Config.OnRound).
 	OnCommit func(rec TierRoundRecord)
+	// Codec, if set, applies error-feedback update compression exactly as
+	// in the synchronous engine (Config.Codec) — the cross-tier commit
+	// compression FedAT motivates: slow tiers stop paying a dense model
+	// transfer per commit.
+	Codec compress.Codec
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -115,6 +121,8 @@ type TierRoundRecord struct {
 	// Latency is the tier round's duration (max over selected clients);
 	// SimTime the simulated time at commit.
 	Latency, SimTime float64
+	// UplinkBytes is the tier round's total encoded update traffic.
+	UplinkBytes int64
 }
 
 // TieredAsyncResult extends Result with the per-tier commit log.
@@ -135,6 +143,7 @@ type tierRun struct {
 	selected  []int
 	weights   []float64 // tier-level FedAvg of the round's client updates
 	latency   float64
+	upBytes   int64 // total encoded uplink bytes of the round's updates
 }
 
 type tierRunHeap []*tierRun
@@ -203,10 +212,12 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 		}
 	}
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
+	resetResiduals(clients)
 	syncCfg := Config{
 		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
 		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
 		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
+		Codec: cfg.Codec,
 	}
 	return &TieredAsyncEngine{
 		Cfg:     cfg,
@@ -260,10 +271,14 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
 		updates[i] = e.eng.TrainClient(r, ci, pulled)
 	}
 	lat := MaxLatency(updates)
+	var upBytes int64
+	for _, u := range updates {
+		upBytes += int64(u.WireBytes)
+	}
 	heap.Push(h, &tierRun{
 		tier: t, tierRound: r, pulledVer: e.version,
 		finish: now + lat, selected: selected,
-		weights: FedAvg(updates), latency: lat,
+		weights: FedAvg(updates), latency: lat, upBytes: upBytes,
 	})
 }
 
@@ -341,10 +356,11 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 			e.tierWeight(run.tier, res.Commits), staleness, e.Cfg.StalenessExp)
 		e.version++
 
+		res.UplinkBytes += run.upBytes
 		rec := TierRoundRecord{
 			Tier: run.tier, TierRound: run.tierRound, Version: e.version,
 			Selected: run.selected, Staleness: staleness, Weight: alpha,
-			Latency: run.latency, SimTime: now,
+			Latency: run.latency, SimTime: now, UplinkBytes: run.upBytes,
 		}
 		res.TierRounds = append(res.TierRounds, rec)
 		if e.Cfg.OnCommit != nil {

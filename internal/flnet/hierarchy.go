@@ -33,7 +33,7 @@ func (a *Aggregator) RunRound(round int, chosen []int, weights []float64, target
 	if len(live) == 0 {
 		return nil, fmt.Errorf("flnet: round %d: no reachable workers", round)
 	}
-	updates := a.collect(live, target, round)
+	updates := a.collect(live, target, round, weights)
 	if len(updates) == 0 {
 		return nil, fmt.Errorf("flnet: round %d: no updates before timeout", round)
 	}

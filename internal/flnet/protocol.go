@@ -42,27 +42,35 @@ const (
 	MsgDone
 	MsgTierAssign
 	MsgTierCommit
+	MsgCompressedUpdate
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
 // is set according to Type.
 type Envelope struct {
-	Type         MsgType
-	Register     *Register
-	Profile      *Profile
-	ProfileReply *ProfileReply
-	Train        *Train
-	Update       *Update
-	Partial      *Partial
-	Done         *Done
-	TierAssign   *TierAssign
-	TierCommit   *TierCommit
+	Type             MsgType
+	Register         *Register
+	Profile          *Profile
+	ProfileReply     *ProfileReply
+	Train            *Train
+	Update           *Update
+	Partial          *Partial
+	Done             *Done
+	TierAssign       *TierAssign
+	TierCommit       *TierCommit
+	CompressedUpdate *CompressedUpdate
 }
 
-// Register announces a worker to its aggregator.
+// Register announces a worker to its aggregator. Codec is the update
+// compression the worker will speak (compress.ID* constants) — this is the
+// whole negotiation: a worker that predates compression gob-decodes to the
+// zero value, which is the dense codec, so old nodes keep working; the
+// aggregator rejects IDs it cannot decode at the handshake, before any
+// round can fail on an undecodable payload.
 type Register struct {
 	ClientID   int
 	NumSamples int
+	Codec      byte
 }
 
 // Profile asks a worker to run one profiling task (Section 4.2's
@@ -136,6 +144,22 @@ type TierCommit struct {
 	Weights       []float64
 	Clients       int
 	Seconds       float64 // wall-clock duration of the tier round
+	// UplinkBytes is the tier round's worker→aggregator update traffic as
+	// encoded on the wire (compressed payloads where negotiated).
+	UplinkBytes int64
+}
+
+// CompressedUpdate is the compressed counterpart of Update: instead of a
+// dense weight vector, it carries the codec-encoded weight *delta* against
+// the round's broadcast weights (error-feedback residual kept
+// worker-side), plus the codec ID so the aggregator decodes with the right
+// scheme. The aggregator reconstructs weights = broadcast + decode(Payload).
+type CompressedUpdate struct {
+	Round      int
+	ClientID   int
+	Codec      byte
+	Payload    []byte
+	NumSamples int
 }
 
 // conn wraps a net.Conn with gob codecs and deadline helpers.

@@ -53,7 +53,9 @@ func (a *Aggregator) RunSecureRound(round int, chosen []int, weights []float64, 
 		}
 	}
 	// Secure rounds need the full cohort: collect len(live) updates.
-	updates := a.collect(live, len(live), round)
+	// Workers always send masked updates dense (see WorkerConfig.Codec),
+	// but collect still takes the broadcast weights for uniformity.
+	updates := a.collect(live, len(live), round, weights)
 	if len(updates) != len(live) {
 		return nil, fmt.Errorf("flnet: secure round %d: %d of %d submissions (dropout breaks mask cancellation)", round, len(updates), len(live))
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/flcore"
 )
 
@@ -69,18 +70,25 @@ type RoundStats struct {
 	Used      int // updates aggregated (≤ Selected under over-selection)
 	Discarded int // straggler updates dropped
 	Wall      time.Duration
+	// UplinkBytes is the round's aggregated update traffic as encoded on
+	// the wire: codec payload sizes for compressed workers, dense
+	// nn.EncodeWeights sizes for the rest.
+	UplinkBytes int64
 }
 
 // RunResult is a finished distributed training job.
 type RunResult struct {
 	Weights []float64
 	Rounds  []RoundStats
+	// UplinkBytes is the total aggregated update traffic over the job.
+	UplinkBytes int64
 }
 
 // registered is one connected worker from the aggregator's point of view.
 type registered struct {
 	id      int
 	samples int
+	codec   byte // negotiated update compression (compress.IDNone = dense)
 	c       *conn
 	updates chan *Envelope
 	dead    atomic.Bool // set by the reader goroutine when the conn drops
@@ -166,7 +174,13 @@ func (a *Aggregator) handshake(raw net.Conn) {
 		c.close() //nolint:errcheck // failed handshake
 		return
 	}
-	w := &registered{id: env.Register.ClientID, samples: env.Register.NumSamples, c: c, updates: make(chan *Envelope, 4)}
+	if !compress.Known(env.Register.Codec) {
+		// Negotiation failure: this build cannot decode the worker's
+		// codec, so refuse it now rather than drop its every update later.
+		c.close() //nolint:errcheck // failed handshake
+		return
+	}
+	w := &registered{id: env.Register.ClientID, samples: env.Register.NumSamples, codec: env.Register.Codec, c: c, updates: make(chan *Envelope, 4)}
 	a.mu.Lock()
 	if _, dup := a.workers[w.id]; dup {
 		a.mu.Unlock()
@@ -306,6 +320,10 @@ func (a *Aggregator) Run(sel SelectFunc) (*RunResult, error) {
 		if d := stats.Selected - stats.Used; d > 0 {
 			stats.Discarded = d
 		}
+		for _, u := range updates {
+			stats.UplinkBytes += int64(u.WireBytes)
+		}
+		res.UplinkBytes += stats.UplinkBytes
 		weights = flcore.FedAvg(updates)
 		stats.Wall = time.Since(start)
 		res.Rounds = append(res.Rounds, stats)
@@ -317,8 +335,11 @@ func (a *Aggregator) Run(sel SelectFunc) (*RunResult, error) {
 
 // collect gathers up to target updates for round r from the live workers,
 // respecting the round timeout; late updates are discarded (straggler
-// mitigation).
-func (a *Aggregator) collect(live []*registered, target, round int) []flcore.Update {
+// mitigation). weights is the round's broadcast weight vector, against
+// which compressed deltas are reconstructed; a compressed payload that
+// fails to decode is treated like a dropped worker — one bad update must
+// not kill the round.
+func (a *Aggregator) collect(live []*registered, target, round int, weights []float64) []flcore.Update {
 	type got struct {
 		u  flcore.Update
 		ok bool
@@ -347,7 +368,34 @@ func (a *Aggregator) collect(live []*registered, target, round int) []flcore.Upd
 					return
 				}
 				if env.Type == MsgUpdate && env.Update != nil && env.Update.Round == round {
-					ch <- got{u: flcore.Update{ClientID: env.Update.ClientID, Weights: env.Update.Weights, NumSamples: env.Update.NumSamples}, ok: true}
+					ch <- got{u: flcore.Update{
+						ClientID: env.Update.ClientID, Weights: env.Update.Weights,
+						NumSamples: env.Update.NumSamples,
+						WireBytes:  compress.DenseBytes(len(env.Update.Weights)),
+					}, ok: true}
+					return
+				}
+				if env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil && env.CompressedUpdate.Round == round {
+					cu := env.CompressedUpdate
+					// Enforce the handshake negotiation: updates must
+					// arrive under the codec the worker registered with.
+					if cu.Codec != w.codec {
+						ch <- got{ok: false}
+						return
+					}
+					delta, err := compress.DecodePayload(cu.Codec, cu.Payload, len(weights))
+					if err != nil {
+						ch <- got{ok: false}
+						return
+					}
+					rec := make([]float64, len(weights))
+					for i := range rec {
+						rec[i] = weights[i] + delta[i]
+					}
+					ch <- got{u: flcore.Update{
+						ClientID: cu.ClientID, Weights: rec,
+						NumSamples: cu.NumSamples, WireBytes: len(cu.Payload),
+					}, ok: true}
 					return
 				}
 			}

@@ -98,6 +98,8 @@ type TierCommitStats struct {
 	Clients int
 	// Seconds is the tier round's wall-clock duration.
 	Seconds float64
+	// UplinkBytes is the tier round's encoded update traffic.
+	UplinkBytes int64
 }
 
 // TieredAsyncRunResult is a finished distributed tiered-asynchronous job.
@@ -108,6 +110,9 @@ type TieredAsyncRunResult struct {
 	Commits []int
 	// Log is every applied commit in order.
 	Log []TierCommitStats
+	// UplinkBytes is the total encoded update traffic across all applied
+	// commits.
+	UplinkBytes int64
 }
 
 // TieredAsyncAggregator is the FL server for tiered-asynchronous training.
@@ -178,7 +183,7 @@ func (ta *TieredAsyncAggregator) applyCommit(tc *TierCommit, commits []int) (Tie
 	return TierCommitStats{
 		Tier: tc.Tier, TierRound: tc.TierRound, Version: ta.version,
 		Staleness: staleness, Weight: alpha, Clients: tc.Clients,
-		Seconds: tc.Seconds,
+		Seconds: tc.Seconds, UplinkBytes: tc.UplinkBytes,
 	}, nil
 }
 
@@ -241,7 +246,7 @@ func (ta *TieredAsyncAggregator) tierLoop(t int, members []int, commitCh chan<- 
 		if len(live) == 0 {
 			continue
 		}
-		updates := ta.collect(live, len(live), r)
+		updates := ta.collect(live, len(live), r, weights)
 		// A cohort that is slow in its entirety can outlast RoundTimeout.
 		// Its round-r updates stay valid, so grant extra collection windows
 		// for the same round before giving it up — an all-slow tier still
@@ -260,17 +265,21 @@ func (ta *TieredAsyncAggregator) tierLoop(t int, members []int, commitCh chan<- 
 			if !ta.tierAlive(members) {
 				return
 			}
-			updates = ta.collect(live, len(live), r)
+			updates = ta.collect(live, len(live), r, weights)
 		}
 		if len(updates) == 0 {
 			empty++
 			continue
 		}
 		empty = 0
+		var upBytes int64
+		for _, u := range updates {
+			upBytes += int64(u.WireBytes)
+		}
 		env := &Envelope{Type: MsgTierCommit, TierCommit: &TierCommit{
 			Tier: t, TierRound: r, PulledVersion: version,
 			Weights: flcore.FedAvg(updates), Clients: len(updates),
-			Seconds: time.Since(start).Seconds(),
+			Seconds: time.Since(start).Seconds(), UplinkBytes: upBytes,
 		}}
 		select {
 		case commitCh <- env:
@@ -355,6 +364,7 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 				return res, err
 			}
 			res.Log = append(res.Log, stats)
+			res.UplinkBytes += stats.UplinkBytes
 			applied++
 		case <-loopsExited:
 			ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers

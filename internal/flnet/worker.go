@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"repro/internal/compress"
 )
 
 // TrainFunc runs one local training pass starting from the given global
@@ -21,6 +23,14 @@ type WorkerConfig struct {
 	// OnTierAssign, if set, receives the worker's tier placement when a
 	// tiered-async aggregator announces it (tier 0 is fastest).
 	OnTierAssign func(tier, numTiers int)
+	// Codec, if set, compresses this worker's uplink updates: each trained
+	// delta (plus the error-feedback residual from earlier rounds) is
+	// encoded and sent as a MsgCompressedUpdate instead of a dense
+	// MsgUpdate. The codec is announced at registration; an aggregator
+	// that cannot decode it refuses the handshake. Secure-aggregation
+	// rounds (Train.Participants set) always send dense masked updates —
+	// pairwise masks are full-entropy vectors no lossy codec may touch.
+	Codec compress.Codec
 }
 
 // RunWorker connects to the aggregator at addr, registers, and serves
@@ -40,9 +50,14 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	}
 	c := newConn(raw)
 	defer c.close() //nolint:errcheck // shutdown path
-	if err := c.send(&Envelope{Type: MsgRegister, Register: &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples}}); err != nil {
+	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples}
+	if cfg.Codec != nil {
+		reg.Codec = cfg.Codec.ID()
+	}
+	if err := c.send(&Envelope{Type: MsgRegister, Register: reg}); err != nil {
 		return err
 	}
+	var residual []float64 // error-feedback state across compressed rounds
 	for {
 		env, err := c.recv(0)
 		if err != nil {
@@ -62,6 +77,25 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			w, n, err := cfg.Train(env.Train.Round, env.Train.Weights)
 			if err != nil {
 				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+			}
+			if cfg.Codec != nil && len(env.Train.Participants) == 0 && cfg.Codec.ID() != compress.IDNone {
+				if len(w) != len(env.Train.Weights) {
+					return fmt.Errorf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(env.Train.Weights))
+				}
+				delta := make([]float64, len(w))
+				for i := range delta {
+					delta[i] = w[i] - env.Train.Weights[i]
+				}
+				var payload []byte
+				payload, _, residual = compress.EncodeDelta(cfg.Codec, delta, residual)
+				up := &CompressedUpdate{
+					Round: env.Train.Round, ClientID: cfg.ClientID,
+					Codec: cfg.Codec.ID(), Payload: payload, NumSamples: n,
+				}
+				if err := c.send(&Envelope{Type: MsgCompressedUpdate, CompressedUpdate: up}); err != nil {
+					return err
+				}
+				continue
 			}
 			w = maskedTrainResult(env.Train, cfg.ClientID, w, n)
 			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n}

@@ -14,6 +14,7 @@ package simres
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -58,20 +59,52 @@ func (m LatencyModel) Latency(cpu float64, samples, epochs int, rng *rand.Rand) 
 	return m.LatencyFull(cpu, samples, epochs, 0, 1, rng)
 }
 
+// sanitizeBandwidth maps every degenerate relative link speed — zero,
+// negative, NaN, ±Inf — to the nominal 1.0. An unset Client.Bandwidth is
+// zero, and a zero (or NaN) slipping into the latency division would
+// produce infinite or NaN round latencies that poison the simulated clock.
+func sanitizeBandwidth(bandwidth float64) float64 {
+	if bandwidth <= 0 || math.IsNaN(bandwidth) || math.IsInf(bandwidth, 1) {
+		return 1
+	}
+	return bandwidth
+}
+
+// denseRoundTripBytes is the dense wire cost of one model parameter per
+// round: 8 bytes down (aggregator → client) plus 8 bytes back up.
+// CommPerParam is calibrated against this dense round trip, which is what
+// makes the byte-based path (LatencyBytes) and the parameter-based path
+// (LatencyFull) charge identically for uncompressed transfers.
+const denseRoundTripBytes = 16
+
+// CommSeconds returns the model-transfer term for moving totalBytes
+// (download + upload combined) over a link with the given relative
+// bandwidth: CommPerParam/16 seconds per byte at bandwidth 1.0.
+func (m LatencyModel) CommSeconds(totalBytes int, bandwidth float64) float64 {
+	return m.CommPerParam * (float64(totalBytes) / denseRoundTripBytes) / sanitizeBandwidth(bandwidth)
+}
+
 // LatencyFull extends Latency with model-size-dependent communication:
 // params is the model's parameter count and bandwidth the client's relative
-// link speed (1.0 nominal, 0.1 a 10x slower link; ≤0 treated as 1.0). The
-// paper's resource heterogeneity covers both "computation and communication
-// capacity"; CPU share drives the first term and bandwidth the second.
+// link speed (1.0 nominal, 0.1 a 10x slower link; zero, negative, or
+// non-finite values are treated as 1.0). The paper's resource heterogeneity
+// covers both "computation and communication capacity"; CPU share drives
+// the first term and bandwidth the second.
 func (m LatencyModel) LatencyFull(cpu float64, samples, epochs, params int, bandwidth float64, rng *rand.Rand) float64 {
+	return m.LatencyBytes(cpu, samples, epochs, denseRoundTripBytes*params, bandwidth, rng)
+}
+
+// LatencyBytes is the compressed-update path of the latency model: instead
+// of charging CommPerParam for a dense parameter round trip, it charges for
+// the actual encoded transfer size — totalBytes is download plus upload as
+// they go over the wire (e.g. a dense model down plus a top-k sparsified
+// update back). LatencyFull(params) ≡ LatencyBytes(16·params).
+func (m LatencyModel) LatencyBytes(cpu float64, samples, epochs, totalBytes int, bandwidth float64, rng *rand.Rand) float64 {
 	if cpu <= 0 {
 		panic(fmt.Sprintf("simres: cpu share %v must be positive", cpu))
 	}
-	if bandwidth <= 0 {
-		bandwidth = 1
-	}
 	compute := m.CostPerSample * float64(samples*epochs) / cpu
-	comm := m.CommLatency + m.CommPerParam*float64(params)/bandwidth
+	comm := m.CommLatency + m.CommSeconds(totalBytes, bandwidth)
 	lat := compute + comm
 	if m.JitterFrac > 0 && rng != nil {
 		lat *= 1 + m.JitterFrac*(2*rng.Float64()-1)

@@ -139,6 +139,55 @@ func TestLatencyFullBackwardCompatible(t *testing.T) {
 	}
 }
 
+func TestBandwidthGuardRegression(t *testing.T) {
+	// Regression: zero, negative, NaN, or infinite bandwidth must not
+	// divide through the comm term — every degenerate value falls back to
+	// the nominal 1.0 link, on both the parameter and the byte path.
+	m := LatencyModel{CostPerSample: 0, CommLatency: 0.5, CommPerParam: 1e-5}
+	want := m.LatencyFull(1, 0, 1, 100000, 1, nil)
+	for _, bw := range []float64{0, -1, -0.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		got := m.LatencyFull(1, 0, 1, 100000, bw, nil)
+		if got != want || math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("LatencyFull(bandwidth=%v) = %v, want %v", bw, got, want)
+		}
+		gotB := m.LatencyBytes(1, 0, 1, 1600000, bw, nil)
+		if gotB != want || math.IsNaN(gotB) || math.IsInf(gotB, 0) {
+			t.Errorf("LatencyBytes(bandwidth=%v) = %v, want %v", bw, gotB, want)
+		}
+	}
+}
+
+func TestLatencyBytesMatchesDenseParams(t *testing.T) {
+	// LatencyFull(params) must be bit-identical to LatencyBytes(16·params):
+	// same model, same calibration, just a different unit.
+	m := LatencyModel{CostPerSample: 0.003, CommLatency: 0.5, CommPerParam: 7e-6}
+	for _, params := range []int{0, 1, 999, 100000} {
+		for _, bw := range []float64{1, 0.25, 3} {
+			a := m.LatencyFull(1.5, 120, 2, params, bw, nil)
+			b := m.LatencyBytes(1.5, 120, 2, 16*params, bw, nil)
+			if a != b {
+				t.Fatalf("params=%d bw=%v: LatencyFull %v != LatencyBytes %v", params, bw, a, b)
+			}
+		}
+	}
+}
+
+func TestLatencyBytesChargesCompressedTransfers(t *testing.T) {
+	// A 10x smaller upload must shrink the size-dependent comm term
+	// accordingly: dense round trip 16 bytes/param vs 8 down + 0.8 up.
+	m := LatencyModel{CostPerSample: 0, CommLatency: 0, CommPerParam: 1e-4}
+	params := 50000
+	dense := m.LatencyBytes(1, 0, 1, 16*params, 1, nil)
+	compressed := m.LatencyBytes(1, 0, 1, 8*params+8*params/10, 1, nil)
+	want := dense * 8.8 / 16
+	if math.Abs(compressed-want) > 1e-9 {
+		t.Fatalf("compressed comm = %v, want %v (dense %v)", compressed, want, dense)
+	}
+	if got := m.CommSeconds(16*params, 1); got != dense {
+		t.Fatalf("CommSeconds = %v, want %v", got, dense)
+	}
+}
+
 // Property: latency is monotone in samples and antitone in CPU share.
 func TestLatencyMonotonicityProperty(t *testing.T) {
 	f := func(seed int64) bool {

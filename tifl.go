@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/estimate"
@@ -64,7 +65,25 @@ type (
 	// NetTieredAsyncResult is a finished distributed tiered-asynchronous
 	// job with its per-commit log (see flnet.TieredAsyncRunResult).
 	NetTieredAsyncResult = flnet.TieredAsyncRunResult
+	// Codec compresses client updates on their way to the aggregator (see
+	// compress.Codec). Int8Codec, TopKCodec, and ParseCodec build them.
+	Codec = compress.Codec
 )
+
+// Update-compression constructors, re-exported so downstream users need
+// only this package.
+
+// Int8Codec is uniform 8-bit quantization with per-chunk scales (~8x
+// smaller uplink updates; see compress.Int8).
+func Int8Codec() Codec { return compress.NewInt8(0) }
+
+// TopKCodec keeps only the given fraction of each update's coordinates
+// (fraction 0.1 ≈ 10x smaller uplink updates; see compress.TopK).
+func TopKCodec(fraction float64) Codec { return compress.NewTopK(fraction) }
+
+// ParseCodec builds a codec from a spec string: "none", "int8", or
+// "topk@0.1" (see compress.Parse) — the syntax of tifl-node's -codec flag.
+func ParseCodec(spec string) (Codec, error) { return compress.Parse(spec) }
 
 // The paper's Table 1 policies, re-exported.
 var (
@@ -91,6 +110,11 @@ type Options struct {
 	// EqualWidthTiers selects the paper's equal-width histogram split
 	// instead of the default balanced quantile split.
 	EqualWidthTiers bool
+	// Compression, if set, is the default update codec for every training
+	// job on this system: client updates are compressed with error
+	// feedback and the latency model charges for encoded bytes. A job's
+	// config can still override it by setting its own Codec.
+	Compression Codec
 }
 
 // System is a profiled and tiered federation, ready to train under any
@@ -100,6 +124,7 @@ type System struct {
 	latency  LatencyModel
 	tiers    []Tier
 	dropouts []int
+	codec    Codec // default update compression (Options.Compression)
 }
 
 // New profiles the clients and builds tiers. It returns an error if the
@@ -129,7 +154,7 @@ func New(clients []*Client, opts Options) (*System, error) {
 		strategy = core.EqualWidth
 	}
 	tiers := core.BuildTiers(prof.Latency, m, strategy)
-	return &System{clients: clients, latency: lm, tiers: tiers, dropouts: prof.Dropouts}, nil
+	return &System{clients: clients, latency: lm, tiers: tiers, dropouts: prof.Dropouts, codec: opts.Compression}, nil
 }
 
 // Tiers returns the latency tiers, fastest first.
@@ -198,6 +223,9 @@ func (s *System) Engine(cfg Config, test *Dataset) *flcore.Engine {
 	if cfg.Latency == (LatencyModel{}) {
 		cfg.Latency = s.latency
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = s.codec
+	}
 	return flcore.NewEngine(cfg, s.clients, test)
 }
 
@@ -222,6 +250,9 @@ func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredA
 	if cfg.TierWeight == nil {
 		cfg.TierWeight = core.FedATWeights()
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = s.codec
+	}
 	return flcore.RunTieredAsync(cfg, core.TierMembers(s.tiers), s.clients, test)
 }
 
@@ -238,6 +269,13 @@ type NetOptions struct {
 	RoundTimeout time.Duration
 	// WorkerTimeout bounds the registration wait (default 30s).
 	WorkerTimeout time.Duration
+	// Compression, if set, is the update codec every worker negotiates at
+	// registration: trained deltas travel as compressed
+	// MsgCompressedUpdate payloads with the error-feedback residual kept
+	// worker-side. Defaults to the training config's Codec (or the
+	// system's Options.Compression), so a simulated and a distributed run
+	// of the same job compress identically.
+	Compression Codec
 }
 
 // TrainTieredAsyncNet runs the same FedAT-style protocol as
@@ -276,6 +314,16 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 	if cfg.Model == nil || cfg.Optimizer == nil {
 		return nil, 0, fmt.Errorf("tifl: TrainTieredAsyncNet needs Model and Optimizer factories")
 	}
+	if net.Compression == nil {
+		if cfg.Codec != nil {
+			net.Compression = cfg.Codec
+		} else {
+			net.Compression = s.codec
+		}
+	}
+	// Workers compress at the wire (flnet.WorkerConfig.Codec), so the
+	// local training engine stays dense — compressing in both places would
+	// double-apply the codec and split the error-feedback residual.
 	eng := flcore.NewEngine(flcore.Config{
 		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
 		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
@@ -295,6 +343,7 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		idx := i
 		go flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with the aggregator
 			ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
+			Codec: net.Compression,
 			Train: func(round int, weights []float64) ([]float64, int, error) {
 				u := eng.TrainClient(round, idx, weights)
 				return u.Weights, u.NumSamples, nil
