@@ -109,6 +109,18 @@ func BenchmarkExtensionTieredAsync(b *testing.B) {
 	}
 }
 
+func BenchmarkExtensionLiveRetier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionLiveRetier(benchScale())
+	}
+}
+
+func BenchmarkExtensionStaleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionStaleness(benchScale())
+	}
+}
+
 func BenchmarkAblationTieringStrategy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationTiering(benchScale())

@@ -9,9 +9,14 @@
 //	tifl-node -role aggregator -addr :7070 -workers 5 -rounds 20 -per-round 3
 //
 // Tiered-asynchronous aggregator (profiles, builds -tiers latency tiers,
-// then runs FedAT-style per-tier rounds until -commits commits):
+// then runs FedAT-style per-tier rounds until -commits commits). With
+// -retier-every the tiering goes live: observed round latencies feed EWMA
+// estimates and workers migrate between tiers mid-run (announced to them
+// as MsgTierReassign); -adaptive-select adds Algorithm-2 cohort sizing
+// under per-tier -credits budgets:
 //
 //	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -per-round 2
+//	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 80 -retier-every 10 -adaptive-select -credits 20
 //
 // Workers (one per shell / machine; they serve either aggregator kind).
 // -codec compresses the worker's uplink updates — negotiated at
@@ -35,6 +40,7 @@ import (
 	"repro/internal/flnet"
 	"repro/internal/nn"
 	"repro/internal/tensor"
+	"repro/internal/tiering"
 )
 
 func main() {
@@ -50,6 +56,10 @@ func main() {
 		commits  = flag.Int("commits", 40, "tiered-aggregator: global commits to run")
 		alpha    = flag.Float64("alpha", 0, "tiered-aggregator: base mixing rate (0 = default 0.6)")
 		staleExp = flag.Float64("staleness-exp", 0, "tiered-aggregator: staleness discount exponent (0 = default 0.5)")
+		retier   = flag.Int("retier-every", 0, "tiered-aggregator: rebuild tiers every k commits from observed latencies (0 = frozen tiers)")
+		ewmaBeta = flag.Float64("ewma-beta", 0, "tiered-aggregator: EWMA weight of new latency observations (0 = default 0.5)")
+		adaptSel = flag.Bool("adaptive-select", false, "tiered-aggregator: Algorithm-2 adaptive per-tier cohort sizing")
+		credits  = flag.Int("credits", 0, "tiered-aggregator: per-tier boosted-round budget for -adaptive-select (0 = unlimited)")
 		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
 		samples  = flag.Int("samples", 400, "worker: local training samples")
 		codecArg = flag.String("codec", "none", "worker: uplink update compression (none | int8 | int8@<chunk> | topk@<fraction>)")
@@ -126,16 +136,53 @@ func main() {
 		if err := agg.WaitForWorkers(*workers, 10*time.Minute); err != nil {
 			fail("%v", err)
 		}
-		res, tiers, dropouts, err := agg.ProfileAndRun(*numTiers, *timeout)
-		if len(dropouts) > 0 {
-			fmt.Printf("profiling dropouts (excluded from all tiers): %v\n", dropouts)
+		var mgr *tiering.Manager
+		if *retier > 0 || *adaptSel {
+			// Live tiering: profile, seed a Manager with the measured
+			// latencies, and let it own membership for the run — commits
+			// feed its EWMAs and rebuilds migrate workers mid-run.
+			lat, dropouts, err := agg.ProfileWorkers(*timeout)
+			if err != nil {
+				fail("profiling: %v", err)
+			}
+			if len(dropouts) > 0 {
+				fmt.Printf("profiling dropouts (excluded from all tiers): %v\n", dropouts)
+			}
+			mgr, err = tiering.NewManager(tiering.Config{
+				NumTiers: *numTiers, RetierEvery: *retier, EWMABeta: *ewmaBeta,
+				ClientsPerRound: *perRound, Seed: *seed,
+				Adaptive: *adaptSel, Credits: *credits,
+			}, lat)
+			if err != nil {
+				fail("%v", err)
+			}
+			agg.SetManager(mgr)
 		}
-		if err != nil {
-			fail("tiered training: %v", err)
-		}
-		for _, tr := range tiers {
-			fmt.Printf("tier %d (mean latency %.3fs): workers %v → %d commits\n",
-				tr.ID+1, tr.MeanLatency, tr.Members, res.Commits[tr.ID])
+		var res *flnet.TieredAsyncRunResult
+		var tiers []core.Tier
+		var err2 error
+		if mgr != nil {
+			res, err2 = agg.Run(nil)
+			if err2 != nil {
+				fail("tiered training: %v", err2)
+			}
+			for ti, members := range mgr.Tiers() {
+				fmt.Printf("tier %d (final membership): workers %v → %d commits\n", ti+1, members, res.Commits[ti])
+			}
+			fmt.Printf("live tiering: %d re-tierings moved %d workers\n", res.Retiers, res.Reassigned)
+		} else {
+			var dropouts []int
+			res, tiers, dropouts, err2 = agg.ProfileAndRun(*numTiers, *timeout)
+			if len(dropouts) > 0 {
+				fmt.Printf("profiling dropouts (excluded from all tiers): %v\n", dropouts)
+			}
+			if err2 != nil {
+				fail("tiered training: %v", err2)
+			}
+			for _, tr := range tiers {
+				fmt.Printf("tier %d (mean latency %.3fs): workers %v → %d commits\n",
+					tr.ID+1, tr.MeanLatency, tr.Members, res.Commits[tr.ID])
+			}
 		}
 		test := dataset.Generate(spec, 1000, *seed+999)
 		model := arch(rand.New(rand.NewSource(*seed)))
@@ -166,6 +213,9 @@ func main() {
 			ClientID: *id, NumSamples: local.Len(), Train: train, Codec: codec,
 			OnTierAssign: func(tier, numTiers int) {
 				fmt.Printf("worker %d: assigned to tier %d of %d\n", *id, tier+1, numTiers)
+			},
+			OnTierReassign: func(from, to, numTiers int) {
+				fmt.Printf("worker %d: re-tiered %d → %d of %d\n", *id, from+1, to+1, numTiers)
 			},
 		})
 		if err != nil {

@@ -73,4 +73,39 @@ func main() {
 	for t, n := range tiered.Commits {
 		fmt.Printf("  tier %d: %d rounds\n", t+1, n)
 	}
+
+	// Live tiering (internal/tiering): the same tiered-async run, but the
+	// fastest CPU group collapses to 5% capacity mid-run. With
+	// RetierEvery set, observed round latencies feed EWMA estimates and
+	// the drifted clients migrate out of the fast tier at rebuild points,
+	// so the fast tier keeps committing at full speed.
+	drifted := flcore.BuildClients(train, test, parts, cpus, 50, 4)
+	perGroup := len(drifted) / 5
+	for i := 0; i < perGroup; i++ {
+		// Latched: once drifted, a client stays slow even after migrating
+		// to a tier whose local round counter is still below the
+		// threshold — otherwise migration would un-drift it and the next
+		// rebuild would pull it straight back.
+		latched := false
+		drifted[i].Drift = func(round int) float64 {
+			if round >= 5 {
+				latched = true
+			}
+			if latched {
+				return 0.05
+			}
+			return 1
+		}
+	}
+	liveSys, err := tifl.New(drifted, tifl.Options{RetierEvery: 25})
+	if err != nil {
+		panic(err)
+	}
+	live := liveSys.TrainTieredAsync(tifl.TieredAsyncConfig{
+		Duration: budget, ClientsPerRound: 5, EvalInterval: budget / 10,
+		Seed: 5, BatchSize: 10, LocalEpochs: 1,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, EvalBatch: 256,
+	}, test)
+	fmt.Printf("\nlive re-tiering under mid-run drift: %d re-tierings moved %d clients, final accuracy %.4f\n",
+		live.Retiers, live.Migrations, live.FinalAcc)
 }

@@ -204,16 +204,32 @@ func (a *AdaptiveSelector) AccuracyHistory() [][]float64 {
 	return out
 }
 
-// changeProbs is the ChangeProbs function of Algorithm 2. The paper leaves
-// its exact form open beyond "lower accuracy tiers get higher probabilities
-// to be selected"; we use p_t ∝ (1 - A_t)^Temperature, which is smooth,
-// order-preserving, and reduces to uniform when tiers are equally accurate.
+// changeProbs is the ChangeProbs function of Algorithm 2, evaluated on the
+// accuracies recorded after the given round.
 func (a *AdaptiveSelector) changeProbs(round int) []float64 {
-	n := len(a.Tiers)
+	accs := make([]float64, len(a.Tiers))
+	for t := range a.Tiers {
+		accs[t] = a.TierAccuracy(t, round)
+	}
+	return AdaptiveProbs(accs, a.cfg.Temperature)
+}
+
+// AdaptiveProbs is THE ChangeProbs rule of Algorithm 2, shared by the
+// synchronous AdaptiveSelector and the live tiering Manager
+// (internal/tiering). The paper leaves the exact form open beyond "lower
+// accuracy tiers get higher probabilities to be selected"; we use
+// p_t ∝ (1 - A_t)^temperature, which is smooth, order-preserving, and
+// reduces to uniform when tiers are equally accurate. NaN accuracies
+// (unevaluated tiers) are treated as struggling (accuracy 0); temperature
+// ≤ 0 defaults to 2.
+func AdaptiveProbs(accs []float64, temperature float64) []float64 {
+	if temperature <= 0 {
+		temperature = 2
+	}
+	n := len(accs)
 	out := make([]float64, n)
 	total := 0.0
-	for t := 0; t < n; t++ {
-		acc := a.TierAccuracy(t, round)
+	for t, acc := range accs {
 		if math.IsNaN(acc) {
 			acc = 0 // unevaluated tiers are treated as struggling
 		}
@@ -221,7 +237,7 @@ func (a *AdaptiveSelector) changeProbs(round int) []float64 {
 		if gap < 0 {
 			gap = 0
 		}
-		out[t] = math.Pow(gap, a.cfg.Temperature)
+		out[t] = math.Pow(gap, temperature)
 		total += out[t]
 	}
 	if total <= 0 {

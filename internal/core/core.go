@@ -99,13 +99,22 @@ const (
 )
 
 // BuildTiers groups profiled clients into at most m tiers by response
-// latency and returns them ordered fastest to slowest.
+// latency and returns them ordered fastest to slowest. Degenerate inputs
+// collapse to non-empty tiers instead of emitting empty ones: with fewer
+// profiled clients than tiers the effective tier count is capped at the
+// client count (so Quantile yields exactly min(m, n) singleton-or-larger
+// tiers), duplicate latencies merge into shared bins, and an empty profile
+// returns nil — callers that require at least one tier (tifl.New, the
+// tiering Manager) check for that before training starts.
 func BuildTiers(latency map[int]float64, m int, strategy TieringStrategy) []Tier {
 	if m <= 0 {
 		panic(fmt.Sprintf("core: tier count %d", m))
 	}
 	if len(latency) == 0 {
-		panic("core: no profiled clients to tier")
+		return nil
+	}
+	if m > len(latency) {
+		m = len(latency)
 	}
 	type cl struct {
 		id  int

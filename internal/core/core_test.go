@@ -178,6 +178,75 @@ func TestBuildTiersIdenticalLatencies(t *testing.T) {
 	}
 }
 
+// Regression: degenerate inputs — fewer clients (or fewer distinct
+// latencies) than requested tiers, or an empty profile — must collapse to
+// non-empty tiers (or nil) rather than emit empty ones.
+func TestBuildTiersDegenerateInputs(t *testing.T) {
+	for _, strat := range []TieringStrategy{EqualWidth, Quantile} {
+		if tiers := BuildTiers(map[int]float64{}, 5, strat); tiers != nil {
+			t.Fatalf("empty profile built %d tiers, want nil", len(tiers))
+		}
+		// Two clients, five requested tiers: exactly two non-empty tiers.
+		tiers := BuildTiers(map[int]float64{7: 1, 3: 9}, 5, strat)
+		if len(tiers) != 2 {
+			t.Fatalf("strategy %d: 2 clients over 5 requested tiers built %d tiers", strat, len(tiers))
+		}
+		for i, tr := range tiers {
+			if len(tr.Members) == 0 {
+				t.Fatalf("strategy %d: tier %d is empty", strat, i)
+			}
+			if tr.ID != i {
+				t.Fatalf("strategy %d: tier IDs not consecutive: %+v", strat, tiers)
+			}
+		}
+		if tiers[0].Members[0] != 7 || tiers[1].Members[0] != 3 {
+			t.Fatalf("strategy %d: fastest-first ordering broken: %+v", strat, tiers)
+		}
+		// A single client is one singleton tier regardless of m.
+		if tiers := BuildTiers(map[int]float64{4: 2.5}, 4, strat); len(tiers) != 1 || len(tiers[0].Members) != 1 {
+			t.Fatalf("strategy %d: singleton profile built %+v", strat, tiers)
+		}
+	}
+	// Fewer distinct latencies than tiers under Quantile still yields
+	// min(m, n) non-empty tiers (ties split by client ID).
+	tiers := BuildTiers(map[int]float64{0: 1, 1: 1, 2: 1, 3: 1}, 8, Quantile)
+	if len(tiers) != 4 {
+		t.Fatalf("quantile over 4 tied clients with m=8 built %d tiers", len(tiers))
+	}
+	for _, tr := range tiers {
+		if len(tr.Members) != 1 {
+			t.Fatalf("tied quantile tiers not singletons: %+v", tiers)
+		}
+	}
+}
+
+func TestAdaptiveProbsShared(t *testing.T) {
+	// Uniform when equally accurate, boosted when struggling, NaN treated
+	// as accuracy 0, and always a probability vector.
+	p := AdaptiveProbs([]float64{0.5, 0.5, 0.5}, 2)
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("equal accuracies not uniform: %v", p)
+		}
+	}
+	p = AdaptiveProbs([]float64{0.9, math.NaN(), 0.5}, 2)
+	if !(p[1] > p[2] && p[2] > p[0]) {
+		t.Fatalf("struggling tiers not boosted: %v", p)
+	}
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probs sum to %v", sum)
+	}
+	// All tiers at perfect accuracy degrade to uniform, not zero.
+	p = AdaptiveProbs([]float64{1, 1}, 2)
+	if p[0] != 0.5 || p[1] != 0.5 {
+		t.Fatalf("perfect accuracies: %v", p)
+	}
+}
+
 func TestTierOfAndLatencies(t *testing.T) {
 	lat := map[int]float64{0: 1, 1: 2, 2: 10, 3: 11}
 	tiers := BuildTiers(lat, 2, EqualWidth)

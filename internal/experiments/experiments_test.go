@@ -262,8 +262,8 @@ func TestByID(t *testing.T) {
 	if ByID("nope") != nil {
 		t.Fatal("ByID(nope) should be nil")
 	}
-	if len(All()) != 19 {
-		t.Fatalf("runners = %d, want 19", len(All()))
+	if len(All()) != 21 {
+		t.Fatalf("runners = %d, want 21", len(All()))
 	}
 }
 

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtensionLiveRetierShape(t *testing.T) {
+	out := RunExtensionLiveRetier(tinyScale())
+	if out.ID != "ext_live_retier" || len(out.Tables) != 1 {
+		t.Fatalf("output shape: id=%q tables=%d", out.ID, len(out.Tables))
+	}
+	if len(out.Tables[0].Rows) != 2 {
+		t.Fatalf("rows = %d, want static + live", len(out.Tables[0].Rows))
+	}
+	if len(out.Series["accuracy_over_time"]) != 2 {
+		t.Fatalf("series = %d", len(out.Series["accuracy_over_time"]))
+	}
+}
+
+func TestLiveRetierDeterministic(t *testing.T) {
+	a := LiveRetierComparison(tinyScale())
+	b := LiveRetierComparison(tinyScale())
+	if a.Managed.Retiers != b.Managed.Retiers || a.Managed.Migrations != b.Managed.Migrations ||
+		a.Static.FinalAcc != b.Static.FinalAcc || a.Managed.FinalAcc != b.Managed.FinalAcc {
+		t.Fatalf("identical runs diverged: %+v vs %+v",
+			[4]float64{float64(a.Managed.Retiers), float64(a.Managed.Migrations), a.Static.FinalAcc, a.Managed.FinalAcc},
+			[4]float64{float64(b.Managed.Retiers), float64(b.Managed.Migrations), b.Static.FinalAcc, b.Managed.FinalAcc})
+	}
+}
+
+// TestLiveRetierAcceptance is the extension's headline claim: when half
+// the clients' resources collapse mid-run, the Manager-driven tiered-async
+// run re-tiers at least once and reaches the shared accuracy target in
+// less simulated time than the static-tier run on the same seed.
+// Everything is seeded, so the check is deterministic.
+func TestLiveRetierAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run drift comparison skipped in short mode")
+	}
+	out := LiveRetierComparison(SmallScale())
+	if out.Managed.Retiers < 1 || out.Managed.Migrations < 1 {
+		t.Fatalf("live run never re-tiered: retiers=%d migrations=%d", out.Managed.Retiers, out.Managed.Migrations)
+	}
+	if out.Static.Retiers != 0 {
+		t.Fatalf("static arm re-tiered %d times", out.Static.Retiers)
+	}
+	if out.ManagedTime >= out.StaticTime {
+		t.Errorf("live re-tiering reached %.4f accuracy in %.1fs, static in %.1fs — no speedup",
+			out.TargetAcc, out.ManagedTime, out.StaticTime)
+	}
+	// The drifted fast clients must actually leave the fast tiers: the
+	// managed run's fast-tier commit rate should beat the static run's.
+	if out.Managed.Commits[0] <= out.Static.Commits[0] {
+		t.Errorf("managed fast tier committed %d rounds, static %d — migration bought nothing",
+			out.Managed.Commits[0], out.Static.Commits[0])
+	}
+}
+
+func TestExtensionStalenessShape(t *testing.T) {
+	out := RunExtensionStaleness(tinyScale())
+	if out.ID != "ext_staleness" || len(out.Tables) != 1 {
+		t.Fatalf("output shape: id=%q tables=%d", out.ID, len(out.Tables))
+	}
+	if len(out.Tables[0].Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 arms", len(out.Tables[0].Rows))
+	}
+}
+
+func TestStalenessSweepArms(t *testing.T) {
+	arms := StalenessSweep(tinyScale())
+	if len(arms) != 6 {
+		t.Fatalf("%d arms", len(arms))
+	}
+	for _, a := range arms {
+		if a.Commits == 0 {
+			t.Fatalf("arm %+v committed nothing", a)
+		}
+		if a.FinalAcc < 0 || a.FinalAcc > 1 {
+			t.Fatalf("arm %+v accuracy out of range", a)
+		}
+	}
+	// All arms share the budget, so their commit counts must agree: the
+	// mixing rate shapes the model, not the event schedule.
+	for _, a := range arms[1:] {
+		if a.Commits != arms[0].Commits {
+			t.Fatalf("commit schedules diverge across arms: %+v", arms)
+		}
+	}
+}

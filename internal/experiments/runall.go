@@ -24,6 +24,8 @@ func All() []Runner {
 		{"ext_baselines", "Extension: TiFL vs FedProx/FedCS/async", RunExtensionBaselines},
 		{"ext_drift", "Extension: online re-tiering under drift", RunExtensionDrift},
 		{"ext_tiered_async", "Extension: FedAT-style tiered-async vs sync/async", RunExtensionTieredAsync},
+		{"ext_live_retier", "Extension: live re-tiering inside tiered-async under drift", RunExtensionLiveRetier},
+		{"ext_staleness", "Extension: tiered-async Alpha/StalenessExp ablation", RunExtensionStaleness},
 		{"ext_compression", "Extension: quantized / top-k compressed updates", RunExtensionCompression},
 		{"ablation_tiering", "Ablation: tiering strategy", RunAblationTiering},
 		{"ablation_tiercount", "Ablation: tier count", RunAblationTierCount},

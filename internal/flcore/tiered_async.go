@@ -29,6 +29,50 @@ import (
 // collision-free — which makes runs reproducible and comparable
 // wall-clock-for-wall-clock with both the sync and async engines.
 
+// TierMove is one client migrating between tiers at a re-tiering point.
+type TierMove struct {
+	// Client is the migrating client index; From/To its old and new tier.
+	Client, From, To int
+}
+
+// TierManager is the live tiering subsystem contract both tiered-async
+// engines (this simulated one and flnet.TieredAsyncAggregator) consume.
+// The canonical implementation is internal/tiering.Manager: it owns tier
+// membership, folds observed per-client latencies into EWMA estimates,
+// periodically rebuilds tiers (core.BuildTiers with hysteresis), and draws
+// each tier round's cohort — uniformly, or via Algorithm-2 adaptive sizing
+// (accuracy-driven tier probabilities under per-tier credit budgets). The
+// interface lives here rather than in internal/tiering so flcore does not
+// import the packages built on top of it (core imports flcore already).
+//
+// All methods must be deterministic given the same call sequence: the
+// simulated engine and the socket runtime replay identical sequences under
+// lockstep scheduling, which is what keeps their global models
+// byte-identical through a migration.
+type TierManager interface {
+	// Tiers returns the current membership, fastest tier first. The result
+	// is a copy; it stays valid after later re-tierings.
+	Tiers() [][]int
+	// Observe folds one observed response latency (seconds) into the
+	// client's running estimate. Engines call it once per committed update.
+	Observe(client int, seconds float64)
+	// ObserveAccuracy records per-tier test accuracies (index = tier) for
+	// Algorithm-2 adaptive selection. Engines without evaluation data
+	// (the socket runtime) never call it; the Manager then falls back to
+	// commit-share-driven probabilities.
+	ObserveAccuracy(accs []float64)
+	// Cohort draws tier t's participants for its local round — the live
+	// replacement for the static TierCohort draw, identically seed-keyed.
+	// want is the base cohort size (adaptive selection may shrink or grow
+	// it within the tier).
+	Cohort(tier, tierRound, want int) []int
+	// MaybeRetier is called after every global commit with the new version.
+	// At rebuild points it re-tiers from the current latency estimates and
+	// returns the new membership, the migrations, and true; otherwise
+	// (including rebuilds that moved nobody) it returns false.
+	MaybeRetier(version int) (tiers [][]int, moves []TierMove, changed bool)
+}
+
 // TierWeightFunc maps a committing tier to its cross-tier aggregation
 // weight given the per-tier commit counts so far (commits[k] includes the
 // current commit of tier `tier`). The weight is a multiplier on the base
@@ -88,6 +132,14 @@ type TieredAsyncConfig struct {
 	// compression FedAT motivates: slow tiers stop paying a dense model
 	// transfer per commit.
 	Codec compress.Codec
+	// Manager, if set, makes tiering live: every committed tier round's
+	// observed client latencies are fed to it, and at its rebuild points
+	// clients migrate between the running tier loops (the engine swaps its
+	// membership view; in-flight rounds complete under the membership they
+	// were dispatched with). Cohorts are then drawn through the Manager
+	// (Algorithm-2 adaptive selection when enabled) instead of the static
+	// TierCohort draw. nil keeps the tiers frozen as constructed.
+	Manager TierManager
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -132,6 +184,9 @@ type TieredAsyncResult struct {
 	TierRounds []TierRoundRecord
 	// Commits counts committed rounds per tier.
 	Commits []int
+	// Retiers counts membership rebuilds that actually moved clients
+	// (Manager runs only); Migrations is the total clients moved.
+	Retiers, Migrations int
 }
 
 // tierRun is one in-flight tier round in the event queue.
@@ -143,7 +198,8 @@ type tierRun struct {
 	selected  []int
 	weights   []float64 // tier-level FedAvg of the round's client updates
 	latency   float64
-	upBytes   int64 // total encoded uplink bytes of the round's updates
+	lats      []float64 // per-client observed latencies, parallel to selected
+	upBytes   int64     // total encoded uplink bytes of the round's updates
 }
 
 type tierRunHeap []*tierRun
@@ -179,16 +235,30 @@ type TieredAsyncEngine struct {
 	clock   simres.Clock
 	version int
 	rounds  []int // per-tier local round counters
+
+	// tierTest caches the per-tier pooled evaluation shards for adaptive
+	// accuracy feedback; rebuilt lazily when membership changes.
+	tierTest      []*dataset.Dataset
+	tierTestEpoch int
+	retierEpoch   int
 }
 
 // NewTieredAsyncEngine validates the configuration and tier membership and
 // builds the engine. Tiers are ordered fastest first (core.BuildTiers
-// order); every tier must be non-empty and the tiers disjoint — the
-// collision-free rng keying depends on each client belonging to one tier.
+// order); every tier must be non-empty and the tiers disjoint. When
+// Cfg.Manager is set, tiers may be nil — membership then comes from the
+// Manager, which owns it for the rest of the run. Randomness stays keyed on
+// (Seed, tier round, client); under live re-tiering a migrated client can
+// revisit a (round, client) key it trained under in its old tier, which
+// reuses that key's random stream — still fully deterministic, just no
+// longer collision-free across the whole run.
 func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Client, test *dataset.Dataset) *TieredAsyncEngine {
 	cfg.withDefaults()
 	if cfg.Duration <= 0 || cfg.ClientsPerRound <= 0 || cfg.Model == nil || cfg.Optimizer == nil {
 		panic(fmt.Sprintf("flcore: invalid TieredAsyncConfig %+v", cfg))
+	}
+	if tiers == nil && cfg.Manager != nil {
+		tiers = cfg.Manager.Tiers()
 	}
 	if zeroLatency(cfg.Latency) {
 		panic("flcore: TieredAsyncConfig.Latency produces zero response latency; simulated time cannot advance")
@@ -264,21 +334,34 @@ func TierCohort(seed int64, tierRound, tier int, members []int, want int) []int 
 func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
 	r := e.rounds[t]
 	e.rounds[t]++
-	selected := TierCohort(e.Cfg.Seed, r, t, e.Tiers[t], e.Cfg.ClientsPerRound)
+	var selected []int
+	if e.Cfg.Manager != nil {
+		selected = e.Cfg.Manager.Cohort(t, r, e.Cfg.ClientsPerRound)
+	} else {
+		selected = TierCohort(e.Cfg.Seed, r, t, e.Tiers[t], e.Cfg.ClientsPerRound)
+	}
+	if len(selected) == 0 {
+		// Defensive: the Manager guarantees non-empty tiers, but a
+		// membership that somehow shrank to nothing has no runnable round
+		// — drop the tier from the event loop instead of panicking.
+		return
+	}
 	pulled := append([]float64(nil), e.weights...)
 	updates := make([]Update, len(selected))
 	for i, ci := range selected {
 		updates[i] = e.eng.TrainClient(r, ci, pulled)
 	}
 	lat := MaxLatency(updates)
+	lats := make([]float64, len(updates))
 	var upBytes int64
-	for _, u := range updates {
+	for i, u := range updates {
 		upBytes += int64(u.WireBytes)
+		lats[i] = u.Latency
 	}
 	heap.Push(h, &tierRun{
 		tier: t, tierRound: r, pulledVer: e.version,
 		finish: now + lat, selected: selected,
-		weights: FedAvg(updates), latency: lat, upBytes: upBytes,
+		weights: FedAvg(updates), latency: lat, lats: lats, upBytes: upBytes,
 	})
 }
 
@@ -336,6 +419,14 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 			rec.Acc, rec.Loss = e.eng.global.Evaluate(e.Test.InputTensor(), e.Test.Y, e.Cfg.EvalBatch)
 		}
 		res.History = append(res.History, rec)
+		// Algorithm-2 accuracy feedback: evaluate the global model on each
+		// tier's pooled member test shards and hand the accuracies to the
+		// Manager, which drives its tier-selection probabilities from them.
+		if e.Cfg.Manager != nil {
+			if accs := e.tierAccuracies(); accs != nil {
+				e.Cfg.Manager.ObserveAccuracy(accs)
+			}
+		}
 	}
 
 	for h.Len() > 0 {
@@ -356,6 +447,22 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 			e.tierWeight(run.tier, res.Commits), staleness, e.Cfg.StalenessExp)
 		e.version++
 
+		if e.Cfg.Manager != nil {
+			// Live tiering: the commit's observed latencies feed the EWMA
+			// estimates, then the Manager decides whether this version is a
+			// rebuild point. Migrations take effect at each tier's next
+			// dispatch; the in-flight runs in the heap keep their cohorts.
+			for i, ci := range run.selected {
+				e.Cfg.Manager.Observe(ci, run.lats[i])
+			}
+			if tiers, moves, changed := e.Cfg.Manager.MaybeRetier(e.version); changed {
+				e.Tiers = tiers
+				e.retierEpoch++
+				res.Retiers++
+				res.Migrations += len(moves)
+			}
+		}
+
 		res.UplinkBytes += run.upBytes
 		rec := TierRoundRecord{
 			Tier: run.tier, TierRound: run.tierRound, Version: e.version,
@@ -374,6 +481,55 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 	res.TotalTime = e.clock.Now()
 	res.Weights = append([]float64(nil), e.weights...)
 	return res
+}
+
+// tierTestCap bounds each tier's pooled evaluation shard for adaptive
+// accuracy feedback (the TestData_t cap of Algorithm 2, sized for the
+// commit-frequency of the tiered engines).
+const tierTestCap = 256
+
+// tierAccuracies evaluates the current global model on every tier's pooled
+// member test shards (the tiered-async analogue of core.TierTestData —
+// only accuracies ever reach the Manager, so the privacy posture matches
+// the synchronous adaptive selector). Pools are cached per membership
+// epoch and capped at tierTestCap samples with a (Seed, tier)-keyed
+// subset. Returns nil when no tier has any client test data.
+func (e *TieredAsyncEngine) tierAccuracies() []float64 {
+	if e.tierTest == nil || e.tierTestEpoch != e.retierEpoch {
+		e.tierTest = make([]*dataset.Dataset, len(e.Tiers))
+		for t, members := range e.Tiers {
+			var parts []*dataset.Dataset
+			for _, ci := range members {
+				if c := e.Clients[ci]; c.Test != nil && c.Test.Len() > 0 {
+					parts = append(parts, c.Test)
+				}
+			}
+			if len(parts) == 0 {
+				continue
+			}
+			pooled := dataset.Concat(parts...)
+			if pooled.Len() > tierTestCap {
+				rng := rand.New(rand.NewSource(mix(e.Cfg.Seed, -7, t)))
+				pooled = pooled.Subset(rng.Perm(pooled.Len())[:tierTestCap])
+			}
+			e.tierTest[t] = pooled
+		}
+		e.tierTestEpoch = e.retierEpoch
+	}
+	accs := make([]float64, len(e.Tiers))
+	any := false
+	e.eng.global.SetWeightsVector(e.weights)
+	for t := range accs {
+		accs[t] = math.NaN()
+		if e.tierTest[t] != nil {
+			accs[t], _ = e.eng.global.Evaluate(e.tierTest[t].InputTensor(), e.tierTest[t].Y, e.Cfg.EvalBatch)
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return accs
 }
 
 // RunTieredAsync is the one-shot convenience wrapper mirroring RunAsync.

@@ -25,6 +25,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 )
 
@@ -43,6 +44,17 @@ const (
 	MsgTierAssign
 	MsgTierCommit
 	MsgCompressedUpdate
+	MsgTierReassign
+)
+
+// Worker protocol levels announced in Register.Proto. Workers predating a
+// level gob-decode to 0 and are treated as the oldest protocol.
+const (
+	// ProtoTierReassign marks a worker that understands MsgTierReassign.
+	// The tiered-async aggregator pins older workers in their original
+	// tier (they are never migrated), so they keep interoperating with a
+	// re-tiering run untouched.
+	ProtoTierReassign byte = 1
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
@@ -59,6 +71,7 @@ type Envelope struct {
 	TierAssign       *TierAssign
 	TierCommit       *TierCommit
 	CompressedUpdate *CompressedUpdate
+	TierReassign     *TierReassign
 }
 
 // Register announces a worker to its aggregator. Codec is the update
@@ -71,6 +84,11 @@ type Register struct {
 	ClientID   int
 	NumSamples int
 	Codec      byte
+	// Proto is the worker's protocol level (Proto* constants). Workers
+	// from before the field gob-decode to 0; the aggregator then withholds
+	// newer envelope types from them (today: MsgTierReassign) instead of
+	// sending messages they would reject.
+	Proto byte
 }
 
 // Profile asks a worker to run one profiling task (Section 4.2's
@@ -89,19 +107,35 @@ type ProfileReply struct {
 // Participants is non-empty the round runs under secure aggregation: the
 // worker masks its sample-weighted update with pairwise masks over the
 // cohort (see secure.go) scaled by MaskScale.
+//
+// Seq is a per-request token the worker echoes back in its update. Live
+// re-tiering makes it necessary: while a migration is in flight a worker
+// can be trained by its old tier's in-flight round and its new tier's next
+// round concurrently, and the two tiers' local round counters can collide
+// — matching replies by round number alone would let one tier aggregate an
+// update trained against the other tier's weights. 0 (synchronous rounds,
+// legacy aggregators) preserves the round-matched flow.
 type Train struct {
 	Round        int
 	Weights      []float64
 	Participants []int
 	MaskScale    float64
+	Seq          int64
 }
 
-// Update returns a worker's locally trained weights.
+// Update returns a worker's locally trained weights. Seconds is the
+// worker-measured duration of the local pass (0 from workers predating the
+// field); it feeds the live tiering Manager's EWMA latency estimates —
+// client-side measurement excludes aggregator-side queueing, matching what
+// Section 4.2's profiler observes.
 type Update struct {
 	Round      int
 	ClientID   int
 	Weights    []float64
 	NumSamples int
+	Seconds    float64
+	// Seq echoes Train.Seq (0 from workers predating the field).
+	Seq int64
 }
 
 // Partial is a child aggregator's pre-aggregated contribution: the weighted
@@ -147,6 +181,30 @@ type TierCommit struct {
 	// UplinkBytes is the tier round's worker→aggregator update traffic as
 	// encoded on the wire (compressed payloads where negotiated).
 	UplinkBytes int64
+	// Observed carries each contributing client's observed response
+	// latency, feeding the live tiering Manager's EWMA estimates at the
+	// committer (worker-reported seconds where available, the tier round's
+	// wall clock otherwise).
+	Observed []ClientSeconds
+}
+
+// ClientSeconds is one client's observed response latency.
+type ClientSeconds struct {
+	Client  int
+	Seconds float64
+}
+
+// TierReassign tells a worker it migrated between latency tiers at a live
+// re-tiering point (tier 0 is fastest, per core.BuildTiers). Like
+// MsgTierAssign it is informational — tier loops are server-driven, so the
+// migration is effective regardless — but it lets workers log placement
+// and adapt locally. It is only sent to workers that registered with
+// Proto ≥ ProtoTierReassign; older workers are pinned to their original
+// tier instead, so they never need to understand it.
+type TierReassign struct {
+	From     int
+	To       int
+	NumTiers int
 }
 
 // CompressedUpdate is the compressed counterpart of Update: instead of a
@@ -160,13 +218,22 @@ type CompressedUpdate struct {
 	Codec      byte
 	Payload    []byte
 	NumSamples int
+	// Seconds mirrors Update.Seconds: the worker-measured duration of the
+	// local pass, feeding live tiering's latency estimates.
+	Seconds float64
+	// Seq echoes Train.Seq (0 from workers predating the field).
+	Seq int64
 }
 
-// conn wraps a net.Conn with gob codecs and deadline helpers.
+// conn wraps a net.Conn with gob codecs and deadline helpers. Sends are
+// serialized: live re-tiering makes the committer goroutine send
+// MsgTierReassign on connections whose tier loops send MsgTrain
+// concurrently, and a gob encoder is not safe for concurrent use.
 type conn struct {
-	raw net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	raw    net.Conn
+	sendMu sync.Mutex
+	enc    *gob.Encoder
+	dec    *gob.Decoder
 }
 
 func newConn(raw net.Conn) *conn {
@@ -174,6 +241,8 @@ func newConn(raw net.Conn) *conn {
 }
 
 func (c *conn) send(env *Envelope) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("flnet: send %d: %w", env.Type, err)
 	}

@@ -26,7 +26,9 @@ func TestProtocolRoundTripAllTypes(t *testing.T) {
 		{Type: MsgPartial, Partial: &Partial{Round: 1, WeightedSum: []float64{10}, TotalWeight: 2, Clients: 2}},
 		{Type: MsgDone, Done: &Done{Rounds: 8}},
 		{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: 1, NumTiers: 3}},
-		{Type: MsgTierCommit, TierCommit: &TierCommit{Tier: 1, TierRound: 4, PulledVersion: 9, Weights: []float64{0.5}, Clients: 2, Seconds: 0.125}},
+		{Type: MsgTierCommit, TierCommit: &TierCommit{Tier: 1, TierRound: 4, PulledVersion: 9, Weights: []float64{0.5}, Clients: 2, Seconds: 0.125,
+			Observed: []ClientSeconds{{Client: 3, Seconds: 0.5}}}},
+		{Type: MsgTierReassign, TierReassign: &TierReassign{From: 0, To: 2, NumTiers: 3}},
 	}
 	go func() {
 		for _, m := range msgs {

@@ -89,10 +89,53 @@ type registered struct {
 	id      int
 	samples int
 	codec   byte // negotiated update compression (compress.IDNone = dense)
+	proto   byte // announced protocol level (Proto* constants; 0 = legacy)
 	c       *conn
 	updates chan *Envelope
-	dead    atomic.Bool // set by the reader goroutine when the conn drops
+	dead    atomic.Bool   // set by the reader goroutine when the conn drops
+	deadCh  chan struct{} // closed by the reader goroutine on exit
 	err     error
+
+	// pending routes seq-tagged updates (Train.Seq echoes) to the exact
+	// train request waiting for them. Registered before the request is
+	// sent, so a reply can never beat its waiter; buffered size 1, so the
+	// reader never blocks on delivery. Updates whose seq has no waiter are
+	// stragglers of an abandoned round and are discarded, mirroring the
+	// synchronous path's straggler-discard semantics.
+	pmu     sync.Mutex
+	pending map[int64]chan *Envelope
+}
+
+// addPending registers a waiter for the given request seq.
+func (w *registered) addPending(seq int64) chan *Envelope {
+	ch := make(chan *Envelope, 1)
+	w.pmu.Lock()
+	w.pending[seq] = ch
+	w.pmu.Unlock()
+	return ch
+}
+
+// dropPending abandons a request's waiter (the round is over).
+func (w *registered) dropPending(seq int64) {
+	w.pmu.Lock()
+	delete(w.pending, seq)
+	w.pmu.Unlock()
+}
+
+// route delivers a seq-tagged update to its waiter, reporting whether one
+// existed.
+func (w *registered) route(seq int64, env *Envelope) bool {
+	w.pmu.Lock()
+	ch, ok := w.pending[seq]
+	w.pmu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case ch <- env: // buffered 1: one reply per request
+	default:
+	}
+	return true
 }
 
 // Aggregator is the FL server: it accepts worker registrations, optionally
@@ -180,7 +223,13 @@ func (a *Aggregator) handshake(raw net.Conn) {
 		c.close() //nolint:errcheck // failed handshake
 		return
 	}
-	w := &registered{id: env.Register.ClientID, samples: env.Register.NumSamples, codec: env.Register.Codec, c: c, updates: make(chan *Envelope, 4)}
+	w := &registered{
+		id: env.Register.ClientID, samples: env.Register.NumSamples,
+		codec: env.Register.Codec, proto: env.Register.Proto, c: c,
+		updates: make(chan *Envelope, 4),
+		deadCh:  make(chan struct{}),
+		pending: make(map[int64]chan *Envelope),
+	}
 	a.mu.Lock()
 	if _, dup := a.workers[w.id]; dup {
 		a.mu.Unlock()
@@ -195,8 +244,20 @@ func (a *Aggregator) handshake(raw net.Conn) {
 			if err != nil {
 				w.err = err
 				w.dead.Store(true)
+				close(w.deadCh)
 				close(w.updates)
 				return
+			}
+			// Seq-tagged updates go straight to the train request that is
+			// waiting for them; everything else (profile replies, legacy
+			// updates) flows through the shared channel.
+			switch {
+			case env.Type == MsgUpdate && env.Update != nil && env.Update.Seq != 0:
+				w.route(env.Update.Seq, env)
+				continue
+			case env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil && env.CompressedUpdate.Seq != 0:
+				w.route(env.CompressedUpdate.Seq, env)
+				continue
 			}
 			w.updates <- env
 		}
@@ -333,12 +394,82 @@ func (a *Aggregator) Run(sel SelectFunc) (*RunResult, error) {
 	return res, nil
 }
 
+// decodeUpdate converts a worker's update envelope into an aggregatable
+// flcore.Update against the round's broadcast weights. It enforces the
+// handshake codec negotiation; a compressed payload that fails to decode
+// is treated like a dropped worker — one bad update must not kill the
+// round.
+func decodeUpdate(w *registered, env *Envelope, weights []float64) (flcore.Update, bool) {
+	switch {
+	case env.Type == MsgUpdate && env.Update != nil:
+		return flcore.Update{
+			ClientID: env.Update.ClientID, Weights: env.Update.Weights,
+			NumSamples: env.Update.NumSamples,
+			Latency:    env.Update.Seconds,
+			WireBytes:  compress.DenseBytes(len(env.Update.Weights)),
+		}, true
+	case env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil:
+		cu := env.CompressedUpdate
+		// Enforce the handshake negotiation: updates must arrive under the
+		// codec the worker registered with.
+		if cu.Codec != w.codec {
+			return flcore.Update{}, false
+		}
+		delta, err := compress.DecodePayload(cu.Codec, cu.Payload, len(weights))
+		if err != nil {
+			return flcore.Update{}, false
+		}
+		rec := make([]float64, len(weights))
+		for i := range rec {
+			rec[i] = weights[i] + delta[i]
+		}
+		return flcore.Update{
+			ClientID: cu.ClientID, Weights: rec,
+			NumSamples: cu.NumSamples, Latency: cu.Seconds,
+			WireBytes: len(cu.Payload),
+		}, true
+	}
+	return flcore.Update{}, false
+}
+
+// updateRound extracts the round an update envelope claims, or -1.
+func updateRound(env *Envelope) int {
+	switch {
+	case env.Type == MsgUpdate && env.Update != nil:
+		return env.Update.Round
+	case env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil:
+		return env.CompressedUpdate.Round
+	}
+	return -1
+}
+
+// drainFor pulls one round-r update from the worker's shared channel,
+// draining stale messages (e.g. a previous round's straggler update) until
+// the round's update arrives or the deadline passes (zero deadline blocks
+// indefinitely).
+func drainFor(w *registered, round int, weights []float64, deadline time.Time) (flcore.Update, bool) {
+	for {
+		wait := time.Duration(0)
+		if !deadline.IsZero() {
+			wait = time.Until(deadline)
+			if wait <= 0 {
+				return flcore.Update{}, false
+			}
+		}
+		env, ok := recvTimeout(w, wait)
+		if !ok {
+			return flcore.Update{}, false
+		}
+		if updateRound(env) == round {
+			return decodeUpdate(w, env, weights)
+		}
+	}
+}
+
 // collect gathers up to target updates for round r from the live workers,
 // respecting the round timeout; late updates are discarded (straggler
 // mitigation). weights is the round's broadcast weight vector, against
-// which compressed deltas are reconstructed; a compressed payload that
-// fails to decode is treated like a dropped worker — one bad update must
-// not kill the round.
+// which compressed deltas are reconstructed.
 func (a *Aggregator) collect(live []*registered, target, round int, weights []float64) []flcore.Update {
 	type got struct {
 		u  flcore.Update
@@ -351,54 +482,8 @@ func (a *Aggregator) collect(live []*registered, target, round int, weights []fl
 	}
 	for _, w := range live {
 		go func(w *registered) {
-			// Drain stale messages (e.g. a previous round's straggler
-			// update) until this round's update or the deadline.
-			for {
-				wait := time.Duration(0)
-				if !deadline.IsZero() {
-					wait = time.Until(deadline)
-					if wait <= 0 {
-						ch <- got{ok: false}
-						return
-					}
-				}
-				env, ok := recvTimeout(w, wait)
-				if !ok {
-					ch <- got{ok: false}
-					return
-				}
-				if env.Type == MsgUpdate && env.Update != nil && env.Update.Round == round {
-					ch <- got{u: flcore.Update{
-						ClientID: env.Update.ClientID, Weights: env.Update.Weights,
-						NumSamples: env.Update.NumSamples,
-						WireBytes:  compress.DenseBytes(len(env.Update.Weights)),
-					}, ok: true}
-					return
-				}
-				if env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil && env.CompressedUpdate.Round == round {
-					cu := env.CompressedUpdate
-					// Enforce the handshake negotiation: updates must
-					// arrive under the codec the worker registered with.
-					if cu.Codec != w.codec {
-						ch <- got{ok: false}
-						return
-					}
-					delta, err := compress.DecodePayload(cu.Codec, cu.Payload, len(weights))
-					if err != nil {
-						ch <- got{ok: false}
-						return
-					}
-					rec := make([]float64, len(weights))
-					for i := range rec {
-						rec[i] = weights[i] + delta[i]
-					}
-					ch <- got{u: flcore.Update{
-						ClientID: cu.ClientID, Weights: rec,
-						NumSamples: cu.NumSamples, WireBytes: len(cu.Payload),
-					}, ok: true}
-					return
-				}
-			}
+			u, ok := drainFor(w, round, weights, deadline)
+			ch <- got{u: u, ok: ok}
 		}(w)
 	}
 	var updates []flcore.Update

@@ -3,7 +3,9 @@ package flnet
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -28,6 +30,18 @@ import (
 // seeds and tier membership both runtimes draw identical cohorts; only the
 // commit interleaving differs (real wall clock here, simulated latency
 // there).
+//
+// Tiering goes live through TieredAsyncConfig.Manager (the
+// internal/tiering subsystem): every applied commit's worker-reported
+// latencies feed the Manager's EWMA estimates, and at its rebuild points
+// the committer swaps the shared membership view — the per-tier loops pick
+// the migrated clients up on their next round — and announces each
+// migration to the affected worker as a MsgTierReassign envelope. Workers
+// whose protocol predates the envelope are pinned in their original tier,
+// so mixed fleets keep interoperating. The optional Lockstep mode replays
+// a fixed tier-commit schedule (typically a simulated run's), removing the
+// wall-clock race from the commit order so a distributed run can be
+// byte-compared against its simulation through a migration.
 
 // TieredAsyncConfig configures a distributed tiered-asynchronous run.
 type TieredAsyncConfig struct {
@@ -54,6 +68,21 @@ type TieredAsyncConfig struct {
 	InitialWeights []float64
 	// Seed keys per-tier cohort selection (flcore.TierCohort).
 	Seed int64
+	// Manager, if set, makes tiering live (see the package comment above):
+	// commit latencies feed it, cohorts are drawn through it, and its
+	// rebuild points migrate workers between the running tier loops.
+	// Typically an internal/tiering.Manager built from ProfileWorkers
+	// measurements (see SetManager for the profile-then-run flow).
+	Manager flcore.TierManager
+	// Lockstep, when non-empty, fixes the order in which tier commits are
+	// applied: entry i names the tier whose commit becomes global version
+	// i+1 (out-of-order arrivals are buffered, and each tier starts its
+	// next round only after its previous commit applied — the simulated
+	// engine's dispatch discipline). Its length must equal GlobalCommits.
+	// This removes wall-clock nondeterminism from the commit order, which
+	// is what lets parity tests byte-compare a socket run against the
+	// simulated engine; real deployments leave it empty.
+	Lockstep []int
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -77,6 +106,8 @@ func (c TieredAsyncConfig) validate() error {
 		return fmt.Errorf("flnet: Alpha = %v", c.Alpha)
 	case c.StalenessExp < 0:
 		return fmt.Errorf("flnet: StalenessExp = %v", c.StalenessExp)
+	case len(c.Lockstep) > 0 && len(c.Lockstep) != c.GlobalCommits:
+		return fmt.Errorf("flnet: Lockstep schedules %d commits, GlobalCommits = %d", len(c.Lockstep), c.GlobalCommits)
 	}
 	return nil
 }
@@ -113,6 +144,25 @@ type TieredAsyncRunResult struct {
 	// UplinkBytes is the total encoded update traffic across all applied
 	// commits.
 	UplinkBytes int64
+	// Retiers counts live re-tierings that moved workers; Reassigned is
+	// the total workers migrated (Manager runs only).
+	Retiers, Reassigned int
+}
+
+// lockSnap is what the lockstep committer hands a tier after applying its
+// commit: the tier's next pull (version + weights) AND its next round's
+// pre-drawn cohort, both taken at exactly the point the simulated engine's
+// dispatch-at-commit would take them. Pre-drawing in the committer is what
+// removes the last race: a tier goroutine drawing its own cohort could
+// observe a membership rebuilt by a later commit the committer had already
+// raced ahead to, which the simulation's atomic commit-then-dispatch never
+// does. It also serializes every Manager call into commit order, so the
+// sim and net Managers see identical call sequences.
+type lockSnap struct {
+	version int
+	weights []float64
+	round   int
+	cohort  []int
 }
 
 // TieredAsyncAggregator is the FL server for tiered-asynchronous training.
@@ -126,6 +176,12 @@ type TieredAsyncAggregator struct {
 	gmu     sync.Mutex // guards version + gweights
 	version int
 	gw      []float64
+
+	tmu     sync.Mutex // guards the live membership view
+	members [][]int
+
+	seq  atomic.Int64    // train-request token source (Train.Seq)
+	acks []chan lockSnap // lockstep mode: per-tier pull snapshots
 }
 
 // NewTieredAsyncAggregator listens on addr (e.g. "127.0.0.1:0").
@@ -148,6 +204,12 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 		gw:         append([]float64(nil), cfg.InitialWeights...),
 	}, nil
 }
+
+// SetManager installs the live tiering Manager after construction — the
+// profile-then-run flow: NewTieredAsyncAggregator, WaitForWorkers,
+// ProfileWorkers, build a tiering.Manager from the measured latencies,
+// SetManager, Run(nil). Must be called before Run.
+func (ta *TieredAsyncAggregator) SetManager(m flcore.TierManager) { ta.tcfg.Manager = m }
 
 // snapshot returns the current global version and a copy of the weights —
 // the tier loops' "pull".
@@ -187,6 +249,46 @@ func (ta *TieredAsyncAggregator) applyCommit(tc *TierCommit, commits []int) (Tie
 	}, nil
 }
 
+// tierMembers returns a copy of tier t's current membership.
+func (ta *TieredAsyncAggregator) tierMembers(t int) []int {
+	ta.tmu.Lock()
+	defer ta.tmu.Unlock()
+	return append([]int(nil), ta.members[t]...)
+}
+
+// feedManager routes one applied commit's observed latencies into the live
+// tiering Manager, then lets it decide whether this version is a rebuild
+// point. On a re-tiering it swaps the shared membership view (tier loops
+// pick it up next round; in-flight rounds complete under the membership
+// they were dispatched with) and announces each migration to the moved
+// worker — only to workers whose protocol understands MsgTierReassign;
+// older workers were pinned at Run start and never appear in the moves.
+func (ta *TieredAsyncAggregator) feedManager(tc *TierCommit, version int, res *TieredAsyncRunResult) {
+	mgr := ta.tcfg.Manager
+	if mgr == nil {
+		return
+	}
+	for _, o := range tc.Observed {
+		mgr.Observe(o.Client, o.Seconds)
+	}
+	tiers, moves, changed := mgr.MaybeRetier(version)
+	if !changed {
+		return
+	}
+	ta.tmu.Lock()
+	ta.members = tiers
+	ta.tmu.Unlock()
+	res.Retiers++
+	res.Reassigned += len(moves)
+	for _, mv := range moves {
+		if w := ta.liveWorker(mv.Client); w != nil && w.proto >= ProtoTierReassign {
+			w.c.send(&Envelope{Type: MsgTierReassign, TierReassign: &TierReassign{ //nolint:errcheck // informational, best effort
+				From: mv.From, To: mv.To, NumTiers: len(tiers),
+			}})
+		}
+	}
+}
+
 // tierAlive reports whether any tier member's connection is still up.
 func (ta *TieredAsyncAggregator) tierAlive(members []int) bool {
 	for _, id := range members {
@@ -197,110 +299,290 @@ func (ta *TieredAsyncAggregator) tierAlive(members []int) bool {
 	return false
 }
 
+// cohortFor draws tier t's participants for its local round r: through the
+// live Manager when one is installed (Algorithm-2 adaptive sizing, current
+// membership), otherwise the static TierCohort draw over members.
+func (ta *TieredAsyncAggregator) cohortFor(t, r int, members []int) []int {
+	if ta.tcfg.Manager != nil {
+		return ta.tcfg.Manager.Cohort(t, r, ta.tcfg.ClientsPerRound)
+	}
+	return flcore.TierCohort(ta.tcfg.Seed, r, t, members, ta.tcfg.ClientsPerRound)
+}
+
+// trainReq is one outstanding train request of a tier round: the worker it
+// went to and, for seq-echoing workers, the waiter its reply is routed to.
+// Legacy workers (seq 0, ch nil) are collected from their shared channel
+// by round match — safe because legacy workers are pinned and therefore
+// can never be trained by two tiers concurrently.
+type trainReq struct {
+	w   *registered
+	seq int64
+	ch  chan *Envelope
+}
+
+// collectTier gathers the round's updates for the given outstanding
+// requests, respecting the round timeout (0 = wait indefinitely). Replies
+// from seq-echoing workers arrive through their per-request waiters, so a
+// migrated worker trained concurrently by its old and new tier can never
+// have its updates cross-matched between the two rounds.
+func (ta *TieredAsyncAggregator) collectTier(reqs []trainReq, round int, weights []float64) []flcore.Update {
+	type got struct {
+		u  flcore.Update
+		ok bool
+	}
+	ch := make(chan got, len(reqs))
+	var deadline time.Time
+	if ta.cfg.RoundTimeout > 0 {
+		deadline = time.Now().Add(ta.cfg.RoundTimeout)
+	}
+	for _, rq := range reqs {
+		go func(rq trainReq) {
+			if rq.ch == nil {
+				u, ok := drainFor(rq.w, round, weights, deadline)
+				ch <- got{u: u, ok: ok}
+				return
+			}
+			var timeout <-chan time.Time
+			if !deadline.IsZero() {
+				timer := time.NewTimer(time.Until(deadline))
+				defer timer.Stop()
+				timeout = timer.C
+			}
+			// A reply that was routed before the connection dropped (or
+			// just before the deadline) still counts: always drain the
+			// waiter before honoring the death/timeout signal, otherwise
+			// the select's random choice would nondeterministically
+			// discard a delivered update.
+			take := func() bool {
+				select {
+				case env := <-rq.ch:
+					u, ok := decodeUpdate(rq.w, env, weights)
+					ch <- got{u: u, ok: ok}
+					return true
+				default:
+					return false
+				}
+			}
+			select {
+			case env := <-rq.ch:
+				u, ok := decodeUpdate(rq.w, env, weights)
+				ch <- got{u: u, ok: ok}
+			case <-rq.w.deadCh:
+				if !take() {
+					ch <- got{ok: false}
+				}
+			case <-timeout:
+				if !take() {
+					ch <- got{ok: false}
+				}
+			}
+		}(rq)
+	}
+	var updates []flcore.Update
+	for range reqs {
+		if g := <-ch; g.ok {
+			updates = append(updates, g.u)
+		}
+	}
+	return updates
+}
+
+// tierRoundStatus is the outcome of one attempted tier mini-round.
+type tierRoundStatus int
+
+const (
+	roundCommitted tierRoundStatus = iota // updates aggregated and committed
+	roundNoCohort                         // whole cohort unreachable; redraw next round
+	roundEmpty                            // cohort reached but no updates before the windows closed
+	roundAbort                            // the tier cannot continue
+)
+
+// runTierRound executes one mini-round of tier t: send the cohort the
+// round's weights, collect the matched replies (with extra collection
+// windows for all-slow cohorts — a cohort slower than one RoundTimeout
+// still commits instead of being perpetually one round behind; a single
+// member persistently slower than its cohort is still dropped each round,
+// and live re-tiering is the mitigation: its EWMA drifts up until a
+// rebuild moves it to a slower tier), and deliver the FedAvg aggregate as
+// a MsgTierCommit envelope.
+func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version int, weights []float64, commitCh chan<- *Envelope, done <-chan struct{}) tierRoundStatus {
+	const maxCollects = 3
+	var conns []*registered
+	for _, id := range cohort {
+		if w := ta.liveWorker(id); w != nil {
+			conns = append(conns, w) // dead cohort members: train the rest
+		}
+	}
+	if len(conns) == 0 {
+		return roundNoCohort
+	}
+	start := time.Now()
+	var reqs []trainReq
+	defer func() {
+		for _, rq := range reqs {
+			if rq.seq != 0 {
+				rq.w.dropPending(rq.seq)
+			}
+		}
+	}()
+	for _, w := range conns {
+		rq := trainReq{w: w}
+		if w.proto >= ProtoTierReassign {
+			rq.seq = ta.seq.Add(1)
+			rq.ch = w.addPending(rq.seq)
+		}
+		if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: r, Weights: weights, Seq: rq.seq}}); err != nil {
+			if rq.seq != 0 {
+				w.dropPending(rq.seq)
+			}
+			continue
+		}
+		reqs = append(reqs, rq)
+	}
+	if len(reqs) == 0 {
+		return roundNoCohort
+	}
+	updates := ta.collectTier(reqs, r, weights)
+	for retry := 0; len(updates) == 0 && retry < maxCollects-1; retry++ {
+		select {
+		case <-done:
+			return roundAbort
+		default:
+		}
+		updates = ta.collectTier(reqs, r, weights)
+	}
+	if len(updates) == 0 {
+		return roundEmpty
+	}
+	// Deterministic aggregation order: replies arrive in wall-clock order,
+	// FedAvg's float sums are order-sensitive, and the simulated engine
+	// aggregates in cohort order — reorder to match.
+	pos := make(map[int]int, len(cohort))
+	for i, id := range cohort {
+		pos[id] = i
+	}
+	sort.Slice(updates, func(i, j int) bool { return pos[updates[i].ClientID] < pos[updates[j].ClientID] })
+	wall := time.Since(start).Seconds()
+	var upBytes int64
+	obs := make([]ClientSeconds, len(updates))
+	for i, u := range updates {
+		upBytes += int64(u.WireBytes)
+		secs := u.Latency // worker-reported training seconds
+		if secs <= 0 {
+			secs = wall // legacy workers: the round's wall clock
+		}
+		obs[i] = ClientSeconds{Client: u.ClientID, Seconds: secs}
+	}
+	env := &Envelope{Type: MsgTierCommit, TierCommit: &TierCommit{
+		Tier: t, TierRound: r, PulledVersion: version,
+		Weights: flcore.FedAvg(updates), Clients: len(updates),
+		Seconds: wall, UplinkBytes: upBytes, Observed: obs,
+	}}
+	select {
+	case commitCh <- env:
+		return roundCommitted
+	case <-done:
+		return roundAbort
+	}
+}
+
 // tierLoop drives tier t's synchronous mini-FedAvg rounds until the global
 // committer signals done or the tier can no longer make progress (its last
 // live worker is gone, or maxEmptyRounds consecutive rounds produced no
-// update). Each round pulls a global snapshot, trains the deterministically
-// drawn cohort (skipping workers whose connections dropped),
-// FedAvg-aggregates whatever responses arrive before the round timeout, and
-// sends the result into the commit channel as a MsgTierCommit envelope.
-func (ta *TieredAsyncAggregator) tierLoop(t int, members []int, commitCh chan<- *Envelope, done <-chan struct{}) {
-	// A tier that times out this many rounds in a row (each with
-	// maxEmptyRounds collection windows) stops participating; when every
-	// tier stops, Run reports the failure instead of hanging.
+// update). Under a live Manager the membership is re-read every round, so
+// re-tierings take effect at the next dispatch. In lockstep mode the pull
+// — version, weights, AND the pre-drawn cohort — comes from the
+// committer's per-tier ack channel instead of the shared snapshot, so each
+// round starts from exactly the state the simulated engine's dispatch
+// would see.
+func (ta *TieredAsyncAggregator) tierLoop(t int, commitCh chan<- *Envelope, done <-chan struct{}) {
+	// A tier that times out this many rounds in a row (each with several
+	// collection windows) stops participating; when every tier stops, Run
+	// reports the failure instead of hanging.
 	const maxEmptyRounds = 3
+	lockstep := len(ta.tcfg.Lockstep) > 0
 	empty := 0
+	var snap lockSnap
+	haveSnap := false
 	for r := 0; ; r++ {
 		select {
 		case <-done:
 			return
 		default:
 		}
+		if lockstep && !haveSnap {
+			select {
+			case s, ok := <-ta.acks[t]:
+				if !ok {
+					return
+				}
+				snap, haveSnap = s, true
+			case <-done:
+				return
+			}
+		}
+		members := ta.tierMembers(t)
 		if !ta.tierAlive(members) || empty >= maxEmptyRounds {
 			return
 		}
-		cohort := flcore.TierCohort(ta.tcfg.Seed, r, t, members, ta.tcfg.ClientsPerRound)
-		var conns []*registered
-		for _, id := range cohort {
-			if w := ta.liveWorker(id); w != nil {
-				conns = append(conns, w) // dead cohort members: train the rest
-			}
+		var cohort []int
+		var version int
+		var weights []float64
+		if lockstep {
+			r, cohort = snap.round, snap.cohort
+			version, weights = snap.version, snap.weights
+		} else {
+			cohort = ta.cohortFor(t, r, members)
+			version, weights = ta.snapshot()
 		}
-		if len(conns) == 0 {
+		if len(cohort) == 0 {
+			return
+		}
+		switch ta.runTierRound(t, r, cohort, version, weights, commitCh, done) {
+		case roundCommitted:
+			empty = 0
+			haveSnap = false // next round pulls the post-commit snapshot
+		case roundNoCohort:
+			if lockstep {
+				return // a lockstep schedule cannot skip rounds; give up the tier
+			}
 			// Whole cohort dead while the tier still has live members
 			// elsewhere: the next round draws a different cohort. Back off
 			// briefly so the redraw loop cannot burn a core while dead
 			// flags propagate.
 			time.Sleep(10 * time.Millisecond)
-			continue
-		}
-		version, weights := ta.snapshot()
-		start := time.Now()
-		var live []*registered
-		for _, w := range conns {
-			if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: r, Weights: weights}}); err != nil {
-				continue
-			}
-			live = append(live, w)
-		}
-		if len(live) == 0 {
-			continue
-		}
-		updates := ta.collect(live, len(live), r, weights)
-		// A cohort that is slow in its entirety can outlast RoundTimeout.
-		// Its round-r updates stay valid, so grant extra collection windows
-		// for the same round before giving it up — an all-slow tier still
-		// commits instead of being perpetually one round behind with every
-		// late update discarded as stale. (A single member persistently
-		// slower than the rest of its cohort is still dropped each round,
-		// like a sync-path straggler; the mitigation for that is better
-		// tiering — latency-homogeneous tiers by construction, and the
-		// re-profiling/re-tiering direction in the ROADMAP.)
-		for retry := 0; len(updates) == 0 && retry < maxEmptyRounds-1; retry++ {
-			select {
-			case <-done:
-				return
-			default:
-			}
-			if !ta.tierAlive(members) {
+		case roundEmpty:
+			if lockstep {
 				return
 			}
-			updates = ta.collect(live, len(live), r, weights)
-		}
-		if len(updates) == 0 {
 			empty++
-			continue
-		}
-		empty = 0
-		var upBytes int64
-		for _, u := range updates {
-			upBytes += int64(u.WireBytes)
-		}
-		env := &Envelope{Type: MsgTierCommit, TierCommit: &TierCommit{
-			Tier: t, TierRound: r, PulledVersion: version,
-			Weights: flcore.FedAvg(updates), Clients: len(updates),
-			Seconds: time.Since(start).Seconds(), UplinkBytes: upBytes,
-		}}
-		select {
-		case commitCh <- env:
-		case <-done:
+		case roundAbort:
 			return
 		}
 	}
 }
 
 // Run partitions the registered workers into the given tiers (member worker
-// IDs per tier, fastest first — core.TierMembers form), announces the
-// placement to each worker, and drives tiered-asynchronous training until
-// GlobalCommits commits have been applied. Workers that disconnect — even
-// between profiling and Run — are tolerated round to round; Run fails if
-// every tier stops making progress (all workers lost, or rounds repeatedly
-// timing out empty) before the commit target is reached, or on the first
-// malformed commit (wrong weight length, invalid TierWeight) — a
-// configuration error no later commit can heal.
+// IDs per tier, fastest first — core.TierMembers form; nil uses the live
+// Manager's membership), announces the placement to each worker, and drives
+// tiered-asynchronous training until GlobalCommits commits have been
+// applied. Workers that disconnect — even between profiling and Run — are
+// tolerated round to round; Run fails if every tier stops making progress
+// (all workers lost, or rounds repeatedly timing out empty) before the
+// commit target is reached, or on the first malformed commit (wrong weight
+// length, invalid TierWeight) — a configuration error no later commit can
+// heal.
 func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, error) {
+	if tiers == nil && ta.tcfg.Manager != nil {
+		tiers = ta.tcfg.Manager.Tiers()
+	}
 	if len(tiers) == 0 {
 		return nil, fmt.Errorf("flnet: tiered-async needs at least one tier")
+	}
+	for _, t := range ta.tcfg.Lockstep {
+		if t < 0 || t >= len(tiers) {
+			return nil, fmt.Errorf("flnet: lockstep schedule names tier %d of %d", t, len(tiers))
+		}
 	}
 	seen := make(map[int]int)
 	for t, members := range tiers {
@@ -322,6 +604,26 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 			}
 		}
 	}
+	ta.tmu.Lock()
+	ta.members = make([][]int, len(tiers))
+	for t, members := range tiers {
+		ta.members[t] = append([]int(nil), members...)
+	}
+	ta.tmu.Unlock()
+	// Live tiering with a mixed fleet: workers that predate
+	// MsgTierReassign are pinned in their original tier, so rebuilds never
+	// move a worker that could not be told.
+	if ta.tcfg.Manager != nil {
+		if p, ok := ta.tcfg.Manager.(interface{ Pin(int) }); ok {
+			ta.mu.Lock()
+			for id, w := range ta.workers {
+				if w.proto < ProtoTierReassign {
+					p.Pin(id)
+				}
+			}
+			ta.mu.Unlock()
+		}
+	}
 	// Announce placements (best effort: a worker that just dropped is
 	// handled by its tier loop like any other disconnect).
 	for t, members := range tiers {
@@ -332,15 +634,27 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 		}
 	}
 
+	if len(ta.tcfg.Lockstep) > 0 {
+		ta.acks = make([]chan lockSnap, len(tiers))
+		initial := append([]float64(nil), ta.tcfg.InitialWeights...)
+		for t := range ta.acks {
+			ta.acks[t] = make(chan lockSnap, 1)
+			ta.acks[t] <- lockSnap{version: 0, weights: initial, round: 0, cohort: ta.cohortFor(t, 0, ta.tierMembers(t))}
+		}
+	}
+
 	commitCh := make(chan *Envelope)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	for t, members := range tiers {
+	loopDone := make([]chan struct{}, len(tiers))
+	for t := range tiers {
 		wg.Add(1)
-		go func(t int, members []int) {
+		loopDone[t] = make(chan struct{})
+		go func(t int) {
 			defer wg.Done()
-			ta.tierLoop(t, members, commitCh, done)
-		}(t, members)
+			defer close(loopDone[t])
+			ta.tierLoop(t, commitCh, done)
+		}(t)
 	}
 	loopsExited := make(chan struct{})
 	go func() {
@@ -349,38 +663,79 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 	}()
 
 	// The single global-model goroutine is this one: it owns the commit
-	// order, applying envelopes as tiers race to deliver them.
+	// order, applying envelopes as tiers race to deliver them — or, in
+	// lockstep mode, in exactly the scheduled order, buffering early
+	// arrivals.
 	res := &TieredAsyncRunResult{Commits: make([]int, len(tiers))}
+	finish := func(applied int, err error) (*TieredAsyncRunResult, error) {
+		close(done)
+		ta.FinishWorkers(applied)
+		wg.Wait()
+		_, res.Weights = ta.snapshot()
+		return res, err
+	}
 	applied := 0
+	pending := make([][]*Envelope, len(tiers)) // lockstep buffers
 	for applied < ta.tcfg.GlobalCommits {
-		select {
-		case env := <-commitCh:
-			stats, err := ta.applyCommit(env.TierCommit, res.Commits)
-			if err != nil {
-				close(done)
-				ta.FinishWorkers(applied)
-				wg.Wait()
-				_, res.Weights = ta.snapshot()
-				return res, err
+		var env *Envelope
+		if len(ta.tcfg.Lockstep) > 0 {
+			want := ta.tcfg.Lockstep[applied]
+			for len(pending[want]) == 0 {
+				// Watching the scheduled tier's OWN exit (not just the
+				// all-loops exit) matters: other tiers may be blocked on
+				// their ack channels rather than exited, and only closing
+				// done (finish) releases them — waiting for loopsExited
+				// here would deadlock.
+				select {
+				case e := <-commitCh:
+					pending[e.TierCommit.Tier] = append(pending[e.TierCommit.Tier], e)
+				case <-loopDone[want]:
+					// The scheduled tier can never deliver: a completed
+					// send would already have been received and stashed
+					// (the commit channel is unbuffered), so pending[want]
+					// being empty means no commit is coming.
+					return finish(applied, fmt.Errorf("flnet: lockstep schedule stalled: tier %d never delivered commit %d of %d", want, applied+1, ta.tcfg.GlobalCommits))
+				}
 			}
-			res.Log = append(res.Log, stats)
-			res.UplinkBytes += stats.UplinkBytes
-			applied++
-		case <-loopsExited:
-			ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers
-			_, res.Weights = ta.snapshot()
-			return res, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+			env = pending[want][0]
+			pending[want] = pending[want][1:]
+		} else {
+			select {
+			case e := <-commitCh:
+				env = e
+			case <-loopsExited:
+				ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers
+				_, res.Weights = ta.snapshot()
+				return res, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+			}
+		}
+		stats, err := ta.applyCommit(env.TierCommit, res.Commits)
+		if err != nil {
+			return finish(applied, err)
+		}
+		res.Log = append(res.Log, stats)
+		res.UplinkBytes += stats.UplinkBytes
+		applied++
+		ta.feedManager(env.TierCommit, stats.Version, res)
+		if len(ta.tcfg.Lockstep) > 0 {
+			// Hand the committing tier its next pull: the post-commit
+			// snapshot and its next round's cohort, both taken after any
+			// re-tiering at this version — the simulated engine's
+			// dispatch-at-commit discipline. Lockstep never skips rounds,
+			// so the tier's next round index is its commit count. The ack
+			// channel is buffered and the tier has at most one commit in
+			// flight, so this never blocks.
+			tier := env.TierCommit.Tier
+			ver, w := ta.snapshot()
+			nextRound := res.Commits[tier]
+			ta.acks[tier] <- lockSnap{version: ver, weights: w, round: nextRound, cohort: ta.cohortFor(tier, nextRound, ta.tierMembers(tier))}
 		}
 	}
 	// Done goes out before waiting on the tier loops: workers finishing an
 	// in-flight round send their update, read Done, and close their
 	// connections, which unblocks any loop still collecting — so the final
 	// wait is bounded even when RoundTimeout is generous.
-	close(done)
-	ta.FinishWorkers(applied)
-	wg.Wait()
-	_, res.Weights = ta.snapshot()
-	return res, nil
+	return finish(applied, nil)
 }
 
 // ProfileAndRun is the end-to-end entry point: profile every registered
@@ -390,7 +745,17 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 // tiers and the profiling dropouts alongside the result — a worker that
 // missed its profiling reply is excluded from every tier and sits out the
 // whole run, so callers should surface the dropout list.
+//
+// When a live Manager was installed (SetManager), the Manager was already
+// seeded from a profiling pass, so no second pass runs (numTiers and
+// profileTimeout are ignored, dropouts is nil) and the returned tiers
+// mirror the Manager's FINAL membership — aligned with the result's
+// per-tier commit counters even after mid-run re-tierings.
 func (ta *TieredAsyncAggregator) ProfileAndRun(numTiers int, profileTimeout time.Duration) (*TieredAsyncRunResult, []core.Tier, []int, error) {
+	if ta.tcfg.Manager != nil {
+		res, err := ta.Run(nil)
+		return res, managerTierView(ta.tcfg.Manager), nil, err
+	}
 	lat, dropouts, err := ta.ProfileWorkers(profileTimeout)
 	if err != nil {
 		return nil, nil, dropouts, err
@@ -398,4 +763,30 @@ func (ta *TieredAsyncAggregator) ProfileAndRun(numTiers int, profileTimeout time
 	tiers := core.BuildTiers(lat, numTiers, core.Quantile)
 	res, err := ta.Run(core.TierMembers(tiers))
 	return res, tiers, dropouts, err
+}
+
+// managerTierView renders a Manager's current membership as []core.Tier,
+// with mean latencies from its EWMA estimates when it exposes them
+// (tiering.Manager does).
+func managerTierView(mgr flcore.TierManager) []core.Tier {
+	est, hasEst := mgr.(interface{ EWMA(int) (float64, bool) })
+	tiers := mgr.Tiers()
+	out := make([]core.Tier, len(tiers))
+	for t, members := range tiers {
+		out[t] = core.Tier{ID: t, Members: members}
+		if !hasEst || len(members) == 0 {
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, c := range members {
+			if v, ok := est.EWMA(c); ok {
+				sum += v
+				n++
+			}
+		}
+		if n > 0 {
+			out[t].MeanLatency = sum / float64(n)
+		}
+	}
+	return out
 }

@@ -23,6 +23,15 @@ type WorkerConfig struct {
 	// OnTierAssign, if set, receives the worker's tier placement when a
 	// tiered-async aggregator announces it (tier 0 is fastest).
 	OnTierAssign func(tier, numTiers int)
+	// OnTierReassign, if set, receives live re-tiering migrations: the
+	// aggregator moved this worker from tier `from` to tier `to` mid-run.
+	OnTierReassign func(from, to, numTiers int)
+	// ReportSeconds, if set, overrides the worker's self-reported training
+	// duration for the given round (by default the wall-clock time of the
+	// Train call). The report feeds the aggregator's live tiering EWMA
+	// estimates; tests inject simulated latencies here so distributed runs
+	// re-tier exactly like their simulated counterparts.
+	ReportSeconds func(round int) float64
 	// Codec, if set, compresses this worker's uplink updates: each trained
 	// delta (plus the error-feedback residual from earlier rounds) is
 	// encoded and sent as a MsgCompressedUpdate instead of a dense
@@ -50,7 +59,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	}
 	c := newConn(raw)
 	defer c.close() //nolint:errcheck // shutdown path
-	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples}
+	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoTierReassign}
 	if cfg.Codec != nil {
 		reg.Codec = cfg.Codec.ID()
 	}
@@ -74,9 +83,14 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				return err
 			}
 		case MsgTrain:
+			start := time.Now()
 			w, n, err := cfg.Train(env.Train.Round, env.Train.Weights)
 			if err != nil {
 				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+			}
+			secs := time.Since(start).Seconds()
+			if cfg.ReportSeconds != nil {
+				secs = cfg.ReportSeconds(env.Train.Round)
 			}
 			if cfg.Codec != nil && len(env.Train.Participants) == 0 && cfg.Codec.ID() != compress.IDNone {
 				if len(w) != len(env.Train.Weights) {
@@ -91,6 +105,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				up := &CompressedUpdate{
 					Round: env.Train.Round, ClientID: cfg.ClientID,
 					Codec: cfg.Codec.ID(), Payload: payload, NumSamples: n,
+					Seconds: secs, Seq: env.Train.Seq,
 				}
 				if err := c.send(&Envelope{Type: MsgCompressedUpdate, CompressedUpdate: up}); err != nil {
 					return err
@@ -98,13 +113,17 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				continue
 			}
 			w = maskedTrainResult(env.Train, cfg.ClientID, w, n)
-			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n}
+			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n, Seconds: secs, Seq: env.Train.Seq}
 			if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
 				return err
 			}
 		case MsgTierAssign:
 			if cfg.OnTierAssign != nil && env.TierAssign != nil {
 				cfg.OnTierAssign(env.TierAssign.Tier, env.TierAssign.NumTiers)
+			}
+		case MsgTierReassign:
+			if cfg.OnTierReassign != nil && env.TierReassign != nil {
+				cfg.OnTierReassign(env.TierReassign.From, env.TierReassign.To, env.TierReassign.NumTiers)
 			}
 		case MsgDone:
 			return nil

@@ -29,6 +29,7 @@ import (
 	"repro/internal/flnet"
 	"repro/internal/privacy"
 	"repro/internal/simres"
+	"repro/internal/tiering"
 )
 
 // Re-exported building blocks, so downstream users need only this package.
@@ -115,6 +116,26 @@ type Options struct {
 	// feedback and the latency model charges for encoded bytes. A job's
 	// config can still override it by setting its own Codec.
 	Compression Codec
+
+	// Live tiering (internal/tiering): the fields below make the
+	// tiered-async jobs re-tier mid-run instead of freezing the profiled
+	// tiers. They apply to TrainTieredAsync and TrainTieredAsyncNet;
+	// NetOptions can override them per distributed job.
+
+	// RetierEvery rebuilds tiers from observed latencies every k global
+	// commits (0 keeps the profiled tiers frozen, the paper's one-shot
+	// Section 4.2 behaviour).
+	RetierEvery int
+	// EWMABeta weights new latency observations in the live estimates
+	// (0 defaults to 0.5).
+	EWMABeta float64
+	// AdaptiveSelection enables Algorithm-2 selection inside the tier
+	// loops: accuracy-driven tier probabilities size each tier's cohorts
+	// under per-tier Credits budgets.
+	AdaptiveSelection bool
+	// Credits is the per-tier boosted-round budget Credits_t for
+	// AdaptiveSelection (0 = unlimited).
+	Credits int
 }
 
 // System is a profiled and tiered federation, ready to train under any
@@ -124,7 +145,9 @@ type System struct {
 	latency  LatencyModel
 	tiers    []Tier
 	dropouts []int
-	codec    Codec // default update compression (Options.Compression)
+	codec    Codec           // default update compression (Options.Compression)
+	profile  map[int]float64 // profiled per-client latencies (Manager seeding)
+	opts     Options         // live-tiering defaults
 }
 
 // New profiles the clients and builds tiers. It returns an error if the
@@ -154,7 +177,10 @@ func New(clients []*Client, opts Options) (*System, error) {
 		strategy = core.EqualWidth
 	}
 	tiers := core.BuildTiers(prof.Latency, m, strategy)
-	return &System{clients: clients, latency: lm, tiers: tiers, dropouts: prof.Dropouts, codec: opts.Compression}, nil
+	return &System{
+		clients: clients, latency: lm, tiers: tiers, dropouts: prof.Dropouts,
+		codec: opts.Compression, profile: prof.Latency, opts: opts,
+	}, nil
 }
 
 // Tiers returns the latency tiers, fastest first.
@@ -237,12 +263,39 @@ func FedATWeights() TierWeightFunc { return core.FedATWeights() }
 // core.UniformTierWeights).
 func UniformTierWeights() TierWeightFunc { return core.UniformTierWeights() }
 
+// tieringManager builds the live tiering Manager from the system's
+// profiled latencies when the effective options ask for one (RetierEvery
+// > 0 or AdaptiveSelection); nil keeps the profiled tiers frozen.
+func (s *System) tieringManager(o Options, clientsPerRound int, seed int64) (flcore.TierManager, error) {
+	if o.RetierEvery <= 0 && !o.AdaptiveSelection {
+		return nil, nil
+	}
+	mgr, err := tiering.NewManager(tiering.Config{
+		NumTiers:        len(s.tiers),
+		RetierEvery:     o.RetierEvery,
+		EWMABeta:        o.EWMABeta,
+		EqualWidth:      o.EqualWidthTiers,
+		ClientsPerRound: clientsPerRound,
+		Seed:            seed,
+		Adaptive:        o.AdaptiveSelection,
+		Credits:         o.Credits,
+	}, s.profile)
+	if err != nil {
+		return nil, fmt.Errorf("tifl: building tiering manager: %w", err)
+	}
+	return mgr, nil
+}
+
 // TrainTieredAsync runs FedAT-style tiered-asynchronous training over this
 // system's tiers: each tier runs its own synchronous mini-FedAvg rounds,
 // tiers advance asynchronously over simulated time, and every committed
 // tier round is mixed into the global model with a staleness-discounted,
 // slower-tier-favoring weight. The system's latency model and FedAT's
-// cross-tier weights are applied when cfg leaves them zero.
+// cross-tier weights are applied when cfg leaves them zero. When the
+// system's Options enable live tiering (RetierEvery / AdaptiveSelection),
+// a tiering.Manager owns membership for the run: observed latencies feed
+// its EWMA estimates and clients migrate between the tier loops at its
+// rebuild points.
 func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredAsyncResult {
 	if cfg.Latency == (LatencyModel{}) {
 		cfg.Latency = s.latency
@@ -252,6 +305,16 @@ func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredA
 	}
 	if cfg.Codec == nil {
 		cfg.Codec = s.codec
+	}
+	if cfg.Manager == nil {
+		mgr, err := s.tieringManager(s.opts, cfg.ClientsPerRound, cfg.Seed)
+		if err != nil {
+			panic(err) // invalid Options surface at construction, like flcore's config panics
+		}
+		cfg.Manager = mgr
+	}
+	if cfg.Manager != nil {
+		return flcore.RunTieredAsync(cfg, nil, s.clients, test)
 	}
 	return flcore.RunTieredAsync(cfg, core.TierMembers(s.tiers), s.clients, test)
 }
@@ -276,6 +339,22 @@ type NetOptions struct {
 	// system's Options.Compression), so a simulated and a distributed run
 	// of the same job compress identically.
 	Compression Codec
+	// AdaptiveCompression makes the codec tier-aware: workers in the
+	// slower half of the profiled tiers negotiate the configured codec
+	// (top-k@10% when none is configured) while fast-tier workers stay
+	// dense — slow tiers stop paying a dense model transfer per commit
+	// without costing the fast tiers any fidelity. Codecs are negotiated
+	// once at registration, so a later live re-tiering changes a worker's
+	// tier but not its codec.
+	AdaptiveCompression bool
+	// RetierEvery / EWMABeta / AdaptiveSelection / Credits override the
+	// system Options' live-tiering fields for this distributed job when
+	// non-zero (AdaptiveSelection and Credits apply when RetierEvery or
+	// AdaptiveSelection is enabled on either level).
+	RetierEvery       int
+	EWMABeta          float64
+	AdaptiveSelection bool
+	Credits           int
 }
 
 // TrainTieredAsyncNet runs the same FedAT-style protocol as
@@ -321,6 +400,25 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 			net.Compression = s.codec
 		}
 	}
+	// Effective live-tiering options: NetOptions overrides, Options
+	// defaults.
+	topts := s.opts
+	if net.RetierEvery > 0 {
+		topts.RetierEvery = net.RetierEvery
+	}
+	if net.EWMABeta > 0 {
+		topts.EWMABeta = net.EWMABeta
+	}
+	if net.AdaptiveSelection {
+		topts.AdaptiveSelection = true
+	}
+	if net.Credits > 0 {
+		topts.Credits = net.Credits
+	}
+	mgr, err := s.tieringManager(topts, cfg.ClientsPerRound, cfg.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
 	// Workers compress at the wire (flnet.WorkerConfig.Codec), so the
 	// local training engine stays dense — compressing in both places would
 	// double-apply the codec and split the error-feedback residual.
@@ -334,16 +432,18 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		GlobalCommits: net.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
 		Alpha: cfg.Alpha, StalenessExp: cfg.StalenessExp, TierWeight: cfg.TierWeight,
 		RoundTimeout: net.RoundTimeout, InitialWeights: init, Seed: cfg.Seed,
+		Manager: mgr,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 	defer agg.Close()
+	tierOf := core.TierOf(s.tiers)
 	for i := range s.clients {
 		idx := i
 		go flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with the aggregator
 			ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
-			Codec: net.Compression,
+			Codec: workerCodec(net, tierOf[idx], len(s.tiers)),
 			Train: func(round int, weights []float64) ([]float64, int, error) {
 				u := eng.TrainClient(round, idx, weights)
 				return u.Weights, u.NumSamples, nil
@@ -353,7 +453,11 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 	if err := agg.WaitForWorkers(len(s.clients), net.WorkerTimeout); err != nil {
 		return nil, 0, err
 	}
-	res, err := agg.Run(core.TierMembers(s.tiers))
+	var tiers [][]int
+	if mgr == nil {
+		tiers = core.TierMembers(s.tiers)
+	}
+	res, err := agg.Run(tiers)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -364,6 +468,23 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		acc, _ = model.Evaluate(test.InputTensor(), test.Y, cfg.EvalBatch)
 	}
 	return res, acc, nil
+}
+
+// workerCodec resolves the codec one worker negotiates at registration:
+// the job's uniform codec, or — under NetOptions.AdaptiveCompression —
+// the configured codec (top-k@10% by default) for workers profiled into
+// the slower half of the tiers and dense for the rest.
+func workerCodec(net NetOptions, tier, numTiers int) Codec {
+	if !net.AdaptiveCompression {
+		return net.Compression
+	}
+	if tier < (numTiers+1)/2 {
+		return nil // fast half: dense updates
+	}
+	if net.Compression != nil {
+		return net.Compression
+	}
+	return TopKCodec(0.1)
 }
 
 // EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a

@@ -243,6 +243,129 @@ func TestTrainTieredAsyncNet(t *testing.T) {
 	}
 }
 
+// TestTrainTieredAsyncLiveRetier drives the public live-tiering surface:
+// Options.RetierEvery makes the simulated tiered-async job re-tier from
+// observed latencies when client resources drift mid-run.
+func TestTrainTieredAsyncLiveRetier(t *testing.T) {
+	clients, test := testPopulation(t)
+	// The fastest CPU group collapses to 5% capacity from tier round 3 on
+	// (latched, so migrating to a low-round tier cannot un-drift them).
+	for i := 0; i < 10; i++ {
+		latched := false
+		clients[i].Drift = func(round int) float64 {
+			if round >= 3 {
+				latched = true
+			}
+			if latched {
+				return 0.05
+			}
+			return 1
+		}
+	}
+	sys, err := New(clients, Options{RetierEvery: 10, EWMABeta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	res := sys.TrainTieredAsync(TieredAsyncConfig{
+		Duration: 120, ClientsPerRound: 5, EvalInterval: 40, Seed: 5,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, EvalBatch: 128,
+	}, test)
+	if res.Retiers < 1 || res.Migrations < 1 {
+		t.Fatalf("drifting clients never re-tiered: retiers=%d migrations=%d", res.Retiers, res.Migrations)
+	}
+	if len(res.TierRounds) == 0 || math.IsNaN(res.FinalAcc) {
+		t.Fatalf("empty run: %d commits, final acc %v", len(res.TierRounds), res.FinalAcc)
+	}
+}
+
+// TestTrainTieredAsyncAdaptiveSelection exercises Algorithm-2 adaptive
+// cohort sizing through the public API: boosted cohorts appear, bounded by
+// the credit budget and the 2x cap.
+func TestTrainTieredAsyncAdaptiveSelection(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{AdaptiveSelection: true, Credits: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	res := sys.TrainTieredAsync(TieredAsyncConfig{
+		Duration: 60, ClientsPerRound: 5, EvalInterval: 15, Seed: 5,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, EvalBatch: 128,
+	}, test)
+	if len(res.TierRounds) == 0 {
+		t.Fatal("no commits")
+	}
+	for _, rec := range res.TierRounds {
+		if len(rec.Selected) > 10 {
+			t.Fatalf("cohort %v exceeds the 2x boost cap", rec.Selected)
+		}
+	}
+}
+
+// TestTrainTieredAsyncNetLiveRetier runs live tiering over loopback TCP:
+// NetOptions.RetierEvery installs a Manager on the aggregator and the
+// adaptive codec policy keeps fast tiers dense while slow tiers compress.
+func TestTrainTieredAsyncNetLiveRetier(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	commits := 30
+	if testing.Short() {
+		commits = 12
+	}
+	res, acc, err := sys.TrainTieredAsyncNet(TieredAsyncConfig{
+		ClientsPerRound: 5, Seed: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
+		EvalBatch: 128,
+	}, NetOptions{
+		GlobalCommits: commits, RetierEvery: 50, AdaptiveCompression: true,
+	}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Commits {
+		total += c
+	}
+	if total != commits {
+		t.Fatalf("commits %v sum to %d, want %d", res.Commits, total, commits)
+	}
+	if acc <= 0.15 {
+		t.Fatalf("distributed accuracy %v at chance", acc)
+	}
+	// With mixed per-tier codecs some commits must be cheaper than dense.
+	if res.UplinkBytes <= 0 {
+		t.Fatalf("no uplink accounting: %d", res.UplinkBytes)
+	}
+}
+
+func TestWorkerCodecPolicy(t *testing.T) {
+	topk := TopKCodec(0.1)
+	uniform := NetOptions{Compression: topk}
+	if workerCodec(uniform, 0, 5) != topk || workerCodec(uniform, 4, 5) != topk {
+		t.Fatal("uniform compression must ignore tiers")
+	}
+	adaptive := NetOptions{AdaptiveCompression: true, Compression: topk}
+	if workerCodec(adaptive, 0, 5) != nil || workerCodec(adaptive, 2, 5) != nil {
+		t.Fatal("fast half must stay dense")
+	}
+	if workerCodec(adaptive, 3, 5) != topk || workerCodec(adaptive, 4, 5) != topk {
+		t.Fatal("slow half must use the configured codec")
+	}
+	// Without a configured codec the slow half defaults to top-k@10%.
+	fallback := NetOptions{AdaptiveCompression: true}
+	if workerCodec(fallback, 4, 5) == nil || workerCodec(fallback, 0, 5) != nil {
+		t.Fatal("default adaptive codec policy broken")
+	}
+	// Two tiers: ceil(2/2)=1 fast tier, one compressed tier.
+	if workerCodec(adaptive, 0, 2) != nil || workerCodec(adaptive, 1, 2) != topk {
+		t.Fatal("two-tier split wrong")
+	}
+}
+
 func TestProfilerDropoutsSurface(t *testing.T) {
 	clients, _ := testPopulation(t)
 	sys, err := New(clients, Options{Profiler: ProfilerConfig{SyncRounds: 3, Tmax: 2.0, Epochs: 1, Seed: 1}})
