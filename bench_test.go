@@ -8,6 +8,8 @@ package tifl
 // with -full for paper-scale numbers.
 
 import (
+	"encoding/gob"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -15,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/flcore"
+	"repro/internal/flnet"
 	"repro/internal/nn"
 	"repro/internal/simres"
 	"repro/internal/tensor"
@@ -32,120 +35,140 @@ func benchScale() experiments.Scale {
 }
 
 func BenchmarkFig1aHeterogeneityStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig1a(benchScale())
 	}
 }
 
 func BenchmarkFig1bNonIIDStudy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig1b(benchScale())
 	}
 }
 
 func BenchmarkTable2EstimationModel(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunTable2(benchScale())
 	}
 }
 
 func BenchmarkFig3Cifar10Policies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig3(benchScale())
 	}
 }
 
 func BenchmarkFig4NonIIDPolicies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig4(benchScale())
 	}
 }
 
 func BenchmarkFig5MNISTFMNIST(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig5(benchScale())
 	}
 }
 
 func BenchmarkFig6CombinedHeterogeneity(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig6(benchScale())
 	}
 }
 
 func BenchmarkFig7Adaptive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig7(benchScale())
 	}
 }
 
 func BenchmarkFig8AdaptiveNonIID(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig8(benchScale())
 	}
 }
 
 func BenchmarkFig9LEAF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunFig9(benchScale())
 	}
 }
 
 func BenchmarkExtensionBaselines(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunExtensionBaselines(benchScale())
 	}
 }
 
 func BenchmarkExtensionDrift(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunExtensionDrift(benchScale())
 	}
 }
 
 func BenchmarkExtensionTieredAsync(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunExtensionTieredAsync(benchScale())
 	}
 }
 
 func BenchmarkExtensionLiveRetier(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunExtensionLiveRetier(benchScale())
 	}
 }
 
 func BenchmarkExtensionStaleness(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunExtensionStaleness(benchScale())
 	}
 }
 
 func BenchmarkAblationTieringStrategy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationTiering(benchScale())
 	}
 }
 
 func BenchmarkAblationTierCount(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationTierCount(benchScale())
 	}
 }
 
 func BenchmarkAblationCredits(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationCredits(benchScale())
 	}
 }
 
 func BenchmarkAblationChangeProbs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		experiments.RunAblationTemperature(benchScale())
 	}
 }
 
 func BenchmarkAblationCNNSubstrate(b *testing.B) {
+	b.ReportAllocs()
 	s := benchScale()
 	s.Rounds = 10 // conv rounds are ~20x costlier than MLP rounds
 	for i := 0; i < b.N; i++ {
@@ -156,6 +179,7 @@ func BenchmarkAblationCNNSubstrate(b *testing.B) {
 // --- Microbenchmarks of the hot substrate paths. ---
 
 func BenchmarkMatMul128(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.RandNormal(rng, 0, 1, 128, 128)
 	y := tensor.RandNormal(rng, 0, 1, 128, 128)
@@ -166,6 +190,7 @@ func BenchmarkMatMul128(b *testing.B) {
 }
 
 func BenchmarkFedAvg50Clients(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(2))
 	ups := make([]flcore.Update, 50)
 	for i := range ups {
@@ -182,6 +207,7 @@ func BenchmarkFedAvg50Clients(b *testing.B) {
 }
 
 func BenchmarkLocalClientTraining(b *testing.B) {
+	b.ReportAllocs()
 	train := dataset.Generate(dataset.CIFAR10Like, 400, 1)
 	rng := rand.New(rand.NewSource(3))
 	model := nn.NewMLP(rng, train.Dim(), []int{32}, 10, 0)
@@ -195,6 +221,7 @@ func BenchmarkLocalClientTraining(b *testing.B) {
 }
 
 func BenchmarkProfiling50Clients(b *testing.B) {
+	b.ReportAllocs()
 	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
 	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
 	cpus := simres.AssignGroups(50, simres.GroupsCIFAR)
@@ -207,6 +234,7 @@ func BenchmarkProfiling50Clients(b *testing.B) {
 }
 
 func BenchmarkAdaptiveSelection(b *testing.B) {
+	b.ReportAllocs()
 	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
 	test := dataset.Generate(dataset.CIFAR10Like, 500, 2)
 	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
@@ -223,6 +251,7 @@ func BenchmarkAdaptiveSelection(b *testing.B) {
 }
 
 func BenchmarkTieredAsync50Clients(b *testing.B) {
+	b.ReportAllocs()
 	train := dataset.Generate(dataset.CIFAR10Like, 2500, 1)
 	test := dataset.Generate(dataset.CIFAR10Like, 500, 2)
 	parts := dataset.PartitionIID(train.Len(), 50, rand.New(rand.NewSource(1)))
@@ -248,10 +277,60 @@ func BenchmarkTieredAsync50Clients(b *testing.B) {
 }
 
 func BenchmarkGlobalEvaluation(b *testing.B) {
+	b.ReportAllocs()
 	test := dataset.Generate(dataset.CIFAR10Like, 1000, 1)
 	model := nn.NewMLP(rand.New(rand.NewSource(1)), test.Dim(), []int{32}, 10, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.Evaluate(test.X, test.Y, 256)
 	}
+}
+
+// BenchmarkAggregation measures the chunk-parallel sharded FedAvg reduction
+// at realistic scale: 20 clients aggregating a 100k-parameter model.
+func BenchmarkAggregation(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(5))
+	ups := make([]flcore.Update, 20)
+	for i := range ups {
+		w := make([]float64, 100_000)
+		for j := range w {
+			w[j] = rng.NormFloat64()
+		}
+		ups[i] = flcore.Update{Weights: w, NumSamples: 1 + i}
+	}
+	dst := make([]float64, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flcore.FedAvgInto(dst, ups)
+	}
+}
+
+// BenchmarkWireEncode compares the legacy gob []float64 weight payload with
+// the fast-wire bulk encoding (Train.Raw) for a 100k-parameter broadcast —
+// the per-element reflection the fast wire eliminates.
+func BenchmarkWireEncode(b *testing.B) {
+	w := make([]float64, 100_000)
+	rng := rand.New(rand.NewSource(6))
+	for i := range w {
+		w[i] = rng.NormFloat64()
+	}
+	b.Run("gob-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		enc := gob.NewEncoder(io.Discard)
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(&flnet.Envelope{Type: flnet.MsgTrain, Train: &flnet.Train{Round: i, Weights: w}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fast-raw", func(b *testing.B) {
+		b.ReportAllocs()
+		enc := gob.NewEncoder(io.Discard)
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(&flnet.Envelope{Type: flnet.MsgTrain, Train: &flnet.Train{Round: i, Raw: nn.EncodeWeights(w)}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,117 @@
+// Command tifl-benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark report on stdout, so CI can archive the perf trajectory
+// (BENCH_<pr>.json artifacts) and humans can diff runs:
+//
+//	go test -run=NONE -bench=. -benchmem -benchtime=1x ./... | tifl-benchjson > BENCH_5.json
+//
+// Lines that are not benchmark results (headers, pkg footers) are ignored.
+// ns/op is always present; allocs/op and B/op appear when the bench ran
+// with -benchmem or calls b.ReportAllocs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_<pr>.json shape. Headline is free-form space for
+// human-curated context (e.g. the PR's before/after comparison) and is
+// preserved empty by this tool.
+type Report struct {
+	Headline map[string]any `json:"headline,omitempty"`
+	Results  []Result       `json:"results"`
+}
+
+func main() {
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tifl-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(Report{Results: results}); err != nil {
+		fmt.Fprintf(os.Stderr, "tifl-benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) ([]Result, error) {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Result
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		r, ok := parseLine(line)
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseLine handles the standard format:
+//
+//	BenchmarkName-8   	 1000	 1234 ns/op	 56 B/op	 7 allocs/op
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return Result{}, false
+	}
+	name := trimProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		val, unit := f[i], f[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.NsPerOp = v
+			seen = true
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.BytesPerOp = &v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				r.AllocsPerOp = &v
+			}
+		}
+	}
+	return r, seen
+}
+
+// trimProcs strips the numeric -N GOMAXPROCS suffix go test appends to
+// benchmark names, so reports diff cleanly across machines.
+func trimProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

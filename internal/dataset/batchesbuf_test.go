@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// BatchesBuf must visit exactly the batches Batches visits — same rng
+// consumption, same rows, same labels — while reusing one staging buffer.
+func TestBatchesBufMatchesBatches(t *testing.T) {
+	d := Generate(CIFAR10Like, 53, 1) // odd size: final partial batch
+	type batch struct {
+		x []float64
+		y []int
+	}
+	var want []batch
+	d.Batches(10, rand.New(rand.NewSource(9)), func(x *tensor.Tensor, y []int) {
+		want = append(want, batch{append([]float64(nil), x.Data...), append([]int(nil), y...)})
+	})
+	var buf BatchBuf
+	i := 0
+	d.BatchesBuf(10, rand.New(rand.NewSource(9)), &buf, func(x *tensor.Tensor, y []int) {
+		if i >= len(want) {
+			t.Fatal("BatchesBuf yielded more batches than Batches")
+		}
+		w := want[i]
+		if len(x.Data) != len(w.x) || len(y) != len(w.y) {
+			t.Fatalf("batch %d sizes %d/%d, want %d/%d", i, len(x.Data), len(y), len(w.x), len(w.y))
+		}
+		for j := range w.x {
+			if math.Float64bits(x.Data[j]) != math.Float64bits(w.x[j]) {
+				t.Fatalf("batch %d row data differs at %d", i, j)
+			}
+		}
+		for j := range w.y {
+			if y[j] != w.y[j] {
+				t.Fatalf("batch %d label %d = %d, want %d", i, j, y[j], w.y[j])
+			}
+		}
+		i++
+	})
+	if i != len(want) {
+		t.Fatalf("BatchesBuf yielded %d batches, want %d", i, len(want))
+	}
+}
+
+func TestBatchesBufSampleShape(t *testing.T) {
+	d := GenerateImages("mnist", 10, 1, 6, 6, 23, 0.1, 1)
+	var buf BatchBuf
+	d.BatchesBuf(5, rand.New(rand.NewSource(2)), &buf, func(x *tensor.Tensor, y []int) {
+		if x.Rank() != 4 || x.Dim(1) != 1 || x.Dim(2) != 6 || x.Dim(3) != 6 {
+			t.Fatalf("shaped batch = %v", x.Shape())
+		}
+		if x.Dim(0) != len(y) {
+			t.Fatalf("batch rows %d != labels %d", x.Dim(0), len(y))
+		}
+	})
+}
+
+func TestBatchesBufSteadyStateAllocs(t *testing.T) {
+	d := Generate(CIFAR10Like, 60, 1)
+	var buf BatchBuf
+	rng := rand.New(rand.NewSource(3))
+	d.BatchesBuf(10, rng, &buf, func(x *tensor.Tensor, y []int) {})
+	avg := testing.AllocsPerRun(20, func() {
+		d.BatchesBuf(10, rng, &buf, func(x *tensor.Tensor, y []int) {})
+	})
+	// Only the shuffle permutation (rng.Perm) may allocate per epoch.
+	if avg > 3 {
+		t.Fatalf("BatchesBuf allocates %v per epoch, want ≤ 3 (the shuffle permutation)", avg)
+	}
+}
+
+func TestBatchesBufEmptyDataset(t *testing.T) {
+	d := &Dataset{X: tensor.New(0, 4), Y: nil, NumClasses: 2}
+	var buf BatchBuf
+	d.BatchesBuf(10, rand.New(rand.NewSource(1)), &buf, func(x *tensor.Tensor, y []int) {
+		t.Fatal("empty dataset must yield no batches")
+	})
+}

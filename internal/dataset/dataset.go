@@ -134,6 +134,61 @@ func (d *Dataset) Batches(batchSize int, rng *rand.Rand, fn func(x *tensor.Tenso
 	}
 }
 
+// BatchBuf holds reusable mini-batch staging for BatchesBuf: the batch rows,
+// labels, and tensor headers are kept across batches (and across calls), so
+// steady-state training epochs allocate only the shuffle permutation. The
+// zero value is ready to use; a BatchBuf must not be shared between
+// concurrent iterations.
+type BatchBuf struct {
+	data  []float64
+	y     []int
+	view  *tensor.Tensor
+	shape []int
+}
+
+// BatchesBuf is Batches with caller-owned staging: it visits exactly the
+// same batches in exactly the same order (the rng draws are identical), but
+// the tensor handed to fn reuses buf's storage. fn must not retain x or y
+// beyond the call — the next batch overwrites them.
+func (d *Dataset) BatchesBuf(batchSize int, rng *rand.Rand, buf *BatchBuf, fn func(x *tensor.Tensor, y []int)) {
+	n := d.Len()
+	if n == 0 {
+		return
+	}
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	perm := rng.Perm(n)
+	dim := d.Dim()
+	if cap(buf.data) < batchSize*dim {
+		buf.data = make([]float64, batchSize*dim)
+	}
+	if cap(buf.y) < batchSize {
+		buf.y = make([]int, batchSize)
+	}
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		b := hi - lo
+		bx := buf.data[:b*dim]
+		by := buf.y[:b]
+		for i, j := range perm[lo:hi] {
+			copy(bx[i*dim:(i+1)*dim], d.X.Data[j*dim:(j+1)*dim])
+			by[i] = d.Y[j]
+		}
+		if len(d.SampleShape) > 0 {
+			buf.shape = append(buf.shape[:0], b)
+			buf.shape = append(buf.shape, d.SampleShape...)
+		} else {
+			buf.shape = append(buf.shape[:0], b, dim)
+		}
+		buf.view = tensor.AliasSlice(buf.view, bx, buf.shape)
+		fn(buf.view, by)
+	}
+}
+
 // ClassCounts returns the number of samples per class.
 func (d *Dataset) ClassCounts() []int {
 	counts := make([]int, d.NumClasses)

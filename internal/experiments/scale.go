@@ -277,8 +277,13 @@ func (s Scale) execute(sc scenario, runs []policyRun) ([]string, map[string]*flc
 	tiers, refClients := sc.tiers(s)
 	names := make([]string, 0, len(runs))
 	out := make(map[string]*flcore.Result, len(runs))
+	// One client population serves every policy run (and doubles as the
+	// adaptive policy's reference population): BuildClients is
+	// deterministically seeded, so rebuilding would produce byte-identical
+	// shards; training never mutates a shard, and the only per-run client
+	// state — the error-feedback residual — is reset by NewEngine.
+	clients := refClients
 	for _, run := range runs {
-		clients := sc.clients(s)
 		var sel flcore.Selector
 		switch run.kind {
 		case kindVanilla:

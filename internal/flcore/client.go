@@ -21,6 +21,7 @@ import (
 	"math/rand"
 
 	"repro/internal/dataset"
+	"repro/internal/tensor"
 )
 
 // Client is one federated data party: a private training shard, a local
@@ -82,10 +83,27 @@ func FedAvg(updates []Update) []float64 {
 	if len(updates) == 0 {
 		panic("flcore: FedAvg of no updates")
 	}
-	n := len(updates[0].Weights)
-	out := make([]float64, n)
+	out := make([]float64, len(updates[0].Weights))
+	FedAvgInto(out, updates)
+	return out
+}
+
+// FedAvgInto computes FedAvg into dst, reusing dst's storage (the round
+// loops aggregate into the standing global vector instead of reallocating
+// it every round). dst must have the updates' length and must not alias any
+// update's weight vector. The reduction runs chunk-parallel across elements
+// via tensor.AxpySharded — serial and in update order within each element —
+// so the result is byte-identical to the historical serial loop for any
+// worker count.
+func FedAvgInto(dst []float64, updates []Update) {
+	if len(updates) == 0 {
+		panic("flcore: FedAvg of no updates")
+	}
+	n := len(dst)
+	coeffs := make([]float64, len(updates))
+	srcs := make([][]float64, len(updates))
 	total := 0.0
-	for _, u := range updates {
+	for k, u := range updates {
 		if len(u.Weights) != n {
 			panic(fmt.Sprintf("flcore: update length %d != %d", len(u.Weights), n))
 		}
@@ -94,14 +112,18 @@ func FedAvg(updates []Update) []float64 {
 			w = 1 // degenerate client still contributes
 		}
 		total += w
-		for i, v := range u.Weights {
-			out[i] += w * v
+		coeffs[k] = w
+		srcs[k] = u.Weights
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	tensor.AxpySharded(dst, coeffs, srcs)
+	tensor.ParallelChunks(n, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] /= total
 		}
-	}
-	for i := range out {
-		out[i] /= total
-	}
-	return out
+	})
 }
 
 // MaxLatency returns the round latency under synchronous FL: the slowest

@@ -148,6 +148,41 @@ type Engine struct {
 	weights   []float64
 	clock     simres.Clock
 	completed int // rounds finished so far (supports checkpoint/resume)
+
+	// scratch holds one trainScratch per concurrently training goroutine:
+	// the workspace (pooled layer buffers), the cached model replica, and
+	// the mini-batch staging. Steady-state rounds reuse all of it, so local
+	// training allocates almost nothing. A plain stack (not a sync.Pool) so
+	// warmed-up replicas survive garbage collections for the engine's whole
+	// lifetime; it never outgrows the engine's worker-goroutine count.
+	mu      sync.Mutex
+	scratch []*trainScratch
+}
+
+// trainScratch is the per-goroutine reusable state of TrainClient.
+type trainScratch struct {
+	ws    *nn.Workspace
+	rep   *nn.Replica
+	bbuf  dataset.BatchBuf
+	delta []float64 // error-feedback delta staging (codec path)
+}
+
+func (e *Engine) getScratch() *trainScratch {
+	e.mu.Lock()
+	if n := len(e.scratch); n > 0 {
+		s := e.scratch[n-1]
+		e.scratch = e.scratch[:n-1]
+		e.mu.Unlock()
+		return s
+	}
+	e.mu.Unlock()
+	return &trainScratch{ws: nn.NewWorkspace(), rep: nn.NewReplica(e.Cfg.Model)}
+}
+
+func (e *Engine) putScratch(s *trainScratch) {
+	e.mu.Lock()
+	e.scratch = append(e.scratch, s)
+	e.mu.Unlock()
 }
 
 // NewEngine builds an engine; it panics on invalid configuration so
@@ -160,6 +195,10 @@ func NewEngine(cfg Config, clients []*Client, globalTest *dataset.Dataset) *Engi
 		panic("flcore: no clients")
 	}
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
+	// The global model is only ever evaluated from the engine's own round
+	// loop, so it gets its own workspace: periodic evaluations reuse their
+	// activation buffers instead of allocating per eval batch.
+	global.SetWorkspace(nn.NewWorkspace())
 	resetResiduals(clients)
 	return &Engine{
 		Cfg:        cfg,
@@ -203,10 +242,22 @@ func mix(seed int64, a, b int) int64 {
 // the identical computation on worker nodes.
 func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) Update {
 	c := e.Clients[clientIdx]
-	rng := rand.New(rand.NewSource(mix(e.Cfg.Seed, round, c.ID)))
-	model := e.Cfg.Model(rng)
+	s := e.getScratch()
+	defer e.putScratch(s)
+	// Replica.Acquire reproduces rand.New(rand.NewSource(mix(...))) followed
+	// by a fresh factory build, bit-exactly, while reusing the cached model
+	// and its workspace-pooled scratch — the rng stream, and therefore every
+	// dropout draw and batch shuffle below, is unchanged.
+	model, rng := s.rep.Acquire(mix(e.Cfg.Seed, round, c.ID))
+	model.SetWorkspace(s.ws)
 	model.SetWeightsVector(globalWeights)
 	opt := e.Cfg.Optimizer(round)
+	if sp, ok := opt.(nn.StatePooled); ok {
+		// Per-round optimizer state (momentum/second-moment caches) comes
+		// from the goroutine's workspace pool; it starts zeroed either way.
+		sp.AttachStatePool(s.ws.Pool())
+		defer sp.ReleaseState()
+	}
 	if e.Cfg.ProxMu > 0 {
 		opt = nn.NewProximal(opt, e.Cfg.ProxMu, globalWeights)
 	}
@@ -217,7 +268,7 @@ func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) 
 		}
 	}
 	for ep := 0; ep < epochs; ep++ {
-		c.Train.Batches(e.Cfg.BatchSize, rng, func(x *tensor.Tensor, y []int) {
+		c.Train.BatchesBuf(e.Cfg.BatchSize, rng, &s.bbuf, func(x *tensor.Tensor, y []int) {
 			model.TrainBatch(x, y, opt)
 		})
 	}
@@ -232,7 +283,10 @@ func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) 
 		// encoding error on the client, and hand the aggregator the exact
 		// reconstruction the wire payload decodes to — so the simulated
 		// engine and a real flnet worker produce identical updates.
-		delta := make([]float64, len(weightsOut))
+		if cap(s.delta) < len(weightsOut) {
+			s.delta = make([]float64, len(weightsOut))
+		}
+		delta := s.delta[:len(weightsOut)]
 		for i := range delta {
 			delta[i] = weightsOut[i] - globalWeights[i]
 		}
@@ -266,7 +320,7 @@ func (e *Engine) Run(sel Selector) *Result {
 			panic(fmt.Sprintf("flcore: selector returned no clients in round %d", r))
 		}
 		updates := e.trainRound(r, selected)
-		e.weights = FedAvg(updates)
+		FedAvgInto(e.weights, updates)
 		e.global.SetWeightsVector(e.weights)
 		lat := MaxLatency(updates)
 		e.clock.Advance(lat)
@@ -315,15 +369,18 @@ func (e *Engine) Run(sel Selector) *Result {
 // returns their updates in selection order.
 func (e *Engine) trainRound(round int, selected []int) []Update {
 	updates := make([]Update, len(selected))
-	if !e.Cfg.Parallel || len(selected) == 1 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	// One worker means the parallel machinery can only add overhead; results
+	// are identical either way because all randomness is keyed on
+	// (Seed, round, client).
+	if !e.Cfg.Parallel || workers == 1 {
 		for i, ci := range selected {
 			updates[i] = e.TrainClient(round, ci, e.weights)
 		}
 		return updates
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(selected) {
-		workers = len(selected)
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)

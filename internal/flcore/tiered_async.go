@@ -9,6 +9,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/dataset"
 	"repro/internal/simres"
+	"repro/internal/tensor"
 )
 
 // Tiered-asynchronous federated learning (FedAT-style, Chai et al., SC
@@ -382,9 +383,16 @@ func CommitMix(global, commit []float64, alpha, tierWeight float64, staleness in
 	if a > 1 {
 		a = 1
 	}
-	for i := range global {
-		global[i] = (1-a)*global[i] + a*commit[i]
-	}
+	// Chunk-parallel over elements: each element's mix is independent, so
+	// sharding cannot change results (the per-element expression is
+	// unchanged from the historical serial loop).
+	tensor.ParallelChunks(len(global), 3*len(global), func(lo, hi int) {
+		g := global[lo:hi]
+		c := commit[lo:hi:hi]
+		for i := range g {
+			g[i] = (1-a)*g[i] + a*c[i]
+		}
+	})
 	return a
 }
 

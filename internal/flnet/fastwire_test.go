@@ -1,0 +1,167 @@
+package flnet
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+)
+
+func TestBroadcastNegotiation(t *testing.T) {
+	w := []float64{1.5, -2.25, math.Pi, 0}
+	fast := newBroadcast(w).fill(&Train{Round: 3}, ProtoFastWire)
+	if fast.Weights != nil || fast.Raw == nil {
+		t.Fatal("ProtoFastWire must use the Raw payload")
+	}
+	got, err := fast.roundWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Fatalf("fast round trip[%d] = %v, want %v", i, got[i], v)
+		}
+	}
+	legacy := newBroadcast(w).fill(&Train{Round: 3}, ProtoTierReassign)
+	if legacy.Raw != nil || legacy.Weights == nil {
+		t.Fatal("legacy protocols must use the Weights field")
+	}
+	lw, err := legacy.roundWeights()
+	if err != nil || &lw[0] != &w[0] {
+		t.Fatal("legacy roundWeights must return the Weights field directly")
+	}
+}
+
+func TestRoundWeightsRejectsCorruptRaw(t *testing.T) {
+	tr := newBroadcast([]float64{1, 2}).fill(&Train{}, ProtoFastWire)
+	tr.Raw[0] ^= 0xFF // break the magic
+	if _, err := tr.roundWeights(); err == nil {
+		t.Fatal("corrupt raw payload must error")
+	}
+}
+
+func TestDecodeUpdateFastWire(t *testing.T) {
+	w := &registered{codec: 0}
+	weights := []float64{0.5, -1, 2}
+	env := &Envelope{Type: MsgUpdate, Update: &Update{
+		Round: 1, ClientID: 4, NumSamples: 9, Raw: nn.EncodeWeights(weights),
+	}}
+	u, ok := decodeUpdate(w, env, weights)
+	if !ok {
+		t.Fatal("fast-wire update must decode")
+	}
+	if u.ClientID != 4 || u.NumSamples != 9 || len(u.Weights) != 3 {
+		t.Fatalf("decoded update = %+v", u)
+	}
+	for i, v := range weights {
+		if math.Float64bits(u.Weights[i]) != math.Float64bits(v) {
+			t.Fatalf("weights[%d] = %v, want %v", i, u.Weights[i], v)
+		}
+	}
+	// A corrupt payload is treated like a dropped worker, not a dead round.
+	env.Update.Raw[0] ^= 0xFF
+	if _, ok := decodeUpdate(w, env, weights); ok {
+		t.Fatal("corrupt fast-wire update must be rejected")
+	}
+}
+
+// A legacy worker (no Proto announcement) must receive legacy Train
+// envelopes and may answer with legacy Update envelopes — the fast wire is
+// strictly opt-in at registration.
+func TestFastWireLegacyWorkerInterop(t *testing.T) {
+	agg, err := NewAggregator("127.0.0.1:0", AggregatorConfig{
+		Rounds: 1, ClientsPerRound: 2, InitialWeights: []float64{1, 2, 3}, Seed: 1,
+		RoundTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+
+	// Modern worker: full fast-wire round trip via RunWorker.
+	go RunWorker(agg.Addr(), WorkerConfig{ //nolint:errcheck // exits with aggregator
+		ClientID: 0, NumSamples: 5,
+		Train: func(round int, w []float64) ([]float64, int, error) {
+			out := append([]float64(nil), w...)
+			for i := range out {
+				out[i] += 1
+			}
+			return out, 5, nil
+		},
+	})
+
+	// Legacy worker: hand-rolled, registers without Proto and insists on
+	// the Weights field in both directions.
+	legacyDone := make(chan error, 1)
+	go func() {
+		raw, err := net.Dial("tcp", agg.Addr())
+		if err != nil {
+			legacyDone <- err
+			return
+		}
+		c := newConn(raw)
+		defer c.close() //nolint:errcheck // test shutdown
+		if err := c.send(&Envelope{Type: MsgRegister, Register: &Register{ClientID: 1, NumSamples: 5}}); err != nil {
+			legacyDone <- err
+			return
+		}
+		for {
+			env, err := c.recv(10 * time.Second)
+			if err != nil {
+				legacyDone <- err
+				return
+			}
+			switch env.Type {
+			case MsgTrain:
+				if env.Train.Raw != nil || env.Train.Weights == nil {
+					legacyDone <- errLegacyGotRaw
+					return
+				}
+				out := append([]float64(nil), env.Train.Weights...)
+				for i := range out {
+					out[i] += 2
+				}
+				up := &Update{Round: env.Train.Round, ClientID: 1, Weights: out, NumSamples: 5}
+				if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
+					legacyDone <- err
+					return
+				}
+			case MsgDone:
+				legacyDone <- nil
+				return
+			default:
+				legacyDone <- errLegacyUnexpected
+				return
+			}
+		}
+	}()
+
+	if err := agg.WaitForWorkers(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Run(UniformSelect(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-legacyDone; err != nil {
+		t.Fatalf("legacy worker: %v", err)
+	}
+	// FedAvg of (+1) and (+2) with equal sample counts = +1.5.
+	want := []float64{2.5, 3.5, 4.5}
+	for i, v := range want {
+		if math.Abs(res.Weights[i]-v) > 1e-12 {
+			t.Fatalf("aggregated weights = %v, want %v", res.Weights, want)
+		}
+	}
+}
+
+var (
+	errLegacyGotRaw     = errString("legacy worker received a fast-wire Train")
+	errLegacyUnexpected = errString("legacy worker received unexpected message")
+)
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -18,6 +18,7 @@ import (
 // or the round timeout are discarded), and return the updates.
 func (a *Aggregator) RunRound(round int, chosen []int, weights []float64, target int) ([]flcore.Update, error) {
 	live := make([]*registered, 0, len(chosen))
+	bc := newBroadcast(weights)
 	for _, id := range chosen {
 		a.mu.Lock()
 		w := a.workers[id]
@@ -25,7 +26,7 @@ func (a *Aggregator) RunRound(round int, chosen []int, weights []float64, target
 		if w == nil {
 			continue
 		}
-		if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: round, Weights: weights}}); err != nil {
+		if err := w.c.send(&Envelope{Type: MsgTrain, Train: bc.fill(&Train{Round: round}, w.proto)}); err != nil {
 			continue
 		}
 		live = append(live, w)

@@ -27,6 +27,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/nn"
 )
 
 // MsgType discriminates protocol messages.
@@ -48,13 +50,24 @@ const (
 )
 
 // Worker protocol levels announced in Register.Proto. Workers predating a
-// level gob-decode to 0 and are treated as the oldest protocol.
+// level gob-decode to 0 and are treated as the oldest protocol. Levels are
+// cumulative: a worker announcing level L understands every feature of the
+// levels below it.
 const (
 	// ProtoTierReassign marks a worker that understands MsgTierReassign.
 	// The tiered-async aggregator pins older workers in their original
 	// tier (they are never migrated), so they keep interoperating with a
 	// re-tiering run untouched.
 	ProtoTierReassign byte = 1
+	// ProtoFastWire marks a worker that understands the bulk weight
+	// encoding (Train.Raw/Update.Raw): weight vectors travel as one
+	// length-prefixed little-endian byte blob (nn.EncodeWeights) inside the
+	// gob envelope, so the multi-MB broadcast/update path is a single
+	// memcopy-style encode instead of per-element reflection. Aggregators
+	// send Raw only to workers that announced this level; a worker replies
+	// in whichever encoding the request arrived in, so either side may be
+	// old without breaking the other.
+	ProtoFastWire byte = 2
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
@@ -121,6 +134,45 @@ type Train struct {
 	Participants []int
 	MaskScale    float64
 	Seq          int64
+	// Raw is the fast-wire weight payload (nn.EncodeWeights bulk bytes),
+	// set instead of Weights for workers that registered with
+	// Proto ≥ ProtoFastWire. Exactly one of Weights/Raw is non-nil.
+	Raw []byte
+}
+
+// broadcast is one round's weight vector prepared for sending to a mixed
+// population: the fast-wire blob is encoded at most once per round, no
+// matter how many workers receive it (the blob and the weights slice are
+// shared read-only across the per-worker Train envelopes).
+type broadcast struct {
+	weights []float64
+	raw     []byte // lazily encoded on the first fast-wire recipient
+}
+
+func newBroadcast(weights []float64) *broadcast { return &broadcast{weights: weights} }
+
+// fill sets t's weight payload in the encoding negotiated at registration:
+// bulk bytes for ProtoFastWire peers, the legacy per-element gob field
+// otherwise. It returns t for call chaining.
+func (b *broadcast) fill(t *Train, proto byte) *Train {
+	if proto >= ProtoFastWire {
+		if b.raw == nil {
+			b.raw = nn.EncodeWeights(b.weights)
+		}
+		t.Raw = b.raw
+	} else {
+		t.Weights = b.weights
+	}
+	return t
+}
+
+// roundWeights decodes the request's weight vector from whichever encoding
+// it arrived in.
+func (t *Train) roundWeights() ([]float64, error) {
+	if t.Raw != nil {
+		return nn.DecodeWeights(t.Raw)
+	}
+	return t.Weights, nil
 }
 
 // Update returns a worker's locally trained weights. Seconds is the
@@ -136,6 +188,11 @@ type Update struct {
 	Seconds    float64
 	// Seq echoes Train.Seq (0 from workers predating the field).
 	Seq int64
+	// Raw is the fast-wire weight payload (nn.EncodeWeights bulk bytes).
+	// A worker sets it instead of Weights when the Train request itself
+	// arrived fast-wire, so replies always match what the aggregator can
+	// decode. Exactly one of Weights/Raw is non-nil.
+	Raw []byte
 }
 
 // Partial is a child aggregator's pre-aggregated contribution: the weighted

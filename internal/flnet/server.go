@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/flcore"
+	"repro/internal/nn"
 )
 
 // SelectFunc chooses the client IDs participating in a round from the
@@ -402,11 +403,21 @@ func (a *Aggregator) Run(sel SelectFunc) (*RunResult, error) {
 func decodeUpdate(w *registered, env *Envelope, weights []float64) (flcore.Update, bool) {
 	switch {
 	case env.Type == MsgUpdate && env.Update != nil:
+		uw := env.Update.Weights
+		if env.Update.Raw != nil {
+			dec, err := nn.DecodeWeights(env.Update.Raw)
+			if err != nil {
+				// Same policy as an undecodable compressed payload: one
+				// corrupt update must not kill the round.
+				return flcore.Update{}, false
+			}
+			uw = dec
+		}
 		return flcore.Update{
-			ClientID: env.Update.ClientID, Weights: env.Update.Weights,
+			ClientID: env.Update.ClientID, Weights: uw,
 			NumSamples: env.Update.NumSamples,
 			Latency:    env.Update.Seconds,
-			WireBytes:  compress.DenseBytes(len(env.Update.Weights)),
+			WireBytes:  compress.DenseBytes(len(uw)),
 		}, true
 	case env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil:
 		cu := env.CompressedUpdate

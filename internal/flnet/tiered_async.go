@@ -425,13 +425,14 @@ func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version in
 			}
 		}
 	}()
+	bc := newBroadcast(weights)
 	for _, w := range conns {
 		rq := trainReq{w: w}
 		if w.proto >= ProtoTierReassign {
 			rq.seq = ta.seq.Add(1)
 			rq.ch = w.addPending(rq.seq)
 		}
-		if err := w.c.send(&Envelope{Type: MsgTrain, Train: &Train{Round: r, Weights: weights, Seq: rq.seq}}); err != nil {
+		if err := w.c.send(&Envelope{Type: MsgTrain, Train: bc.fill(&Train{Round: r, Seq: rq.seq}, w.proto)}); err != nil {
 			if rq.seq != 0 {
 				w.dropPending(rq.seq)
 			}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/nn"
 )
 
 // TrainFunc runs one local training pass starting from the given global
@@ -59,7 +60,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	}
 	c := newConn(raw)
 	defer c.close() //nolint:errcheck // shutdown path
-	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoTierReassign}
+	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoFastWire}
 	if cfg.Codec != nil {
 		reg.Codec = cfg.Codec.ID()
 	}
@@ -84,7 +85,11 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			}
 		case MsgTrain:
 			start := time.Now()
-			w, n, err := cfg.Train(env.Train.Round, env.Train.Weights)
+			tw, err := env.Train.roundWeights()
+			if err != nil {
+				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+			}
+			w, n, err := cfg.Train(env.Train.Round, tw)
 			if err != nil {
 				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
 			}
@@ -93,12 +98,12 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				secs = cfg.ReportSeconds(env.Train.Round)
 			}
 			if cfg.Codec != nil && len(env.Train.Participants) == 0 && cfg.Codec.ID() != compress.IDNone {
-				if len(w) != len(env.Train.Weights) {
-					return fmt.Errorf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(env.Train.Weights))
+				if len(w) != len(tw) {
+					return fmt.Errorf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(tw))
 				}
 				delta := make([]float64, len(w))
 				for i := range delta {
-					delta[i] = w[i] - env.Train.Weights[i]
+					delta[i] = w[i] - tw[i]
 				}
 				var payload []byte
 				payload, _, residual = compress.EncodeDelta(cfg.Codec, delta, residual)
@@ -113,7 +118,14 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				continue
 			}
 			w = maskedTrainResult(env.Train, cfg.ClientID, w, n)
-			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, Weights: w, NumSamples: n, Seconds: secs, Seq: env.Train.Seq}
+			up := &Update{Round: env.Train.Round, ClientID: cfg.ClientID, NumSamples: n, Seconds: secs, Seq: env.Train.Seq}
+			if env.Train.Raw != nil {
+				// The request came fast-wire, so the aggregator decodes
+				// fast-wire replies; answer in kind.
+				up.Raw = nn.EncodeWeights(w)
+			} else {
+				up.Weights = w
+			}
 			if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
 				return err
 			}

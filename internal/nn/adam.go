@@ -12,7 +12,7 @@ import (
 // users of the library.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
-	m, v                  [][]float64
+	m, v                  optState
 	t                     int
 }
 
@@ -22,21 +22,27 @@ func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
+// AttachStatePool implements StatePooled.
+func (a *Adam) AttachStatePool(p *tensor.Pool) {
+	a.m.pool = p
+	a.v.pool = p
+}
+
+// ReleaseState implements StatePooled.
+func (a *Adam) ReleaseState() {
+	a.m.release()
+	a.v.release()
+}
+
 // Step implements Optimizer.
 func (a *Adam) Step(params, grads []*tensor.Tensor) {
-	if a.m == nil {
-		a.m = make([][]float64, len(params))
-		a.v = make([][]float64, len(params))
-		for i, p := range params {
-			a.m[i] = make([]float64, p.Size())
-			a.v[i] = make([]float64, p.Size())
-		}
-	}
+	a.m.init(params)
+	a.v.init(params)
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range params {
-		m, v, g := a.m[i], a.v[i], grads[i].Data
+		m, v, g := a.m.bufs[i], a.v.bufs[i], grads[i].Data
 		for j := range m {
 			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
 			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]

@@ -6,6 +6,12 @@
 // client: the FL layers (internal/flcore, internal/tier) only ever see a
 // model's flat weight vector and its train/eval entry points, exactly the
 // interface a real FL client exposes to the aggregator.
+//
+// The training hot path is allocation-free at steady state: layers keep
+// their activation and gradient buffers across batches (drawn from an
+// attached Workspace pool when one is set), so a Forward/Backward result is
+// owned by the layer that produced it and is overwritten by the next batch.
+// A Model is not safe for concurrent use.
 package nn
 
 import (
@@ -21,6 +27,8 @@ import (
 // layer may keep whatever state its Backward pass needs (inputs, masks,
 // argmax indices). Backward consumes dLoss/dOutput and returns dLoss/dInput,
 // accumulating parameter gradients internally until the optimizer step.
+// Returned tensors are layer-owned scratch, valid until the layer's next
+// Forward/Backward call.
 type Layer interface {
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
 	Backward(grad *tensor.Tensor) *tensor.Tensor
@@ -36,6 +44,9 @@ type Dense struct {
 	W, B   *tensor.Tensor
 	dW, dB *tensor.Tensor
 	in     *tensor.Tensor // cached input for backward
+
+	ws      *Workspace
+	out, dx *tensor.Tensor // cached scratch, reused across batches
 }
 
 // NewDense returns a dense layer with Glorot-uniform weights and zero bias.
@@ -48,28 +59,36 @@ func NewDense(rng *rand.Rand, in, out int) *Dense {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. The bias add is fused into the matmul kernel.
+// Because layer scratch is reused across passes, an eval forward invalidates
+// any pending backward: it drops the cached training input, so a Backward
+// that follows it panics instead of reading clobbered buffers.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
 		d.in = x
+	} else {
+		d.in = nil
 	}
-	out := tensor.MatMul(x, d.W)
-	cols := d.B.Size()
-	for r := 0; r < out.Dim(0); r++ {
-		row := out.Data[r*cols : (r+1)*cols]
-		for j, b := range d.B.Data {
-			row[j] += b
-		}
-	}
-	return out
+	d.out = d.ws.Ensure(d.out, x.Dim(0), d.W.Dim(1))
+	tensor.MatMulBiasInto(d.out, x, d.W, d.B)
+	return d.out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	d.backwardParams(grad)
+	d.dx = d.ws.Ensure(d.dx, grad.Dim(0), d.W.Dim(0))
+	tensor.MatMulABTInto(d.dx, grad, d.W)
+	return d.dx
+}
+
+// backwardParams computes dW and dB only (no input gradient) — the
+// first-layer fast path used by Model.TrainBatch.
+func (d *Dense) backwardParams(grad *tensor.Tensor) {
 	if d.in == nil {
 		panic("nn: Dense.Backward before Forward(train=true)")
 	}
-	d.dW = tensor.MatMulATB(d.in, grad)
+	tensor.MatMulATBInto(d.dW, d.in, grad)
 	cols := d.B.Size()
 	d.dB.Zero()
 	for r := 0; r < grad.Dim(0); r++ {
@@ -78,7 +97,6 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			d.dB.Data[j] += g
 		}
 	}
-	return tensor.MatMulABT(grad, d.W)
 }
 
 // Params implements Layer.
@@ -87,9 +105,20 @@ func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
 // Grads implements Layer.
 func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
 
+func (d *Dense) setWorkspace(ws *Workspace) { d.ws = ws }
+
+func (d *Dense) releaseScratch() {
+	d.ws.Release(d.out)
+	d.ws.Release(d.dx)
+	d.out, d.dx, d.in = nil, nil, nil
+}
+
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
 	mask []bool
+
+	ws        *Workspace
+	out, gout *tensor.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -97,34 +126,50 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
+	r.out = r.ws.Ensure(r.out, x.Shape()...)
+	xd := x.Data
+	od := r.out.Data[:len(xd)]
 	if train {
-		if cap(r.mask) < len(out.Data) {
-			r.mask = make([]bool, len(out.Data))
+		if cap(r.mask) < len(xd) {
+			r.mask = make([]bool, len(xd))
 		}
-		r.mask = r.mask[:len(out.Data)]
+		r.mask = r.mask[:len(xd)]
+		mask := r.mask
+		for i, v := range xd {
+			pos := v > 0
+			if pos {
+				od[i] = v
+			} else {
+				od[i] = 0
+			}
+			mask[i] = pos
+		}
+		return r.out
 	}
-	for i, v := range out.Data {
-		pos := v > 0
-		if !pos {
-			out.Data[i] = 0
-		}
-		if train {
-			r.mask[i] = pos
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		} else {
+			od[i] = 0
 		}
 	}
-	return out
+	return r.out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	r.gout = r.ws.Ensure(r.gout, grad.Shape()...)
+	gd := grad.Data
+	od := r.gout.Data[:len(gd)]
+	mask := r.mask[:len(gd)]
+	for i, v := range gd {
+		if mask[i] {
+			od[i] = v
+		} else {
+			od[i] = 0
 		}
 	}
-	return out
+	return r.gout
 }
 
 // Params implements Layer.
@@ -133,14 +178,26 @@ func (r *ReLU) Params() []*tensor.Tensor { return nil }
 // Grads implements Layer.
 func (r *ReLU) Grads() []*tensor.Tensor { return nil }
 
+func (r *ReLU) setWorkspace(ws *Workspace) { r.ws = ws }
+
+func (r *ReLU) releaseScratch() {
+	r.ws.Release(r.out)
+	r.ws.Release(r.gout)
+	r.out, r.gout = nil, nil
+}
+
 // Dropout zeroes a fraction Rate of activations during training and scales
 // the survivors by 1/(1-Rate) (inverted dropout), so inference needs no
 // rescaling. The paper's CNNs use 0.25 after pooling and 0.5 before the
-// final dense layer.
+// final dense layer. The rescale mask is cached across batches; only its
+// contents are redrawn.
 type Dropout struct {
 	Rate float64
 	rng  *rand.Rand
 	mask []float64
+
+	ws        *Workspace
+	out, gout *tensor.Tensor
 }
 
 // NewDropout returns a dropout layer driven by rng; rate must be in [0, 1).
@@ -156,17 +213,18 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.Rate == 0 {
 		return x
 	}
-	out := x.Clone()
-	if cap(d.mask) < len(out.Data) {
-		d.mask = make([]float64, len(out.Data))
+	d.out = d.ws.Ensure(d.out, x.Shape()...)
+	out := d.out
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
 	}
-	d.mask = d.mask[:len(out.Data)]
+	d.mask = d.mask[:len(x.Data)]
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask[i] = scale
-			out.Data[i] *= scale
+			out.Data[i] = v * scale
 		} else {
 			d.mask[i] = 0
 			out.Data[i] = 0
@@ -180,11 +238,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.Rate == 0 {
 		return grad
 	}
-	out := grad.Clone()
-	for i := range out.Data {
-		out.Data[i] *= d.mask[i]
+	d.gout = d.ws.Ensure(d.gout, grad.Shape()...)
+	for i, v := range grad.Data {
+		d.gout.Data[i] = v * d.mask[i]
 	}
-	return out
+	return d.gout
 }
 
 // Params implements Layer.
@@ -193,10 +251,22 @@ func (d *Dropout) Params() []*tensor.Tensor { return nil }
 // Grads implements Layer.
 func (d *Dropout) Grads() []*tensor.Tensor { return nil }
 
+func (d *Dropout) setWorkspace(ws *Workspace) { d.ws = ws }
+
+func (d *Dropout) releaseScratch() {
+	d.ws.Release(d.out)
+	d.ws.Release(d.gout)
+	d.out, d.gout = nil, nil
+}
+
 // Flatten reshapes (N, C, H, W) activations to (N, C·H·W) so convolutional
-// features can feed dense layers.
+// features can feed dense layers. Both directions are views sharing the
+// input's storage; the view headers are cached so steady-state batches
+// allocate nothing.
 type Flatten struct {
-	inShape []int
+	inShape  []int
+	fwdShape []int
+	fwd, bwd *tensor.Tensor
 }
 
 // NewFlatten returns a flatten layer.
@@ -208,12 +278,15 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		f.inShape = append(f.inShape[:0], x.Shape()...)
 	}
 	n := x.Dim(0)
-	return x.Reshape(n, x.Size()/n)
+	f.fwdShape = append(f.fwdShape[:0], n, x.Size()/n)
+	f.fwd = tensor.AliasView(f.fwd, x, f.fwdShape)
+	return f.fwd
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	f.bwd = tensor.AliasView(f.bwd, grad, f.inShape)
+	return f.bwd
 }
 
 // Params implements Layer.

@@ -11,14 +11,26 @@ import (
 // It is the unit the FL system replicates: the aggregator owns one global
 // Model and clients own structurally identical replicas whose weights are
 // overwritten at the start of every round.
+//
+// Layers must not be modified after the model's first use: the model caches
+// its parameter and gradient tensor lists so the per-batch optimizer step
+// allocates nothing. A Model is not safe for concurrent use.
 type Model struct {
 	Layers []Layer
+
+	ws       *Workspace
+	lossGrad *tensor.Tensor   // scratch for the fused softmax-xent gradient
+	params   []*tensor.Tensor // cached Params() (stable tensor identities)
+	grads    []*tensor.Tensor // cached Grads()
+	evalArg  []int            // scratch for Evaluate's per-batch argmax
+	evalShp  []int            // scratch for Evaluate's batch shapes
 }
 
 // NewModel returns a sequential model over the given layers.
 func NewModel(layers ...Layer) *Model { return &Model{Layers: layers} }
 
-// Forward runs the full stack and returns the logits.
+// Forward runs the full stack and returns the logits. The returned tensor
+// is scratch owned by the final layer, overwritten by the next pass.
 func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range m.Layers {
 		x = l.Forward(x, train)
@@ -29,11 +41,28 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // SoftmaxCrossEntropy computes mean cross-entropy loss of logits (N, K)
 // against integer labels, plus dLoss/dLogits.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is the fused, allocation-free core of
+// SoftmaxCrossEntropy: it computes the mean loss and writes dLoss/dLogits
+// into grad in a single pass over each row (softmax, loss, label
+// subtraction, and 1/N scaling while the row is cache-hot). grad must have
+// logits' shape. Results are bit-identical to the historical multi-pass
+// formulation: per element the operation order is exp → ·1/Σ → (label −1)
+// → ·1/N.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
 		panic(fmt.Sprintf("nn: %d labels for %d logits rows", len(labels), n))
 	}
-	grad = tensor.New(n, k)
+	if grad.Dim(0) != n || grad.Dim(1) != k {
+		panic(fmt.Sprintf("nn: softmax grad shape %v for logits %v", grad.Shape(), logits.Shape()))
+	}
+	invN := 1 / float64(n)
+	loss := 0.0
 	for i := 0; i < n; i++ {
 		row := logits.Data[i*k : (i+1)*k]
 		grow := grad.Data[i*k : (i+1)*k]
@@ -60,9 +89,11 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		}
 		loss += -math.Log(math.Max(grow[lbl], 1e-15))
 		grow[lbl] -= 1
+		for j := range grow {
+			grow[j] *= invN
+		}
 	}
-	grad.ScaleInPlace(1 / float64(n))
-	return loss / float64(n), grad
+	return loss / float64(n)
 }
 
 // Softmax returns row-wise softmax probabilities of logits.
@@ -89,15 +120,35 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// paramGradOnly is implemented by layers that can compute their parameter
+// gradients without also producing the input gradient. The training loop
+// uses it for the first layer of the stack, whose input gradient nobody
+// consumes — for Dense that skips a full matmul per batch, for Conv2D a
+// matmul plus the col2im scatter.
+type paramGradOnly interface {
+	backwardParams(grad *tensor.Tensor)
+}
+
 // TrainBatch runs one forward/backward pass on a mini-batch and applies one
-// optimizer step. It returns the batch's mean loss.
+// optimizer step. It returns the batch's mean loss. At steady state (fixed
+// batch shape, warmed-up caches) it performs no heap allocation, and the
+// first layer's (unused) input gradient is never computed.
 func (m *Model) TrainBatch(x *tensor.Tensor, labels []int, opt Optimizer) float64 {
 	logits := m.Forward(x, true)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
-	for i := len(m.Layers) - 1; i >= 0; i-- {
+	m.lossGrad = m.ws.Ensure(m.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss := SoftmaxCrossEntropyInto(m.lossGrad, logits, labels)
+	grad := m.lossGrad
+	for i := len(m.Layers) - 1; i >= 1; i-- {
 		grad = m.Layers[i].Backward(grad)
 	}
-	opt.Step(m.Params(), m.Grads())
+	if len(m.Layers) > 0 {
+		if first, ok := m.Layers[0].(paramGradOnly); ok {
+			first.backwardParams(grad)
+		} else {
+			m.Layers[0].Backward(grad)
+		}
+	}
+	opt.Step(m.cachedParams(), m.cachedGrads())
 	return loss
 }
 
@@ -125,12 +176,19 @@ func (m *Model) Evaluate(x *tensor.Tensor, labels []int, batchSize int) (acc, lo
 		if hi > n {
 			hi = n
 		}
-		shape := append([]int{hi - lo}, x.Shape()[1:]...)
-		batch := tensor.FromSlice(x.Data[lo*rest:hi*rest], shape...)
+		m.evalShp = append(m.evalShp[:0], x.Shape()...)
+		m.evalShp[0] = hi - lo
+		batch := tensor.FromSlice(x.Data[lo*rest:hi*rest], m.evalShp...)
 		logits := m.Forward(batch, false)
-		l, _ := SoftmaxCrossEntropy(logits, labels[lo:hi])
+		m.lossGrad = m.ws.Ensure(m.lossGrad, logits.Dim(0), logits.Dim(1))
+		l := SoftmaxCrossEntropyInto(m.lossGrad, logits, labels[lo:hi])
 		totalLoss += l * float64(hi-lo)
-		for i, p := range logits.ArgMaxRows() {
+		if cap(m.evalArg) < hi-lo {
+			m.evalArg = make([]int, hi-lo)
+		}
+		m.evalArg = m.evalArg[:hi-lo]
+		logits.ArgMaxRowsInto(m.evalArg)
+		for i, p := range m.evalArg {
 			if p == labels[lo+i] {
 				correct++
 			}
@@ -157,10 +215,26 @@ func (m *Model) Grads() []*tensor.Tensor {
 	return gs
 }
 
+// cachedParams returns the memoized parameter list; tensor identities are
+// stable because backward passes write gradients in place.
+func (m *Model) cachedParams() []*tensor.Tensor {
+	if m.params == nil {
+		m.params = m.Params()
+	}
+	return m.params
+}
+
+func (m *Model) cachedGrads() []*tensor.Tensor {
+	if m.grads == nil {
+		m.grads = m.Grads()
+	}
+	return m.grads
+}
+
 // NumParams returns the total number of trainable scalars.
 func (m *Model) NumParams() int {
 	n := 0
-	for _, p := range m.Params() {
+	for _, p := range m.cachedParams() {
 		n += p.Size()
 	}
 	return n
@@ -170,7 +244,7 @@ func (m *Model) NumParams() int {
 // representation exchanged between clients and the aggregator.
 func (m *Model) WeightsVector() []float64 {
 	out := make([]float64, 0, m.NumParams())
-	for _, p := range m.Params() {
+	for _, p := range m.cachedParams() {
 		out = append(out, p.Data...)
 	}
 	return out
@@ -180,7 +254,7 @@ func (m *Model) WeightsVector() []float64 {
 // produced by WeightsVector on a structurally identical model.
 func (m *Model) SetWeightsVector(w []float64) {
 	off := 0
-	for _, p := range m.Params() {
+	for _, p := range m.cachedParams() {
 		n := p.Size()
 		if off+n > len(w) {
 			panic(fmt.Sprintf("nn: weight vector too short: have %d, need > %d", len(w), off+n))

@@ -40,3 +40,18 @@ func (p *Proximal) Step(params, grads []*tensor.Tensor) {
 	}
 	p.Inner.Step(params, grads)
 }
+
+// AttachStatePool implements StatePooled by delegating to the wrapped
+// optimizer when it supports pooling.
+func (p *Proximal) AttachStatePool(pool *tensor.Pool) {
+	if sp, ok := p.Inner.(StatePooled); ok {
+		sp.AttachStatePool(pool)
+	}
+}
+
+// ReleaseState implements StatePooled.
+func (p *Proximal) ReleaseState() {
+	if sp, ok := p.Inner.(StatePooled); ok {
+		sp.ReleaseState()
+	}
+}

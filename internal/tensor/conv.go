@@ -1,7 +1,5 @@
 package tensor
 
-import "fmt"
-
 // ConvOutSize returns the output spatial size of a convolution or pooling
 // with the given input size, kernel size, stride, and symmetric padding.
 func ConvOutSize(in, kernel, stride, pad int) int {
@@ -13,29 +11,57 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 // field. Convolution then becomes a single MatMul against the reshaped
 // kernel, which is how internal/nn implements Conv2D.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	oh, ow, colW := im2ColDims(x, kh, kw, stride, pad)
+	out := New(x.shape[0]*oh*ow, colW)
+	im2ColInto(out, x, kh, kw, stride, pad, oh, ow)
+	return out
+}
+
+// Im2ColInto lowers x into dst, reusing dst's storage. dst must have shape
+// (N*OH*OW, C*KH*KW); every element (including padding zeros) is written,
+// so dst's prior contents do not matter.
+func Im2ColInto(dst, x *Tensor, kh, kw, stride, pad int) {
+	oh, ow, colW := im2ColDims(x, kh, kw, stride, pad)
+	rows := x.shape[0] * oh * ow
+	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != colW {
+		panicConvDst("Im2ColInto", dst, rows, colW)
+	}
+	im2ColInto(dst, x, kh, kw, stride, pad, oh, ow)
+}
+
+func im2ColDims(x *Tensor, kh, kw, stride, pad int) (oh, ow, colW int) {
 	if x.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: Im2Col needs rank-4 input, have %v", x.Shape()))
+		panicConvRank("Im2Col", x)
 	}
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
-	oh := ConvOutSize(h, kh, stride, pad)
-	ow := ConvOutSize(w, kw, stride, pad)
+	c, h, w := x.shape[1], x.shape[2], x.shape[3]
+	oh = ConvOutSize(h, kh, stride, pad)
+	ow = ConvOutSize(w, kw, stride, pad)
 	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.Shape(), kh, kw, stride, pad))
+		panicIm2ColEmpty(x, kh, kw, stride, pad)
 	}
-	out := New(n*oh*ow, c*kh*kw)
+	return oh, ow, c * kh * kw
+}
+
+// im2ColInto writes every receptive field of x into out, including explicit
+// zeros at padded positions so out may hold stale data on entry.
+func im2ColInto(out, x *Tensor, kh, kw, stride, pad, oh, ow int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	colW := c * kh * kw
 	for img := 0; img < n; img++ {
 		base := img * c * h * w
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
-				row := out.Data[((img*oh+oy)*ow+ox)*colW : ((img*oh+oy)*ow+ox+1)*colW]
+				row := out.Data[((img*oh+oy)*ow+ox)*colW:][:colW]
 				idx := 0
 				for ch := 0; ch < c; ch++ {
 					chBase := base + ch*h*w
 					for ky := 0; ky < kh; ky++ {
 						iy := oy*stride - pad + ky
 						if iy < 0 || iy >= h {
-							idx += kw
+							for kx := 0; kx < kw; kx++ {
+								row[idx] = 0
+								idx++
+							}
 							continue
 						}
 						rowBase := chBase + iy*w
@@ -43,6 +69,8 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 							ix := ox*stride - pad + kx
 							if ix >= 0 && ix < w {
 								row[idx] = x.Data[rowBase+ix]
+							} else {
+								row[idx] = 0
 							}
 							idx++
 						}
@@ -51,25 +79,40 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a (N*OH*OW, C*KH*KW) matrix
 // of receptive-field gradients back into an image tensor of shape
 // (N, C, H, W), accumulating where fields overlap.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	out := New(n, c, h, w)
+	col2ImInto(out, cols, n, c, h, w, kh, kw, stride, pad, "Col2Im")
+	return out
+}
+
+// Col2ImInto scatters cols into dst, reusing dst's storage. dst must have
+// shape (N, C, H, W); it is zeroed before accumulation.
+func Col2ImInto(dst, cols *Tensor, kh, kw, stride, pad int) {
+	if dst.Rank() != 4 {
+		panicConvRank("Col2ImInto", dst)
+	}
+	n, c, h, w := dst.shape[0], dst.shape[1], dst.shape[2], dst.shape[3]
+	dst.Zero()
+	col2ImInto(dst, cols, n, c, h, w, kh, kw, stride, pad, "Col2ImInto")
+}
+
+func col2ImInto(out, cols *Tensor, n, c, h, w, kh, kw, stride, pad int, op string) {
 	oh := ConvOutSize(h, kh, stride, pad)
 	ow := ConvOutSize(w, kw, stride, pad)
 	colW := c * kh * kw
-	if cols.Rank() != 2 || cols.Dim(0) != n*oh*ow || cols.Dim(1) != colW {
-		panic(fmt.Sprintf("tensor: Col2Im input %v, want [%d %d]", cols.Shape(), n*oh*ow, colW))
+	if cols.Rank() != 2 || cols.shape[0] != n*oh*ow || cols.shape[1] != colW {
+		panicCol2ImShape(op, cols, n*oh*ow, colW)
 	}
-	out := New(n, c, h, w)
 	for img := 0; img < n; img++ {
 		base := img * c * h * w
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
-				row := cols.Data[((img*oh+oy)*ow+ox)*colW : ((img*oh+oy)*ow+ox+1)*colW]
+				row := cols.Data[((img*oh+oy)*ow+ox)*colW:][:colW]
 				idx := 0
 				for ch := 0; ch < c; ch++ {
 					chBase := base + ch*h*w
@@ -92,7 +135,6 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool2D applies 2-D max pooling with a square window and equal stride to
@@ -101,13 +143,40 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 // backward pass.
 func MaxPool2D(x *Tensor, size, stride int) (*Tensor, []int) {
 	if x.Rank() != 4 {
-		panic(fmt.Sprintf("tensor: MaxPool2D needs rank-4 input, have %v", x.Shape()))
+		panicConvRank("MaxPool2D", x)
 	}
-	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh := ConvOutSize(h, size, stride, 0)
 	ow := ConvOutSize(w, size, stride, 0)
 	out := New(n, c, oh, ow)
 	arg := make([]int, out.Size())
+	maxPool2DInto(out, arg, x, size, stride, oh, ow)
+	return out, arg
+}
+
+// MaxPool2DInto pools x into dst, reusing dst's storage and the arg index
+// buffer (grown when too small). dst must have shape (N, C, OH, OW); it
+// returns the argmax slice, which aliases arg when it had capacity.
+func MaxPool2DInto(dst *Tensor, arg []int, x *Tensor, size, stride int) []int {
+	if x.Rank() != 4 {
+		panicConvRank("MaxPool2DInto", x)
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := ConvOutSize(h, size, stride, 0)
+	ow := ConvOutSize(w, size, stride, 0)
+	if dst.Rank() != 4 || dst.shape[0] != n || dst.shape[1] != c || dst.shape[2] != oh || dst.shape[3] != ow {
+		panicConvDst("MaxPool2DInto", dst, n, c, oh, ow)
+	}
+	if cap(arg) < dst.Size() {
+		arg = make([]int, dst.Size())
+	}
+	arg = arg[:dst.Size()]
+	maxPool2DInto(dst, arg, x, size, stride, oh, ow)
+	return arg
+}
+
+func maxPool2DInto(out *Tensor, arg []int, x *Tensor, size, stride, oh, ow int) {
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oi := 0
 	for img := 0; img < n; img++ {
 		for ch := 0; ch < c; ch++ {
@@ -132,11 +201,10 @@ func MaxPool2D(x *Tensor, size, stride int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxUnpool2D scatters pooled gradients grad back to input positions using
-// the argmax indices produced by MaxPool2D. inputSize is the flat size of the
+// the argmax indices produced by MaxPool2D. inputShape is the shape of the
 // original input tensor.
 func MaxUnpool2D(grad *Tensor, arg []int, inputShape []int) *Tensor {
 	out := New(inputShape...)
@@ -144,4 +212,13 @@ func MaxUnpool2D(grad *Tensor, arg []int, inputShape []int) *Tensor {
 		out.Data[arg[i]] += g
 	}
 	return out
+}
+
+// MaxUnpool2DInto scatters grad into dst (which must have the pooling
+// input's shape), reusing dst's storage. dst is zeroed first.
+func MaxUnpool2DInto(dst, grad *Tensor, arg []int) {
+	dst.Zero()
+	for i, g := range grad.Data {
+		dst.Data[arg[i]] += g
+	}
 }

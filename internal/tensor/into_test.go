@@ -1,0 +1,220 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+func mustBitEqual(t *testing.T, name string, got, want *Tensor) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s shape %v, want %v", name, got.Shape(), want.Shape())
+	}
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("%s[%d] = %v, want %v (bit mismatch)", name, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// The Into variants must produce bit-identical results to their allocating
+// counterparts — the zero-allocation refactor must not perturb a single ulp.
+func TestIntoVariantsBitEqualAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, 7, 9)
+	b := randTensor(rng, 7, 9)
+	dst := New(7, 9)
+
+	AddInto(dst, a, b)
+	mustBitEqual(t, "AddInto", dst, a.Add(b))
+	SubInto(dst, a, b)
+	mustBitEqual(t, "SubInto", dst, a.Sub(b))
+	MulInto(dst, a, b)
+	mustBitEqual(t, "MulInto", dst, a.Mul(b))
+	ScaleInto(dst, a, 1.7)
+	mustBitEqual(t, "ScaleInto", dst, a.Scale(1.7))
+	f := func(v float64) float64 { return v*v - 1 }
+	ApplyInto(dst, a, f)
+	mustBitEqual(t, "ApplyInto", dst, a.Apply(f))
+
+	// Aliased destination: dst may be one of the operands.
+	aliased := a.Clone()
+	AddInto(aliased, aliased, b)
+	mustBitEqual(t, "AddInto aliased", aliased, a.Add(b))
+}
+
+func TestMatMulIntoVariantsBitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 4}, {10, 48, 32}, {13, 7, 9}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		b := randTensor(rng, k, n)
+		// Inject zeros so the skip branches are exercised.
+		for i := 0; i < len(a.Data); i += 3 {
+			a.Data[i] = 0
+		}
+		dst := New(m, n)
+		MatMulInto(dst, a, b)
+		mustBitEqual(t, "MatMulInto", dst, MatMul(a, b))
+
+		bias := randTensor(rng, n)
+		want := MatMul(a, b)
+		for r := 0; r < m; r++ {
+			for j := 0; j < n; j++ {
+				want.Data[r*n+j] += bias.Data[j]
+			}
+		}
+		MatMulBiasInto(dst, a, b, bias)
+		mustBitEqual(t, "MatMulBiasInto", dst, want)
+
+		at := randTensor(rng, k, m)
+		dstATB := New(m, n)
+		MatMulATBInto(dstATB, at, b)
+		mustBitEqual(t, "MatMulATBInto", dstATB, MatMulATB(at, b))
+
+		bt := randTensor(rng, n, k)
+		dstABT := New(m, n)
+		MatMulABTInto(dstABT, a, bt)
+		mustBitEqual(t, "MatMulABTInto", dstABT, MatMulABT(a, bt))
+
+		wantABT := MatMulABT(a, bt)
+		for r := 0; r < m; r++ {
+			for j := 0; j < n; j++ {
+				wantABT.Data[r*n+j] += bias.Data[j]
+			}
+		}
+		MatMulABTBiasInto(dstABT, a, bt, bias)
+		mustBitEqual(t, "MatMulABTBiasInto", dstABT, wantABT)
+	}
+}
+
+// Into kernels must fully overwrite stale destination contents.
+func TestIntoOverwritesStaleData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randTensor(rng, 4, 6)
+	b := randTensor(rng, 6, 5)
+	dst := Full(999, 4, 5)
+	MatMulInto(dst, a, b)
+	mustBitEqual(t, "MatMulInto stale", dst, MatMul(a, b))
+
+	x := randTensor(rng, 2, 3, 6, 6)
+	cols := Full(999, 2*6*6, 3*3*3)
+	Im2ColInto(cols, x, 3, 3, 1, 1)
+	mustBitEqual(t, "Im2ColInto stale", cols, Im2Col(x, 3, 3, 1, 1))
+
+	img := Full(999, 2, 3, 6, 6)
+	Col2ImInto(img, cols, 3, 3, 1, 1)
+	mustBitEqual(t, "Col2ImInto stale", img, Col2Im(cols, 2, 3, 6, 6, 3, 3, 1, 1))
+}
+
+func TestMaxPoolIntoBitEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 2, 3, 8, 8)
+	want, wantArg := MaxPool2D(x, 2, 2)
+	dst := Full(-1, 2, 3, 4, 4)
+	arg := MaxPool2DInto(dst, nil, x, 2, 2)
+	mustBitEqual(t, "MaxPool2DInto", dst, want)
+	for i := range wantArg {
+		if arg[i] != wantArg[i] {
+			t.Fatalf("arg[%d] = %d, want %d", i, arg[i], wantArg[i])
+		}
+	}
+	grad := randTensor(rng, 2, 3, 4, 4)
+	wantUn := MaxUnpool2D(grad, arg, x.Shape())
+	un := Full(999, 2, 3, 8, 8)
+	MaxUnpool2DInto(un, grad, arg)
+	mustBitEqual(t, "MaxUnpool2DInto", un, wantUn)
+}
+
+// serialAxpy is the reference implementation AxpySharded must match bit for
+// bit: k outer (update order), elements inner.
+func serialAxpy(dst []float64, coeffs []float64, srcs [][]float64) {
+	for k, src := range srcs {
+		c := coeffs[k]
+		for i, v := range src {
+			dst[i] += c * v
+		}
+	}
+}
+
+func TestAxpyShardedBitEqualSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 63, 1000, 1 << 16} {
+		srcs := make([][]float64, 7)
+		coeffs := make([]float64, 7)
+		for k := range srcs {
+			coeffs[k] = rng.Float64() * 10
+			srcs[k] = make([]float64, n)
+			for i := range srcs[k] {
+				srcs[k][i] = rng.NormFloat64()
+			}
+		}
+		want := make([]float64, n)
+		serialAxpy(want, coeffs, srcs)
+		got := make([]float64, n)
+		AxpySharded(got, coeffs, srcs)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d: AxpySharded[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAxpyShardedValidates(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"arity": func() { AxpySharded(make([]float64, 3), []float64{1}, nil) },
+		"len":   func() { AxpySharded(make([]float64, 3), []float64{1}, [][]float64{make([]float64, 2)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s mismatch must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParallelChunksCoversRange(t *testing.T) {
+	seen := make([]bool, 5000)
+	ParallelChunks(len(seen), 1<<20, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if seen[i] {
+				t.Errorf("index %d visited twice", i)
+			}
+			seen[i] = true
+		}
+	})
+	for i, v := range seen {
+		if !v {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	ParallelChunks(0, 0, func(lo, hi int) { t.Error("empty range must not call fn") })
+}
+
+func TestArgMaxRowsInto(t *testing.T) {
+	m := FromSlice([]float64{1, 3, 2, 9, 0, -1}, 2, 3)
+	out := make([]int, 2)
+	m.ArgMaxRowsInto(out)
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("ArgMaxRowsInto = %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong output length must panic")
+		}
+	}()
+	m.ArgMaxRowsInto(make([]int, 3))
+}

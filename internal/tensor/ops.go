@@ -1,7 +1,6 @@
 package tensor
 
 import (
-	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -17,6 +16,17 @@ func (t *Tensor) Add(o *Tensor) *Tensor {
 	return r
 }
 
+// AddInto computes dst = a + b element-wise, reusing dst's storage.
+// All three tensors must have the same size; dst may alias a or b.
+func AddInto(dst, a, b *Tensor) {
+	dst.mustSameSize(a, "AddInto")
+	dst.mustSameSize(b, "AddInto")
+	bd := b.Data[:len(dst.Data)]
+	for i, v := range a.Data {
+		dst.Data[i] = v + bd[i]
+	}
+}
+
 // Sub returns t - o element-wise as a new tensor.
 func (t *Tensor) Sub(o *Tensor) *Tensor {
 	t.mustSameSize(o, "Sub")
@@ -25,6 +35,17 @@ func (t *Tensor) Sub(o *Tensor) *Tensor {
 		r.Data[i] -= v
 	}
 	return r
+}
+
+// SubInto computes dst = a - b element-wise, reusing dst's storage.
+// All three tensors must have the same size; dst may alias a or b.
+func SubInto(dst, a, b *Tensor) {
+	dst.mustSameSize(a, "SubInto")
+	dst.mustSameSize(b, "SubInto")
+	bd := b.Data[:len(dst.Data)]
+	for i, v := range a.Data {
+		dst.Data[i] = v - bd[i]
+	}
 }
 
 // Mul returns the element-wise product t ⊙ o as a new tensor.
@@ -37,6 +58,17 @@ func (t *Tensor) Mul(o *Tensor) *Tensor {
 	return r
 }
 
+// MulInto computes dst = a ⊙ b element-wise, reusing dst's storage.
+// All three tensors must have the same size; dst may alias a or b.
+func MulInto(dst, a, b *Tensor) {
+	dst.mustSameSize(a, "MulInto")
+	dst.mustSameSize(b, "MulInto")
+	bd := b.Data[:len(dst.Data)]
+	for i, v := range a.Data {
+		dst.Data[i] = v * bd[i]
+	}
+}
+
 // Scale returns s·t as a new tensor.
 func (t *Tensor) Scale(s float64) *Tensor {
 	r := t.Clone()
@@ -44,6 +76,14 @@ func (t *Tensor) Scale(s float64) *Tensor {
 		r.Data[i] *= s
 	}
 	return r
+}
+
+// ScaleInto computes dst = s·a, reusing dst's storage. dst may alias a.
+func ScaleInto(dst, a *Tensor, s float64) {
+	dst.mustSameSize(a, "ScaleInto")
+	for i, v := range a.Data {
+		dst.Data[i] = v * s
+	}
 }
 
 // AddInPlace adds o to t element-wise, modifying t.
@@ -76,6 +116,15 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 		r.Data[i] = f(v)
 	}
 	return r
+}
+
+// ApplyInto computes dst = f(a) element-wise, reusing dst's storage.
+// dst may alias a.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) {
+	dst.mustSameSize(a, "ApplyInto")
+	for i, v := range a.Data {
+		dst.Data[i] = f(v)
+	}
 }
 
 // Sum returns the sum of all elements.
@@ -132,8 +181,19 @@ func (t *Tensor) Norm2() float64 {
 // largest element.
 func (t *Tensor) ArgMaxRows() []int {
 	t.mustRank(2)
+	out := make([]int, t.shape[0])
+	t.ArgMaxRowsInto(out)
+	return out
+}
+
+// ArgMaxRowsInto fills out with the per-row argmax of a matrix, reusing
+// out's storage. len(out) must equal the row count.
+func (t *Tensor) ArgMaxRowsInto(out []int) {
+	t.mustRank(2)
 	rows, cols := t.shape[0], t.shape[1]
-	out := make([]int, rows)
+	if len(out) != rows {
+		panicArgMaxLen(len(out), rows)
+	}
 	for i := 0; i < rows; i++ {
 		row := t.Data[i*cols : (i+1)*cols]
 		best, bestV := 0, row[0]
@@ -144,12 +204,14 @@ func (t *Tensor) ArgMaxRows() []int {
 		}
 		out[i] = best
 	}
-	return out
 }
 
+// mustSameSize panics when t and o hold different element counts. The
+// message formatting lives in a cold, non-inlinable helper so this guard
+// inlines into hot loops with no fmt machinery on the happy path.
 func (t *Tensor) mustSameSize(o *Tensor, op string) {
 	if len(t.Data) != len(o.Data) {
-		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, t.shape, o.shape))
+		panicSizeMismatch(op, t, o)
 	}
 }
 
@@ -166,55 +228,136 @@ func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch: %v x %v", a.shape, b.shape))
+		panicMatMulDims("MatMul", a, b)
 	}
 	out := New(m, n)
-	matMulInto(out, a, b, m, k, n)
+	matMulInto(out, a, b, nil, m, k, n)
 	return out
 }
 
 // MatMulInto computes dst = a·b, reusing dst's storage. dst must be (m×n).
 func MatMulInto(dst, a, b *Tensor) {
+	matMulBiasInto(dst, a, b, nil, "MatMulInto")
+}
+
+// MatMulBiasInto computes dst = a·b + bias broadcast across rows, reusing
+// dst's storage: the bias add is fused into the accumulation kernel while
+// each output row is cache-hot, replacing a separate full-tensor traversal.
+// bias must have n elements for an (m×n) product. The result is bit-equal
+// to MatMulInto followed by a row-wise bias add.
+func MatMulBiasInto(dst, a, b, bias *Tensor) {
+	matMulBiasInto(dst, a, b, bias, "MatMulBiasInto")
+}
+
+func matMulBiasInto(dst, a, b, bias *Tensor, op string) {
 	a.mustRank(2)
 	b.mustRank(2)
 	dst.mustRank(2)
 	m, k := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch: %v x %v", a.shape, b.shape))
+		panicMatMulDims(op, a, b)
 	}
 	if dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+		panicMatMulDst(op, dst, m, n)
 	}
-	dst.Zero()
-	matMulInto(dst, a, b, m, k, n)
+	if bias != nil && len(bias.Data) != n {
+		panicBiasLen(op, len(bias.Data), n)
+	}
+	matMulInto(dst, a, b, bias, m, k, n)
 }
 
 // matMulInto accumulates a·b into out using an ikj loop order (streaming
-// through b rows) which is cache-friendly for row-major data. Rows of the
-// output are partitioned across goroutines when the problem is large.
-func matMulInto(out, a, b *Tensor, m, k, n int) {
-	work := m * k * n
-	rowFn := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for p, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[p*n : (p+1)*n]
+// through b rows) which is cache-friendly for row-major data, then adds the
+// optional bias while each row is still hot. Rows of the output are
+// partitioned across goroutines when the problem is large. Per output
+// element the operation order is: += a[i,p]·b[p,j] for p ascending, then
+// += bias[j] — identical to the historical separate-pass formulation.
+func matMulInto(out, a, b, bias *Tensor, m, k, n int) {
+	// The serial path calls the row kernel directly: wrapping it in a
+	// closure for both paths would heap-allocate the closure on every
+	// batch (flow-insensitive escape analysis sees the parallel branch).
+	if m*k*n < parallelThreshold || m == 1 {
+		matMulRows(out, a, b, bias, k, n, 0, m)
+		return
+	}
+	parallelRows(m, func(lo, hi int) { matMulRows(out, a, b, bias, k, n, lo, hi) })
+}
+
+// matMulRows computes rows [lo,hi) of a·b: each output row is zeroed,
+// accumulated over p ascending, then biased — all while the row is
+// cache-hot, so no separate whole-tensor zero/bias traversals are needed.
+// Rows are processed in pairs so each b row streams through two
+// independent accumulator rows (better ILP, half the b traffic). Per
+// element the operation order matches the historical
+// zero-all/accumulate-all/bias-all single-row formulation exactly: the
+// element's row accumulates av·b[p,j] for ascending p with zero products
+// skipped, then gains the bias.
+func matMulRows(out, a, b, bias *Tensor, k, n, lo, hi int) {
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		arow0 := a.Data[i*k:][:k]
+		arow1 := a.Data[(i+1)*k:][:k]
+		orow0 := out.Data[i*n:][:n]
+		orow1 := out.Data[(i+1)*n:][:n]
+		for j := range orow0 {
+			orow0[j] = 0
+		}
+		for j := range orow1 {
+			orow1[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av0, av1 := arow0[p], arow1[p]
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			brow := b.Data[p*n:][:n]
+			switch {
+			case av1 == 0:
 				for j, bv := range brow {
-					orow[j] += av * bv
+					orow0[j] += av0 * bv
+				}
+			case av0 == 0:
+				for j, bv := range brow {
+					orow1[j] += av1 * bv
+				}
+			default:
+				for j, bv := range brow {
+					orow0[j] += av0 * bv
+					orow1[j] += av1 * bv
 				}
 			}
 		}
+		if bias != nil {
+			for j, bv := range bias.Data {
+				orow0[j] += bv
+			}
+			for j, bv := range bias.Data {
+				orow1[j] += bv
+			}
+		}
 	}
-	if work < parallelThreshold || m == 1 {
-		rowFn(0, m)
-		return
+	for ; i < hi; i++ {
+		arow := a.Data[i*k:][:k]
+		orow := out.Data[i*n:][:n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n:][:n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+		if bias != nil {
+			for j, bv := range bias.Data {
+				orow[j] += bv
+			}
+		}
 	}
-	parallelRows(m, rowFn)
 }
 
 // MatMulATB returns aᵀ·b for rank-2 tensors a (k×m) and b (k×n), producing
@@ -225,24 +368,79 @@ func MatMulATB(a, b *Tensor) *Tensor {
 	k, m := a.shape[0], a.shape[1]
 	k2, n := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulATB dimension mismatch: %v x %v", a.shape, b.shape))
+		panicMatMulDims("MatMulATB", a, b)
 	}
 	out := New(m, n)
-	// out[i,j] = sum_p a[p,i]*b[p,j]; stream over p so both reads are rows.
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
+	matMulATBInto(out, a, b, k, m, n)
+	return out
+}
+
+// MatMulATBInto computes dst = aᵀ·b, reusing dst's storage. dst must be
+// (m×n) for a (k×m) and b (k×n).
+func MatMulATBInto(dst, a, b *Tensor) {
+	a.mustRank(2)
+	b.mustRank(2)
+	dst.mustRank(2)
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panicMatMulDims("MatMulATBInto", a, b)
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panicMatMulDst("MatMulATBInto", dst, m, n)
+	}
+	dst.Zero()
+	matMulATBInto(dst, a, b, k, m, n)
+}
+
+// matMulATBInto accumulates aᵀ·b into out: out[i,j] += a[p,i]·b[p,j]
+// streaming over p so both reads are rows. p steps are processed in pairs
+// (two b rows per output-row sweep, halving the out traffic); per element
+// the accumulation still runs p ascending with zero products skipped, so
+// results are bit-identical to the single-step loop.
+func matMulATBInto(out, a, b *Tensor, k, m, n int) {
+	p := 0
+	for ; p+2 <= k; p += 2 {
+		arow0 := a.Data[p*m:][:m]
+		arow1 := a.Data[(p+1)*m:][:m]
+		brow0 := b.Data[p*n:][:n]
+		brow1 := b.Data[(p+1)*n:][:n]
+		for i := 0; i < m; i++ {
+			av0, av1 := arow0[i], arow1[i]
+			if av0 == 0 && av1 == 0 {
+				continue
+			}
+			orow := out.Data[i*n:][:n]
+			switch {
+			case av1 == 0:
+				for j, bv := range brow0 {
+					orow[j] += av0 * bv
+				}
+			case av0 == 0:
+				for j, bv := range brow1 {
+					orow[j] += av1 * bv
+				}
+			default:
+				for j, bv := range brow0 {
+					orow[j] += av0 * bv
+					orow[j] += av1 * brow1[j]
+				}
+			}
+		}
+	}
+	for ; p < k; p++ {
+		arow := a.Data[p*m:][:m]
+		brow := b.Data[p*n:][:n]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*n : (i+1)*n]
+			orow := out.Data[i*n:][:n]
 			for j, bv := range brow {
 				orow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulABT returns a·bᵀ for rank-2 tensors a (m×k) and b (n×k), producing
@@ -253,29 +451,95 @@ func MatMulABT(a, b *Tensor) *Tensor {
 	m, k := a.shape[0], a.shape[1]
 	n, k2 := b.shape[0], b.shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulABT dimension mismatch: %v x %v", a.shape, b.shape))
+		panicMatMulDims("MatMulABT", a, b)
 	}
 	out := New(m, n)
-	rowFn := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				s := 0.0
-				for p, av := range arow {
-					s += av * brow[p]
-				}
-				orow[j] = s
+	matMulABTInto(out, a, b, nil, m, k, n)
+	return out
+}
+
+// MatMulABTInto computes dst = a·bᵀ, reusing dst's storage. dst must be
+// (m×n) for a (m×k) and b (n×k). Every element is written, so dst's prior
+// contents do not matter.
+func MatMulABTInto(dst, a, b *Tensor) {
+	matMulABTBiasInto(dst, a, b, nil, "MatMulABTInto")
+}
+
+// MatMulABTBiasInto computes dst = a·bᵀ + bias broadcast across rows; the
+// bias add is fused into the final store of each dot product. The result is
+// bit-equal to MatMulABTInto followed by a row-wise bias add.
+func MatMulABTBiasInto(dst, a, b, bias *Tensor) {
+	matMulABTBiasInto(dst, a, b, bias, "MatMulABTBiasInto")
+}
+
+func matMulABTBiasInto(dst, a, b, bias *Tensor, op string) {
+	a.mustRank(2)
+	b.mustRank(2)
+	dst.mustRank(2)
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panicMatMulDims(op, a, b)
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panicMatMulDst(op, dst, m, n)
+	}
+	if bias != nil && len(bias.Data) != n {
+		panicBiasLen(op, len(bias.Data), n)
+	}
+	matMulABTInto(dst, a, b, bias, m, k, n)
+}
+
+// matMulABTInto writes a·bᵀ (+bias) into out. Four output columns are
+// computed per sweep so arow stays register/L1-resident across four b-rows;
+// each dot product still accumulates p ascending into its own scalar, so
+// per-element results are bit-identical to the single-column loop.
+func matMulABTInto(out, a, b, bias *Tensor, m, k, n int) {
+	if m*k*n < parallelThreshold || m == 1 {
+		matMulABTRows(out, a, b, bias, k, n, 0, m)
+		return
+	}
+	parallelRows(m, func(lo, hi int) { matMulABTRows(out, a, b, bias, k, n, lo, hi) })
+}
+
+// matMulABTRows writes rows [lo,hi) of a·bᵀ (+bias) into out.
+func matMulABTRows(out, a, b, bias *Tensor, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k:][:k]
+		orow := out.Data[i*n:][:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b.Data[j*k:][:k]
+			b1 := b.Data[(j+1)*k:][:k]
+			b2 := b.Data[(j+2)*k:][:k]
+			b3 := b.Data[(j+3)*k:][:k]
+			var s0, s1, s2, s3 float64
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
 			}
+			if bias != nil {
+				s0 += bias.Data[j]
+				s1 += bias.Data[j+1]
+				s2 += bias.Data[j+2]
+				s3 += bias.Data[j+3]
+			}
+			orow[j], orow[j+1], orow[j+2], orow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			brow := b.Data[j*k:][:k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if bias != nil {
+				s += bias.Data[j]
+			}
+			orow[j] = s
 		}
 	}
-	if m*k*n < parallelThreshold || m == 1 {
-		rowFn(0, m)
-	} else {
-		parallelRows(m, rowFn)
-	}
-	return out
 }
 
 // Transpose returns the transpose of a rank-2 tensor as a new tensor.
@@ -316,4 +580,63 @@ func parallelRows(m int, fn func(lo, hi int)) {
 		}(lo, hi)
 	}
 	wg.Wait()
+}
+
+// ParallelChunks splits [0,n) into contiguous element chunks across
+// GOMAXPROCS goroutines and runs fn on each chunk. work is the estimated
+// scalar operation count; below parallelThreshold (or on a single-CPU
+// host) fn runs inline on the whole range, avoiding scheduling overhead on
+// small problems. Because chunks are disjoint, any fn whose writes stay
+// inside its chunk produces results independent of the worker count.
+func ParallelChunks(n, work int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if work < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
+		fn(0, n)
+		return
+	}
+	parallelRows(n, fn)
+}
+
+// AxpySharded computes dst[i] += Σ_k coeffs[k]·srcs[k][i] — the FedAvg-style
+// weighted reduction — with the element range sharded across goroutines.
+// Within each element the k-sum stays serial and ascending, so the result
+// is byte-identical to the classic serial double loop (for k { for i {...} })
+// regardless of worker count. Every src must have len(dst) elements and
+// len(coeffs) must equal len(srcs).
+func AxpySharded(dst []float64, coeffs []float64, srcs [][]float64) {
+	if len(coeffs) != len(srcs) {
+		panicAxpyArity(len(coeffs), len(srcs))
+	}
+	for k, s := range srcs {
+		if len(s) != len(dst) {
+			panicAxpyLen(k, len(s), len(dst))
+		}
+	}
+	if len(dst)*len(srcs) < parallelThreshold || runtime.GOMAXPROCS(0) <= 1 {
+		axpyRange(dst, coeffs, srcs, 0, len(dst))
+		return
+	}
+	parallelRows(len(dst), func(lo, hi int) { axpyRange(dst, coeffs, srcs, lo, hi) })
+}
+
+// axpyRange accumulates the k-sum for elements [lo,hi). The 4-wide unroll
+// touches disjoint elements, so per-element operation order is untouched.
+func axpyRange(dst []float64, coeffs []float64, srcs [][]float64, lo, hi int) {
+	for k, src := range srcs {
+		c := coeffs[k]
+		d := dst[lo:hi]
+		s := src[lo:hi]
+		i := 0
+		for ; i+4 <= len(s); i += 4 {
+			d[i] += c * s[i]
+			d[i+1] += c * s[i+1]
+			d[i+2] += c * s[i+2]
+			d[i+3] += c * s[i+3]
+		}
+		for ; i < len(s); i++ {
+			d[i] += c * s[i]
+		}
+	}
 }

@@ -50,11 +50,15 @@ func Full(v float64, shape ...int) *Tensor {
 	return t
 }
 
+// checkedSize panics with a precomputed message: formatting the shape here
+// would make every caller's shape slice escape to the heap (escape analysis
+// is flow-insensitive), putting an allocation on every hot-path tensor
+// construction.
 func checkedSize(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic("tensor: negative dimension in shape")
 		}
 		n *= d
 	}
@@ -80,9 +84,11 @@ func (t *Tensor) Rows() int { t.mustRank(2); return t.shape[0] }
 // Cols returns the second dimension of a matrix (rank-2 tensor).
 func (t *Tensor) Cols() int { t.mustRank(2); return t.shape[1] }
 
+// mustRank panics unless t has rank r; the message formatting lives in a
+// cold helper so the guard inlines allocation-free into hot paths.
 func (t *Tensor) mustRank(r int) {
 	if len(t.shape) != r {
-		panic(fmt.Sprintf("tensor: need rank %d, have shape %v", r, t.shape))
+		panicRank(t, r)
 	}
 }
 

@@ -336,6 +336,7 @@ func TestManagerConcurrentUse(t *testing.T) {
 // BenchmarkRetier measures a full rebuild point over a 1000-client
 // population with drifting estimates — the hot path of live tiering.
 func BenchmarkRetier(b *testing.B) {
+	b.ReportAllocs()
 	lat := make(map[int]float64, 1000)
 	for i := 0; i < 1000; i++ {
 		lat[i] = 1 + float64(i%7)*3
