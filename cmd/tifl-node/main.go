@@ -18,6 +18,19 @@
 //	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -per-round 2
 //	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 80 -retier-every 10 -adaptive-select -credits 20
 //
+// Crash safety and observability: -checkpoint snapshots the run durably
+// every -checkpoint-every commits, and the same flag resumes it — when the
+// checkpoint file exists at startup the aggregator restores the model,
+// per-tier cursors, and tiering state and continues toward -commits (the
+// absolute target). Workers just reconnect; if the worker roster changed
+// since the snapshot, only the model is restored and tiers are rebuilt
+// from a fresh profiling pass. -metrics-addr serves live run metrics as
+// JSON:
+//
+//	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 80 \
+//	    -checkpoint /var/lib/tifl/run.ckpt -checkpoint-every 10 -metrics-addr 127.0.0.1:9090
+//	curl http://127.0.0.1:9090/metrics
+//
 // Workers (one per shell / machine; they serve either aggregator kind).
 // -codec compresses the worker's uplink updates — negotiated at
 // registration, so compressed and plain workers mix freely:
@@ -28,6 +41,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,6 +51,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flcore"
 	"repro/internal/flnet"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -60,6 +75,9 @@ func main() {
 		ewmaBeta = flag.Float64("ewma-beta", 0, "tiered-aggregator: EWMA weight of new latency observations (0 = default 0.5)")
 		adaptSel = flag.Bool("adaptive-select", false, "tiered-aggregator: Algorithm-2 adaptive per-tier cohort sizing")
 		credits  = flag.Int("credits", 0, "tiered-aggregator: per-tier boosted-round budget for -adaptive-select (0 = unlimited)")
+		ckptPath = flag.String("checkpoint", "", "tiered-aggregator: durable snapshot file; resumes from it when it exists")
+		ckptEach = flag.Int("checkpoint-every", 10, "tiered-aggregator: snapshot every k applied commits (with -checkpoint)")
+		metrics  = flag.String("metrics-addr", "", "tiered-aggregator: observability endpoint address (e.g. 127.0.0.1:9090; empty = off)")
 		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
 		samples  = flag.Int("samples", 400, "worker: local training samples")
 		codecArg = flag.String("codec", "none", "worker: uplink update compression (none | int8 | int8@<chunk> | topk@<fraction>)")
@@ -122,25 +140,55 @@ func main() {
 
 	case "tiered-aggregator":
 		init := arch(rand.New(rand.NewSource(*seed))).WeightsVector()
+		live := *retier > 0 || *adaptSel
+		// A checkpoint file already on disk means this invocation is a
+		// restart: load it (falling back to the rotated .prev snapshot if
+		// the newest write was torn) and resume instead of starting over.
+		var resumeCkpt *flcore.TieredCheckpoint
+		if *ckptPath != "" && checkpointExists(*ckptPath) {
+			c, err := flcore.LoadTieredCheckpointFile(*ckptPath)
+			if err != nil {
+				fail("loading checkpoint: %v", err)
+			}
+			if hasMgr := len(c.ManagerState) > 0; hasMgr != live {
+				fail("checkpoint %s live tiering = %v; rerun with matching -retier-every/-adaptive-select flags", *ckptPath, hasMgr)
+			}
+			if c.Version >= *commits {
+				fail("checkpoint %s is already at version %d; raise -commits above it to continue the job", *ckptPath, c.Version)
+			}
+			resumeCkpt = c
+			fmt.Printf("found checkpoint %s at version %d of %d\n", *ckptPath, c.Version, *commits)
+		}
+		ckptEvery := 0
+		if *ckptPath != "" {
+			ckptEvery = *ckptEach
+		}
 		agg, err := flnet.NewTieredAsyncAggregator(*addr, flnet.TieredAsyncConfig{
 			GlobalCommits: *commits, ClientsPerRound: *perRound,
 			Alpha: *alpha, StalenessExp: *staleExp,
 			TierWeight:   core.FedATWeights(),
 			RoundTimeout: *timeout, InitialWeights: init, Seed: *seed,
+			CheckpointEvery: ckptEvery, CheckpointPath: *ckptPath,
+			MetricsAddr: *metrics,
 		})
 		if err != nil {
 			fail("%v", err)
 		}
 		defer agg.Close()
 		fmt.Printf("tiered-async aggregator listening on %s, waiting for %d workers...\n", agg.Addr(), *workers)
+		if ma := agg.MetricsAddr(); ma != "" {
+			fmt.Printf("metrics endpoint on http://%s/metrics\n", ma)
+		}
 		if err := agg.WaitForWorkers(*workers, 10*time.Minute); err != nil {
 			fail("%v", err)
 		}
 		var mgr *tiering.Manager
-		if *retier > 0 || *adaptSel {
+		if live {
 			// Live tiering: profile, seed a Manager with the measured
 			// latencies, and let it own membership for the run — commits
-			// feed its EWMAs and rebuilds migrate workers mid-run.
+			// feed its EWMAs and rebuilds migrate workers mid-run. On a
+			// full resume below, the checkpoint's manager state replaces
+			// these fresh profile estimates.
 			lat, dropouts, err := agg.ProfileWorkers(*timeout)
 			if err != nil {
 				fail("profiling: %v", err)
@@ -158,10 +206,28 @@ func main() {
 			}
 			agg.SetManager(mgr)
 		}
+		resumedTiers := false
+		if resumeCkpt != nil {
+			switch err := agg.Resume(resumeCkpt); {
+			case err == nil:
+				resumedTiers = true
+				fmt.Printf("resumed model, tiers, and cursors at version %d\n", resumeCkpt.Version)
+			case errors.Is(err, flnet.ErrRosterChanged):
+				// Some checkpointed workers did not come back: keep the
+				// model but rebuild tiers over the roster that did.
+				fmt.Printf("%v; resuming model only over a fresh profile\n", err)
+				if err := agg.ResumeModel(resumeCkpt); err != nil {
+					fail("resume: %v", err)
+				}
+			default:
+				fail("resume: %v", err)
+			}
+		}
 		var res *flnet.TieredAsyncRunResult
 		var tiers []core.Tier
 		var err2 error
-		if mgr != nil {
+		switch {
+		case mgr != nil:
 			res, err2 = agg.Run(nil)
 			if err2 != nil {
 				fail("tiered training: %v", err2)
@@ -170,7 +236,15 @@ func main() {
 				fmt.Printf("tier %d (final membership): workers %v → %d commits\n", ti+1, members, res.Commits[ti])
 			}
 			fmt.Printf("live tiering: %d re-tierings moved %d workers\n", res.Retiers, res.Reassigned)
-		} else {
+		case resumedTiers:
+			res, err2 = agg.Run(nil) // checkpointed membership, no re-profiling
+			if err2 != nil {
+				fail("tiered training: %v", err2)
+			}
+			for ti, members := range resumeCkpt.Tiers {
+				fmt.Printf("tier %d (checkpointed membership): workers %v → %d commits\n", ti+1, members, res.Commits[ti])
+			}
+		default:
 			var dropouts []int
 			res, tiers, dropouts, err2 = agg.ProfileAndRun(*numTiers, *timeout)
 			if len(dropouts) > 0 {
@@ -226,6 +300,17 @@ func main() {
 	default:
 		fail("need -role aggregator or -role worker")
 	}
+}
+
+// checkpointExists reports whether a resumable snapshot is on disk: the
+// checkpoint file itself, or the rotated previous one if a crash landed
+// between SaveFile's rotate and rename steps.
+func checkpointExists(path string) bool {
+	if _, err := os.Stat(path); err == nil {
+		return true
+	}
+	_, err := os.Stat(path + ".prev")
+	return err == nil
 }
 
 func fail(format string, args ...any) {

@@ -15,8 +15,12 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/flcore"
 	"repro/internal/flnet"
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -169,4 +174,92 @@ func main() {
 		len(tres.Log), tacc)
 	fmt.Printf("uplink %d bytes with top-k@10%% compression (dense would be %d, %.1fx more)\n",
 		tres.UplinkBytes, denseBytes, float64(denseBytes)/float64(tres.UplinkBytes))
+
+	// Phase 3: crash-safe checkpointing. The same tiered-async job snapshots
+	// itself durably every few commits and serves live metrics; we kill the
+	// aggregator mid-run, then a fresh process (here: a fresh aggregator)
+	// loads the snapshot, the workers reconnect, and training resumes toward
+	// the same absolute commit target.
+	fmt.Println("\n--- crash-safe tiered-async: checkpoint, kill, resume ---")
+	ckptDir, err := os.MkdirTemp("", "tifl-ckpt")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(ckptDir)
+	ckptPath := filepath.Join(ckptDir, "run.ckpt")
+	const ckptTarget = 6 * rounds
+	ckptCfg := flnet.TieredAsyncConfig{
+		GlobalCommits: ckptTarget, ClientsPerRound: perRound,
+		TierWeight:   core.FedATWeights(),
+		RoundTimeout: 30 * time.Second, InitialWeights: init, Seed: 1,
+		CheckpointEvery: 5, CheckpointPath: ckptPath,
+	}
+	crashCfg := ckptCfg
+	crashCfg.MetricsAddr = "127.0.0.1:0"
+	var cagg *flnet.TieredAsyncAggregator
+	var crashOnce sync.Once
+	crashCfg.OnCheckpoint = func(c *flcore.TieredCheckpoint) {
+		// Halfway through, show the live metrics endpoint and "crash".
+		if c.Version < ckptTarget/2 {
+			return
+		}
+		crashOnce.Do(func() {
+			if resp, err := http.Get("http://" + cagg.MetricsAddr() + "/metrics"); err == nil {
+				var m flnet.MetricsSnapshot
+				json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck // example
+				resp.Body.Close()
+				fmt.Printf("metrics before the crash: version %d/%d, %d live workers, checkpoint age %.1fs\n",
+					m.Version, m.TargetCommits, m.LiveWorkers, m.LastCheckpointAgeSeconds)
+			}
+			fmt.Printf("simulated crash at version %d (latest snapshot: %s)\n", c.Version, ckptPath)
+			go cagg.Close() // async: Close tears down the conns this commit loop serves
+		})
+	}
+	cagg, err = flnet.NewTieredAsyncAggregator("127.0.0.1:0", crashCfg)
+	if err != nil {
+		panic(err)
+	}
+	cwg := launchWorkers(cagg.Addr(), nil)
+	if err := cagg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
+		panic(err)
+	}
+	clat, _, err := cagg.ProfileWorkers(30 * time.Second)
+	if err != nil {
+		panic(err)
+	}
+	ctiers := core.BuildTiers(clat, 2, core.Quantile)
+	if _, err := cagg.Run(core.TierMembers(ctiers)); err != nil {
+		fmt.Printf("crashed run ended: %v\n", err)
+	}
+	cagg.Close()
+	cwg.Wait() // the killed workers report their dropped connections above
+
+	// Restart: load the newest durable snapshot (falling back to .prev if
+	// the last write was torn) and continue the SAME job — same seed, same
+	// absolute commit target — over reconnecting workers.
+	ckpt, err := flcore.LoadTieredCheckpointFile(ckptPath)
+	if err != nil {
+		panic(err)
+	}
+	ragg, err := flnet.NewTieredAsyncAggregator("127.0.0.1:0", ckptCfg)
+	if err != nil {
+		panic(err)
+	}
+	defer ragg.Close()
+	rwg := launchWorkers(ragg.Addr(), nil)
+	if err := ragg.WaitForWorkers(numWorkers, 30*time.Second); err != nil {
+		panic(err)
+	}
+	if err := ragg.Resume(ckpt); err != nil {
+		panic(err) // flnet.ErrRosterChanged would mean re-profile + ResumeModel
+	}
+	rres, err := ragg.Run(nil) // nil: continue on the checkpointed tiers
+	if err != nil {
+		panic(err)
+	}
+	rwg.Wait()
+	model.SetWeightsVector(rres.Weights)
+	racc, _ := model.Evaluate(test.X, test.Y, 256)
+	fmt.Printf("resumed at version %d, applied %d more commits to reach %d, final accuracy %.4f\n",
+		ckpt.Version, len(rres.Log), ckptTarget, racc)
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"os"
+	"path/filepath"
 )
 
 // Checkpoint captures a federated training job between rounds: the global
@@ -41,11 +43,25 @@ func (e *Engine) Restore(c *Checkpoint) error {
 	if c.CompletedRounds < 0 || c.CompletedRounds > e.Cfg.Rounds {
 		return fmt.Errorf("flcore: checkpoint at round %d outside [0, %d]", c.CompletedRounds, e.Cfg.Rounds)
 	}
+	if err := finiteWeights(c.Weights); err != nil {
+		return fmt.Errorf("flcore: checkpoint weights: %w", err)
+	}
 	copy(e.weights, c.Weights)
 	e.global.SetWeightsVector(e.weights)
 	e.clock.Reset()
 	e.clock.Advance(c.SimTime)
 	e.completed = c.CompletedRounds
+	return nil
+}
+
+// finiteWeights rejects NaN or ±Inf entries — a model restored from such a
+// vector trains garbage silently, so corruption must fail loudly at load.
+func finiteWeights(w []float64) error {
+	for i, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("weight %d is %v; refusing non-finite model state", i, v)
+		}
+	}
 	return nil
 }
 
@@ -58,29 +74,108 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// DecodeCheckpoint parses a buffer produced by Encode.
+// DecodeCheckpoint parses a buffer produced by Encode. The buffer must
+// contain exactly one checkpoint: trailing garbage means the file was
+// corrupted (or two writers raced) and is rejected rather than silently
+// ignored.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	var c Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&c); err != nil {
+	r := bytes.NewReader(data)
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
 		return nil, fmt.Errorf("flcore: decoding checkpoint: %w", err)
+	}
+	if r.Len() > 0 {
+		return nil, fmt.Errorf("flcore: checkpoint has %d bytes of trailing garbage after decode", r.Len())
 	}
 	return &c, nil
 }
 
-// SaveFile writes the checkpoint to path.
+// prevSuffix names the rotated previous snapshot kept beside every
+// checkpoint file: saveFileAtomic moves the old snapshot there before the
+// rename, and the Load functions fall back to it when the primary is
+// unreadable.
+const prevSuffix = ".prev"
+
+// saveFileAtomic writes data to path so that a crash at any instant leaves
+// a loadable checkpoint behind: the bytes go to a temp file in the same
+// directory (same filesystem, so the rename is atomic), are fsynced, the
+// existing snapshot is rotated to path.prev, and only then does the temp
+// file take the primary name.
+func saveFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("flcore: creating checkpoint temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) //nolint:errcheck // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close() //nolint:errcheck // write error takes precedence
+		return fmt.Errorf("flcore: writing checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //nolint:errcheck // sync error takes precedence
+		return fmt.Errorf("flcore: syncing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("flcore: closing checkpoint temp file: %w", err)
+	}
+	// Keep the last good snapshot around: if the new primary is later found
+	// corrupted (torn write, bad disk), loads fall back to it.
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+prevSuffix); err != nil {
+			return fmt.Errorf("flcore: rotating previous checkpoint: %w", err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("flcore: installing checkpoint: %w", err)
+	}
+	// Persist the renames themselves; best effort — some filesystems refuse
+	// directory fsync.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()  //nolint:errcheck // advisory
+		d.Close() //nolint:errcheck // read-only handle
+	}
+	return nil
+}
+
+// SaveFile writes the checkpoint to path atomically (temp file + fsync +
+// rename), rotating any existing snapshot to path.prev first.
 func (c *Checkpoint) SaveFile(path string) error {
 	data, err := c.Encode()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	return saveFileAtomic(path, data)
 }
 
-// LoadCheckpointFile reads a checkpoint written by SaveFile.
-func LoadCheckpointFile(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("flcore: reading checkpoint: %w", err)
+// loadWithFallback reads and decodes path; when that fails it retries the
+// rotated path.prev snapshot so one corrupted write never strands a resume.
+// decode must return an error for malformed bytes.
+func loadWithFallback[T any](path string, decode func([]byte) (T, error)) (T, error) {
+	load := func(p string) (T, error) {
+		var zero T
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return zero, fmt.Errorf("flcore: reading checkpoint: %w", err)
+		}
+		return decode(data)
 	}
-	return DecodeCheckpoint(data)
+	c, err := load(path)
+	if err == nil {
+		return c, nil
+	}
+	prev, prevErr := load(path + prevSuffix)
+	if prevErr == nil {
+		return prev, nil
+	}
+	var zero T
+	return zero, fmt.Errorf("%w (fallback %s%s also failed: %v)", err, path, prevSuffix, prevErr)
+}
+
+// LoadCheckpointFile reads a checkpoint written by SaveFile, falling back
+// to the rotated previous snapshot when the primary is missing or fails to
+// decode.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	return loadWithFallback(path, DecodeCheckpoint)
 }

@@ -1,0 +1,352 @@
+package flcore
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// TieredCheckpointFormat is the current on-disk format version. Loads
+// reject any other value: a checkpoint from a future (or corrupted) format
+// must fail loudly instead of being misinterpreted field-by-field.
+const TieredCheckpointFormat = 1
+
+// TierManagerState is the optional checkpointing contract for a
+// TierManager: a Manager that implements it can serialize its internal
+// state (membership, EWMA latency estimates, selection probabilities,
+// credits, counters) into an opaque blob and restore it later. The blob is
+// opaque to flcore on purpose — flcore cannot import internal/tiering, so
+// the bytes round-trip through TieredCheckpoint.ManagerState untouched.
+type TierManagerState interface {
+	// SnapshotState serializes the manager's current state.
+	SnapshotState() ([]byte, error)
+	// RestoreState loads a blob produced by SnapshotState into the
+	// manager, replacing its current state.
+	RestoreState(data []byte) error
+}
+
+// PendingTierRound is one in-flight tier round captured mid-run: the tier
+// pulled the global model at version PulledVersion, trained its cohort,
+// and its FedAvg aggregate is waiting in the event queue to commit at
+// simulated time Finish. Snapshotting the *trained* aggregate (rather
+// than re-training on resume) keeps resume bit-exact without replaying
+// the pulled weights or double-counting Manager cohort draws.
+type PendingTierRound struct {
+	Tier, TierRound, PulledVersion int
+	Finish                         float64
+	Selected                       []int
+	Weights                        []float64
+	Latency                        float64
+	Lats                           []float64
+	UplinkBytes                    int64
+}
+
+// TieredCheckpoint captures a tiered-asynchronous job between commits:
+// the global model and FedAT version counter, the per-tier round cursors
+// and cumulative commit counts (the cross-tier weights need the full
+// history), tier membership, the in-flight rounds (sim engine only; a
+// crashed socket aggregator's in-flight rounds die with their
+// connections), the tiering Manager's serialized state, and the clients'
+// error-feedback residuals under update compression. Both
+// flcore.TieredAsyncEngine and flnet.TieredAsyncAggregator write and
+// resume from this one format.
+type TieredCheckpoint struct {
+	// Format is the checkpoint format version (TieredCheckpointFormat).
+	Format int
+	Seed   int64
+	// Version is the FedAT global commit counter at the snapshot.
+	Version int
+	// SimTime is the simulated clock (sim engine; zero for flnet).
+	SimTime float64
+	// NextEval is the next EvalInterval boundary, stored directly so a
+	// resumed run replays the exact eval (and Manager accuracy-feedback)
+	// schedule instead of re-deriving it with float drift.
+	NextEval float64
+	Weights  []float64
+	// Rounds holds each tier's next local round index; Commits the
+	// cumulative committed rounds per tier.
+	Rounds  []int
+	Commits []int
+	// Retiers / Migrations / UplinkBytes are cumulative run totals.
+	Retiers     int
+	Migrations  int
+	UplinkBytes int64
+	// Tiers is the tier membership at the snapshot, fastest first.
+	Tiers [][]int
+	// Pending are the in-flight tier rounds (ordered by commit time).
+	Pending []PendingTierRound
+	// ManagerState is the tiering Manager's opaque serialized state
+	// (empty when the run has no Manager).
+	ManagerState []byte
+	// Residuals maps client index to its error-feedback residual (only
+	// clients with a live residual appear; empty without a codec).
+	Residuals map[int][]float64
+}
+
+// Clients returns the sorted set of client indices referenced by the
+// checkpoint's tier membership — the roster a resume expects to find. The
+// socket runtime compares it against the re-registered workers to decide
+// between an exact resume and a re-profiled one.
+func (c *TieredCheckpoint) Clients() []int {
+	var ids []int
+	for _, members := range c.Tiers {
+		ids = append(ids, members...)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Snapshot captures the engine between commits as a TieredCheckpoint. It
+// fails if the configured Manager does not implement TierManagerState.
+// Run takes these automatically every Cfg.CheckpointEvery commits; the
+// snapshot point is always just after a commit's re-dispatch, so Pending
+// holds every live tier's in-flight round.
+func (e *TieredAsyncEngine) Snapshot() (*TieredCheckpoint, error) {
+	c := &TieredCheckpoint{
+		Format:      TieredCheckpointFormat,
+		Seed:        e.Cfg.Seed,
+		Version:     e.version,
+		SimTime:     e.clock.Now(),
+		NextEval:    e.nextEval,
+		Weights:     append([]float64(nil), e.weights...),
+		Rounds:      append([]int(nil), e.rounds...),
+		Commits:     append([]int(nil), e.commits...),
+		Retiers:     e.retiers,
+		Migrations:  e.migrations,
+		UplinkBytes: e.uplink,
+		Tiers:       copyTiers(e.Tiers),
+	}
+	for _, run := range e.pending {
+		c.Pending = append(c.Pending, PendingTierRound{
+			Tier: run.tier, TierRound: run.tierRound, PulledVersion: run.pulledVer,
+			Finish:      run.finish,
+			Selected:    append([]int(nil), run.selected...),
+			Weights:     append([]float64(nil), run.weights...),
+			Latency:     run.latency,
+			Lats:        append([]float64(nil), run.lats...),
+			UplinkBytes: run.upBytes,
+		})
+	}
+	// Canonical order: the heap's internal layout is an implementation
+	// detail; commit order is fully determined by (finish, tier).
+	sort.Slice(c.Pending, func(i, j int) bool {
+		if c.Pending[i].Finish != c.Pending[j].Finish {
+			return c.Pending[i].Finish < c.Pending[j].Finish
+		}
+		return c.Pending[i].Tier < c.Pending[j].Tier
+	})
+	if e.Cfg.Manager != nil {
+		ms, ok := e.Cfg.Manager.(TierManagerState)
+		if !ok {
+			return nil, fmt.Errorf("flcore: TierManager %T does not implement TierManagerState; cannot checkpoint a managed run", e.Cfg.Manager)
+		}
+		state, err := ms.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("flcore: snapshotting manager state: %w", err)
+		}
+		c.ManagerState = state
+	}
+	for ci, cl := range e.Clients {
+		if cl.residual != nil {
+			if c.Residuals == nil {
+				c.Residuals = make(map[int][]float64)
+			}
+			c.Residuals[ci] = append([]float64(nil), cl.residual...)
+		}
+	}
+	return c, nil
+}
+
+// Restore loads a TieredCheckpoint into a freshly constructed engine (same
+// config, clients, and seed as the checkpointed run) and arms Run to
+// continue the interrupted job. Because every random stream is keyed on
+// (Seed, tier round, client) and the in-flight rounds come back as their
+// already-trained aggregates, the resumed run replays the uninterrupted
+// one bit-for-bit — verified by TestTieredCheckpointResumeBitExact.
+func (e *TieredAsyncEngine) Restore(c *TieredCheckpoint) error {
+	if c.Format != TieredCheckpointFormat {
+		return fmt.Errorf("flcore: unknown tiered checkpoint format %d (this build reads format %d)", c.Format, TieredCheckpointFormat)
+	}
+	if c.Seed != e.Cfg.Seed {
+		return fmt.Errorf("flcore: checkpoint seed %d != engine seed %d", c.Seed, e.Cfg.Seed)
+	}
+	if len(c.Weights) != len(e.weights) {
+		return fmt.Errorf("flcore: checkpoint has %d weights, model needs %d", len(c.Weights), len(e.weights))
+	}
+	if err := finiteWeights(c.Weights); err != nil {
+		return fmt.Errorf("flcore: checkpoint weights: %w", err)
+	}
+	if c.Version < 0 {
+		return fmt.Errorf("flcore: checkpoint version %d is negative", c.Version)
+	}
+	if c.SimTime < 0 {
+		return fmt.Errorf("flcore: checkpoint simulated clock %v is negative", c.SimTime)
+	}
+	if len(c.Tiers) != len(e.Tiers) {
+		return fmt.Errorf("flcore: checkpoint has %d tiers, engine %d", len(c.Tiers), len(e.Tiers))
+	}
+	if len(c.Rounds) != len(c.Tiers) || len(c.Commits) != len(c.Tiers) {
+		return fmt.Errorf("flcore: checkpoint cursors (%d rounds, %d commits) do not match %d tiers",
+			len(c.Rounds), len(c.Commits), len(c.Tiers))
+	}
+	if err := validateTiers(c.Tiers, len(e.Clients)); err != nil {
+		return fmt.Errorf("flcore: checkpoint tiers: %w", err)
+	}
+	for i, p := range c.Pending {
+		if p.Tier < 0 || p.Tier >= len(c.Tiers) {
+			return fmt.Errorf("flcore: pending round %d targets tier %d of %d", i, p.Tier, len(c.Tiers))
+		}
+		if p.PulledVersion < 0 || p.PulledVersion > c.Version {
+			return fmt.Errorf("flcore: pending round %d pulled version %d outside [0, %d]", i, p.PulledVersion, c.Version)
+		}
+		if len(p.Weights) != len(e.weights) {
+			return fmt.Errorf("flcore: pending round %d has %d weights, model needs %d", i, len(p.Weights), len(e.weights))
+		}
+		if err := finiteWeights(p.Weights); err != nil {
+			return fmt.Errorf("flcore: pending round %d weights: %w", i, err)
+		}
+		if len(p.Lats) != len(p.Selected) {
+			return fmt.Errorf("flcore: pending round %d has %d latencies for %d clients", i, len(p.Lats), len(p.Selected))
+		}
+		for _, ci := range p.Selected {
+			if ci < 0 || ci >= len(e.Clients) {
+				return fmt.Errorf("flcore: pending round %d selects client %d of %d", i, ci, len(e.Clients))
+			}
+		}
+	}
+	for ci, r := range c.Residuals {
+		if ci < 0 || ci >= len(e.Clients) {
+			return fmt.Errorf("flcore: residual for client %d of %d", ci, len(e.Clients))
+		}
+		if len(r) != len(e.weights) {
+			return fmt.Errorf("flcore: client %d residual has %d entries, model needs %d", ci, len(r), len(e.weights))
+		}
+	}
+	// Manager state and checkpoint must agree: restoring a managed
+	// checkpoint into an unmanaged engine (or vice versa) silently changes
+	// cohort selection and re-tiering semantics.
+	if len(c.ManagerState) > 0 {
+		if e.Cfg.Manager == nil {
+			return fmt.Errorf("flcore: checkpoint carries tiering-manager state but the engine has no Manager")
+		}
+		ms, ok := e.Cfg.Manager.(TierManagerState)
+		if !ok {
+			return fmt.Errorf("flcore: checkpoint carries manager state but TierManager %T cannot restore it", e.Cfg.Manager)
+		}
+		if err := ms.RestoreState(c.ManagerState); err != nil {
+			return fmt.Errorf("flcore: restoring manager state: %w", err)
+		}
+	} else if e.Cfg.Manager != nil {
+		return fmt.Errorf("flcore: engine has a Manager but the checkpoint carries no manager state")
+	}
+
+	copy(e.weights, c.Weights)
+	e.eng.global.SetWeightsVector(e.weights)
+	e.version = c.Version
+	e.clock.Reset()
+	e.clock.Advance(c.SimTime)
+	e.nextEval = c.NextEval
+	e.Tiers = copyTiers(c.Tiers)
+	copy(e.rounds, c.Rounds)
+	copy(e.commits, c.Commits)
+	e.retiers, e.migrations = c.Retiers, c.Migrations
+	e.uplink = c.UplinkBytes
+	e.pending = e.pending[:0]
+	heap.Init(&e.pending)
+	for _, p := range c.Pending {
+		heap.Push(&e.pending, &tierRun{
+			tier: p.Tier, tierRound: p.TierRound, pulledVer: p.PulledVersion,
+			finish:   p.Finish,
+			selected: append([]int(nil), p.Selected...),
+			weights:  append([]float64(nil), p.Weights...),
+			latency:  p.Latency,
+			lats:     append([]float64(nil), p.Lats...),
+			upBytes:  p.UplinkBytes,
+		})
+	}
+	for ci := range e.Clients {
+		e.Clients[ci].residual = nil
+	}
+	for ci, r := range c.Residuals {
+		e.Clients[ci].residual = append([]float64(nil), r...)
+	}
+	e.tierTest = nil // membership may differ from construction time
+	e.resumed = true
+	return nil
+}
+
+// copyTiers deep-copies a tier membership table.
+func copyTiers(tiers [][]int) [][]int {
+	out := make([][]int, len(tiers))
+	for i, members := range tiers {
+		out[i] = append([]int(nil), members...)
+	}
+	return out
+}
+
+// validateTiers checks tier membership structure: non-empty tiers,
+// in-range members, no client in two tiers.
+func validateTiers(tiers [][]int, numClients int) error {
+	tierOf := make(map[int]int)
+	for t, members := range tiers {
+		if len(members) == 0 {
+			return fmt.Errorf("tier %d is empty", t)
+		}
+		for _, ci := range members {
+			if ci < 0 || ci >= numClients {
+				return fmt.Errorf("tier %d member %d out of range [0,%d)", t, ci, numClients)
+			}
+			if prev, dup := tierOf[ci]; dup {
+				return fmt.Errorf("client %d in tiers %d and %d", ci, prev, t)
+			}
+			tierOf[ci] = t
+		}
+	}
+	return nil
+}
+
+// Encode serializes the checkpoint with gob.
+func (c *TieredCheckpoint) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, fmt.Errorf("flcore: encoding tiered checkpoint: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeTieredCheckpoint parses a buffer produced by Encode, rejecting
+// trailing garbage and unknown format versions.
+func DecodeTieredCheckpoint(data []byte) (*TieredCheckpoint, error) {
+	var c TieredCheckpoint
+	r := bytes.NewReader(data)
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("flcore: decoding tiered checkpoint: %w", err)
+	}
+	if r.Len() > 0 {
+		return nil, fmt.Errorf("flcore: tiered checkpoint has %d bytes of trailing garbage after decode", r.Len())
+	}
+	if c.Format != TieredCheckpointFormat {
+		return nil, fmt.Errorf("flcore: unknown tiered checkpoint format %d (this build reads format %d)", c.Format, TieredCheckpointFormat)
+	}
+	return &c, nil
+}
+
+// SaveFile writes the checkpoint to path atomically (temp file + fsync +
+// rename), rotating any existing snapshot to path.prev first — the same
+// crash discipline as Checkpoint.SaveFile.
+func (c *TieredCheckpoint) SaveFile(path string) error {
+	data, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	return saveFileAtomic(path, data)
+}
+
+// LoadTieredCheckpointFile reads a checkpoint written by SaveFile, falling
+// back to the rotated previous snapshot when the primary is missing or
+// fails to decode.
+func LoadTieredCheckpointFile(path string) (*TieredCheckpoint, error) {
+	return loadWithFallback(path, DecodeTieredCheckpoint)
+}

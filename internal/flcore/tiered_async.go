@@ -141,6 +141,13 @@ type TieredAsyncConfig struct {
 	// (Algorithm-2 adaptive selection when enabled) instead of the static
 	// TierCohort draw. nil keeps the tiers frozen as constructed.
 	Manager TierManager
+	// CheckpointEvery, when positive, snapshots the engine every so many
+	// global commits and hands the checkpoint to OnCheckpoint. A Manager
+	// used with checkpointing must implement TierManagerState.
+	CheckpointEvery int
+	// OnCheckpoint receives each periodic snapshot (see CheckpointEvery);
+	// typical handlers call TieredCheckpoint.SaveFile.
+	OnCheckpoint func(c *TieredCheckpoint)
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -237,6 +244,18 @@ type TieredAsyncEngine struct {
 	version int
 	rounds  []int // per-tier local round counters
 
+	// Run-loop state lives on the engine (not in Run locals) so Snapshot
+	// can capture a mid-run engine and Restore can rebuild one: the event
+	// queue of in-flight tier rounds, the next eval boundary, and the
+	// cumulative per-tier commit counters the cross-tier weights consume.
+	pending    tierRunHeap
+	nextEval   float64
+	commits    []int
+	retiers    int
+	migrations int
+	uplink     int64
+	resumed    bool
+
 	// tierTest caches the per-tier pooled evaluation shards for adaptive
 	// accuracy feedback; rebuilt lazily when membership changes.
 	tierTest      []*dataset.Dataset
@@ -282,6 +301,11 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 			tierOf[ci] = i
 		}
 	}
+	if cfg.CheckpointEvery > 0 && cfg.Manager != nil {
+		if _, ok := cfg.Manager.(TierManagerState); !ok {
+			panic("flcore: CheckpointEvery set but the TierManager does not implement TierManagerState")
+		}
+	}
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
 	resetResiduals(clients)
 	syncCfg := Config{
@@ -291,13 +315,15 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 		Codec: cfg.Codec,
 	}
 	return &TieredAsyncEngine{
-		Cfg:     cfg,
-		Tiers:   tiers,
-		Clients: clients,
-		Test:    test,
-		eng:     &Engine{Cfg: syncCfg, Clients: clients, global: global},
-		weights: global.WeightsVector(),
-		rounds:  make([]int, len(tiers)),
+		Cfg:      cfg,
+		Tiers:    tiers,
+		Clients:  clients,
+		Test:     test,
+		eng:      &Engine{Cfg: syncCfg, Clients: clients, global: global},
+		weights:  global.WeightsVector(),
+		rounds:   make([]int, len(tiers)),
+		commits:  make([]int, len(tiers)),
+		nextEval: cfg.EvalInterval,
 	}
 }
 
@@ -332,7 +358,7 @@ func TierCohort(seed int64, tierRound, tier int, members []int, want int) []int 
 // drawn with an rng keyed on (Seed, tier round, tier), and each client's
 // local pass is keyed on (Seed, tier round, client) via Engine.TrainClient,
 // so dispatch order cannot perturb results.
-func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
+func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 	r := e.rounds[t]
 	e.rounds[t]++
 	var selected []int
@@ -359,7 +385,7 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64, h *tierRunHeap) {
 		upBytes += int64(u.WireBytes)
 		lats[i] = u.Latency
 	}
-	heap.Push(h, &tierRun{
+	heap.Push(&e.pending, &tierRun{
 		tier: t, tierRound: r, pulledVer: e.version,
 		finish: now + lat, selected: selected,
 		weights: FedAvg(updates), latency: lat, lats: lats, upBytes: upBytes,
@@ -410,16 +436,20 @@ func (e *TieredAsyncEngine) tierWeight(tier int, commits []int) float64 {
 
 // Run executes tiered-asynchronous training until the simulated duration
 // elapses, returning the result with history sampled at EvalInterval
-// boundaries (Round counts global commits) plus the full commit log.
+// boundaries (Round counts global commits) plus the full commit log. On an
+// engine restored from a TieredCheckpoint, Run continues the interrupted
+// job: the in-flight tier rounds come back from the checkpoint instead of
+// a fresh dispatch, and Commits/Retiers/Migrations/UplinkBytes report
+// cumulative totals across the whole job, not just this call.
 func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
-	res := &TieredAsyncResult{Commits: make([]int, len(e.Tiers))}
-	h := &tierRunHeap{}
-	heap.Init(h)
-	for t := range e.Tiers {
-		e.dispatch(t, 0, h)
+	res := &TieredAsyncResult{}
+	if !e.resumed {
+		heap.Init(&e.pending)
+		for t := range e.Tiers {
+			e.dispatch(t, 0)
+		}
 	}
 
-	nextEval := e.Cfg.EvalInterval
 	evalNow := func(now float64) {
 		rec := RoundRecord{Round: e.version, SimTime: now, Acc: math.NaN(), Loss: math.NaN()}
 		if e.Test != nil {
@@ -437,22 +467,22 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 		}
 	}
 
-	for h.Len() > 0 {
-		run := heap.Pop(h).(*tierRun)
+	for e.pending.Len() > 0 {
+		run := heap.Pop(&e.pending).(*tierRun)
 		if run.finish > e.Cfg.Duration {
 			break
 		}
 		e.clock.Advance(run.finish - e.clock.Now())
 		now := e.clock.Now()
-		for e.Cfg.EvalInterval > 0 && now >= nextEval {
-			evalNow(nextEval)
-			nextEval += e.Cfg.EvalInterval
+		for e.Cfg.EvalInterval > 0 && now >= e.nextEval {
+			evalNow(e.nextEval)
+			e.nextEval += e.Cfg.EvalInterval
 		}
 
-		res.Commits[run.tier]++
+		e.commits[run.tier]++
 		staleness := e.version - run.pulledVer
 		alpha := CommitMix(e.weights, run.weights, e.Cfg.Alpha,
-			e.tierWeight(run.tier, res.Commits), staleness, e.Cfg.StalenessExp)
+			e.tierWeight(run.tier, e.commits), staleness, e.Cfg.StalenessExp)
 		e.version++
 
 		if e.Cfg.Manager != nil {
@@ -466,12 +496,12 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 			if tiers, moves, changed := e.Cfg.Manager.MaybeRetier(e.version); changed {
 				e.Tiers = tiers
 				e.retierEpoch++
-				res.Retiers++
-				res.Migrations += len(moves)
+				e.retiers++
+				e.migrations += len(moves)
 			}
 		}
 
-		res.UplinkBytes += run.upBytes
+		e.uplink += run.upBytes
 		rec := TierRoundRecord{
 			Tier: run.tier, TierRound: run.tierRound, Version: e.version,
 			Selected: run.selected, Staleness: staleness, Weight: alpha,
@@ -481,13 +511,26 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 		if e.Cfg.OnCommit != nil {
 			e.Cfg.OnCommit(rec)
 		}
-		e.dispatch(run.tier, now, h)
+		e.dispatch(run.tier, now)
+		// The snapshot point: the commit is applied, the Manager fed, and
+		// the committing tier re-dispatched, so the heap holds every
+		// in-flight round and the checkpoint is a clean between-commits cut.
+		if e.Cfg.CheckpointEvery > 0 && e.Cfg.OnCheckpoint != nil && e.version%e.Cfg.CheckpointEvery == 0 {
+			c, err := e.Snapshot()
+			if err != nil {
+				panic(fmt.Sprintf("flcore: periodic checkpoint failed: %v", err))
+			}
+			e.Cfg.OnCheckpoint(c)
+		}
 	}
 	evalNow(e.clock.Now())
 	final := res.History[len(res.History)-1]
 	res.FinalAcc, res.FinalLoss = final.Acc, final.Loss
 	res.TotalTime = e.clock.Now()
 	res.Weights = append([]float64(nil), e.weights...)
+	res.Commits = append([]int(nil), e.commits...)
+	res.Retiers, res.Migrations = e.retiers, e.migrations
+	res.UplinkBytes = e.uplink
 	return res
 }
 

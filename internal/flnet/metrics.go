@@ -1,0 +1,272 @@
+package flnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Live observability for the tiered-async aggregator: an opt-in HTTP
+// endpoint (TieredAsyncConfig.MetricsAddr) serving JSON snapshots of the
+// run — per-tier commit progress and round rate, last staleness, EWMA
+// latency estimates, uplink/downlink traffic, and checkpoint freshness —
+// so a long-horizon FedAT run is no longer a black box between its log
+// lines. The endpoint is read-only and allocation-light; it never touches
+// the training hot path beyond the obsState mutex.
+
+// TierMetrics is one tier's slice of a MetricsSnapshot.
+type TierMetrics struct {
+	Tier    int `json:"tier"`
+	Members int `json:"members"`
+	// Commits is the tier's cumulative applied commits (including commits
+	// restored from a checkpoint); RoundRatePerSec is this process's
+	// commit rate since Run started.
+	Commits         int     `json:"commits"`
+	RoundRatePerSec float64 `json:"round_rate_per_sec"`
+	// LastStaleness and LastRoundSeconds describe the tier's most recent
+	// applied commit.
+	LastStaleness    int     `json:"last_staleness"`
+	LastRoundSeconds float64 `json:"last_round_seconds"`
+	// MeanEWMASeconds is the mean of the tiering Manager's EWMA latency
+	// estimates over the tier's members (0 without a Manager).
+	MeanEWMASeconds float64 `json:"mean_ewma_seconds"`
+}
+
+// MetricsSnapshot is the GET /metrics response body.
+type MetricsSnapshot struct {
+	Running       bool          `json:"running"`
+	Version       int           `json:"version"`
+	TargetCommits int           `json:"target_commits"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	LiveWorkers   int           `json:"live_workers"`
+	Tiers         []TierMetrics `json:"tiers"`
+	UplinkBytes   int64         `json:"uplink_bytes"`
+	DownlinkBytes int64         `json:"downlink_bytes"`
+	Retiers       int           `json:"retiers"`
+	Reassigned    int           `json:"reassigned"`
+	// LastCheckpointVersion is the global version of the newest durable
+	// snapshot (0 = none yet); LastCheckpointAgeSeconds its age (-1 = none
+	// yet). LastCheckpointError surfaces a failed write.
+	LastCheckpointVersion    int     `json:"last_checkpoint_version"`
+	LastCheckpointAgeSeconds float64 `json:"last_checkpoint_age_seconds"`
+	LastCheckpointError      string  `json:"last_checkpoint_error,omitempty"`
+}
+
+// obsState accumulates the observable side of a tiered-async run. All
+// writers come through its methods; the HTTP handler only reads.
+type obsState struct {
+	mu            sync.Mutex
+	running       bool
+	started       time.Time
+	target        int
+	version       int
+	commits       []int // cumulative per tier
+	startCommits  []int // baseline at Run start (round-rate zero point)
+	lastStaleness []int
+	lastSeconds   []float64
+	members       []int
+	uplink        int64
+	downlink      int64
+	retiers       int
+	reassigned    int
+	ckptVersion   int
+	ckptTime      time.Time
+	ckptErr       string
+}
+
+// noteRunStart arms the observable state for a run over numTiers tiers,
+// seeding the cumulative counters from a resumed checkpoint's totals.
+func (o *obsState) noteRunStart(target int, version int, commits []int, retiers, reassigned int, uplink int64, memberCounts []int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	n := len(memberCounts)
+	o.running = true
+	o.started = time.Now()
+	o.target = target
+	o.version = version
+	o.commits = append([]int(nil), commits...)
+	o.startCommits = append([]int(nil), commits...)
+	o.lastStaleness = make([]int, n)
+	o.lastSeconds = make([]float64, n)
+	o.members = append([]int(nil), memberCounts...)
+	o.retiers, o.reassigned = retiers, reassigned
+	o.uplink = uplink
+}
+
+// noteRunEnd marks the run finished.
+func (o *obsState) noteRunEnd() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.running = false
+}
+
+// noteCommit records one applied commit.
+func (o *obsState) noteCommit(s TierCommitStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.version = s.Version
+	if s.Tier >= 0 && s.Tier < len(o.commits) {
+		o.commits[s.Tier]++
+		o.lastStaleness[s.Tier] = s.Staleness
+		o.lastSeconds[s.Tier] = s.Seconds
+	}
+	o.uplink += s.UplinkBytes
+}
+
+// noteRetier records one applied re-tiering and the new member counts.
+func (o *obsState) noteRetier(moved int, memberCounts []int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.retiers++
+	o.reassigned += moved
+	o.members = append(o.members[:0], memberCounts...)
+}
+
+// addDownlink accumulates broadcast traffic.
+func (o *obsState) addDownlink(n int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.downlink += n
+}
+
+// noteCheckpoint records a checkpoint write attempt.
+func (o *obsState) noteCheckpoint(version int, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err != nil {
+		o.ckptErr = err.Error()
+		return
+	}
+	o.ckptErr = ""
+	o.ckptVersion = version
+	o.ckptTime = time.Now()
+}
+
+// Metrics assembles the current observability snapshot. It is what the
+// HTTP endpoint serves, exported so in-process supervisors (and tests)
+// can poll without the HTTP round trip.
+func (ta *TieredAsyncAggregator) Metrics() MetricsSnapshot {
+	o := ta.obs
+	o.mu.Lock()
+	snap := MetricsSnapshot{
+		Running:               o.running,
+		Version:               o.version,
+		TargetCommits:         o.target,
+		LiveWorkers:           0,
+		UplinkBytes:           o.uplink,
+		DownlinkBytes:         o.downlink,
+		Retiers:               o.retiers,
+		Reassigned:            o.reassigned,
+		LastCheckpointVersion: o.ckptVersion,
+		LastCheckpointError:   o.ckptErr,
+	}
+	snap.LastCheckpointAgeSeconds = -1
+	if !o.ckptTime.IsZero() {
+		snap.LastCheckpointAgeSeconds = time.Since(o.ckptTime).Seconds()
+	}
+	var elapsed float64
+	if !o.started.IsZero() {
+		elapsed = time.Since(o.started).Seconds()
+		snap.UptimeSeconds = elapsed
+	}
+	for t := range o.commits {
+		tm := TierMetrics{
+			Tier:          t,
+			Commits:       o.commits[t],
+			LastStaleness: o.lastStaleness[t],
+		}
+		if t < len(o.lastSeconds) {
+			tm.LastRoundSeconds = o.lastSeconds[t]
+		}
+		if t < len(o.members) {
+			tm.Members = o.members[t]
+		}
+		if elapsed > 0 && t < len(o.startCommits) {
+			tm.RoundRatePerSec = float64(o.commits[t]-o.startCommits[t]) / elapsed
+		}
+		snap.Tiers = append(snap.Tiers, tm)
+	}
+	o.mu.Unlock()
+
+	// Live worker count and EWMA means come from their owners, outside the
+	// obs mutex.
+	ta.mu.Lock()
+	for _, w := range ta.workers {
+		if !w.dead.Load() {
+			snap.LiveWorkers++
+		}
+	}
+	ta.mu.Unlock()
+	if est, ok := ta.tcfg.Manager.(interface{ EWMA(int) (float64, bool) }); ok {
+		ta.tmu.Lock()
+		members := copyNetTiers(ta.members)
+		ta.tmu.Unlock()
+		for t, ms := range members {
+			if t >= len(snap.Tiers) {
+				break
+			}
+			sum, n := 0.0, 0
+			for _, c := range ms {
+				if v, ok := est.EWMA(c); ok {
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				snap.Tiers[t].MeanEWMASeconds = sum / float64(n)
+			}
+		}
+	}
+	return snap
+}
+
+// metricsServer is the opt-in HTTP observability endpoint.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// startMetrics binds the observability endpoint on addr and serves
+// GET /metrics (JSON MetricsSnapshot) and GET /healthz.
+func (ta *TieredAsyncAggregator) startMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("flnet: metrics listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ta.Metrics()) //nolint:errcheck // client hangup
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok") //nolint:errcheck // client hangup
+	})
+	ms := &metricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ms.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	ta.metrics = ms
+	return nil
+}
+
+// MetricsAddr returns the observability endpoint's listen address
+// ("" when metrics are disabled) — with a ":0" MetricsAddr config this is
+// where the ephemeral port landed.
+func (ta *TieredAsyncAggregator) MetricsAddr() string {
+	if ta.metrics == nil {
+		return ""
+	}
+	return ta.metrics.ln.Addr().String()
+}
+
+// Close shuts the aggregator (listener and worker connections) and the
+// metrics endpoint.
+func (ta *TieredAsyncAggregator) Close() {
+	if ta.metrics != nil {
+		ta.metrics.srv.Close() //nolint:errcheck // shutdown path
+	}
+	ta.Aggregator.Close()
+}

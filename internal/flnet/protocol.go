@@ -68,6 +68,13 @@ const (
 	// in whichever encoding the request arrived in, so either side may be
 	// old without breaking the other.
 	ProtoFastWire byte = 2
+	// ProtoCodecRenegotiate marks a worker that honors the codec fields of
+	// MsgTierReassign: when a migration lands it in a tier with a different
+	// compression policy, the aggregator piggybacks the new codec spec on
+	// the reassignment and the worker switches (resetting its
+	// error-feedback residual). Older workers keep their handshake codec
+	// for the whole run; the aggregator never renegotiates with them.
+	ProtoCodecRenegotiate byte = 3
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
@@ -262,6 +269,17 @@ type TierReassign struct {
 	From     int
 	To       int
 	NumTiers int
+	// Renegotiate, when true, carries a codec change for the worker's new
+	// tier: the worker must switch its uplink compression to CodecSpec
+	// (compress.Parse syntax) from its next training round on, dropping
+	// its error-feedback residual — the old tier's residual was
+	// accumulated under a different loss profile and must not leak into
+	// the new codec's stream. Only sent to workers that registered with
+	// Proto ≥ ProtoCodecRenegotiate; the aggregator accepts updates under
+	// both the old and new codec during the switch window, because a
+	// round dispatched before the migration can still deliver afterwards.
+	Renegotiate bool
+	CodecSpec   string
 }
 
 // CompressedUpdate is the compressed counterpart of Update: instead of a

@@ -89,13 +89,22 @@ type RunResult struct {
 type registered struct {
 	id      int
 	samples int
-	codec   byte // negotiated update compression (compress.IDNone = dense)
 	proto   byte // announced protocol level (Proto* constants; 0 = legacy)
 	c       *conn
-	updates chan *Envelope
-	dead    atomic.Bool   // set by the reader goroutine when the conn drops
-	deadCh  chan struct{} // closed by the reader goroutine on exit
-	err     error
+
+	// codec is the worker's current update compression (compress.IDNone =
+	// dense), negotiated at the handshake and — for
+	// Proto ≥ ProtoCodecRenegotiate workers — renegotiated on tier
+	// migrations. prevCodec stays accepted alongside it: a training round
+	// dispatched under the old codec can deliver its update after the
+	// renegotiation landed, and that in-flight reply must not be dropped.
+	cmu       sync.Mutex
+	codec     byte
+	prevCodec byte
+	updates   chan *Envelope
+	dead      atomic.Bool   // set by the reader goroutine when the conn drops
+	deadCh    chan struct{} // closed by the reader goroutine on exit
+	err       error
 
 	// pending routes seq-tagged updates (Train.Seq echoes) to the exact
 	// train request waiting for them. Registered before the request is
@@ -105,6 +114,34 @@ type registered struct {
 	// synchronous path's straggler-discard semantics.
 	pmu     sync.Mutex
 	pending map[int64]chan *Envelope
+}
+
+// codecID returns the worker's current negotiated codec.
+func (w *registered) codecID() byte {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return w.codec
+}
+
+// setCodec renegotiates the worker's codec, keeping the previous one
+// accepted for the switch window.
+func (w *registered) setCodec(id byte) {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	if id == w.codec {
+		return
+	}
+	w.prevCodec = w.codec
+	w.codec = id
+}
+
+// acceptsCodec reports whether an incoming compressed update's codec is
+// valid for this worker: its current negotiated codec or, during a
+// renegotiation window, the previous one.
+func (w *registered) acceptsCodec(id byte) bool {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return id == w.codec || id == w.prevCodec
 }
 
 // addPending registers a waiter for the given request seq.
@@ -226,7 +263,8 @@ func (a *Aggregator) handshake(raw net.Conn) {
 	}
 	w := &registered{
 		id: env.Register.ClientID, samples: env.Register.NumSamples,
-		codec: env.Register.Codec, proto: env.Register.Proto, c: c,
+		codec: env.Register.Codec, prevCodec: env.Register.Codec,
+		proto: env.Register.Proto, c: c,
 		updates: make(chan *Envelope, 4),
 		deadCh:  make(chan struct{}),
 		pending: make(map[int64]chan *Envelope),
@@ -421,9 +459,10 @@ func decodeUpdate(w *registered, env *Envelope, weights []float64) (flcore.Updat
 		}, true
 	case env.Type == MsgCompressedUpdate && env.CompressedUpdate != nil:
 		cu := env.CompressedUpdate
-		// Enforce the handshake negotiation: updates must arrive under the
-		// codec the worker registered with.
-		if cu.Codec != w.codec {
+		// Enforce the negotiation: updates must arrive under the worker's
+		// negotiated codec (current, or the previous one during a live
+		// renegotiation window).
+		if !w.acceptsCodec(cu.Codec) {
 			return flcore.Update{}, false
 		}
 		delta, err := compress.DecodePayload(cu.Codec, cu.Payload, len(weights))

@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/flcore"
 )
@@ -83,6 +85,31 @@ type TieredAsyncConfig struct {
 	// is what lets parity tests byte-compare a socket run against the
 	// simulated engine; real deployments leave it empty.
 	Lockstep []int
+	// CheckpointEvery, when positive, snapshots the run every so many
+	// applied commits as a flcore.TieredCheckpoint: written atomically to
+	// CheckpointPath (when set) and handed to OnCheckpoint (when set). At
+	// least one of the two must be configured. A Manager used with
+	// checkpointing must implement flcore.TierManagerState. A failed
+	// checkpoint write fails the run — crash-safety silently gone is worse
+	// than a loud stop.
+	CheckpointEvery int
+	// CheckpointPath is the durable snapshot file (see CheckpointEvery);
+	// the previous snapshot is kept at CheckpointPath+".prev".
+	CheckpointPath string
+	// OnCheckpoint observes every periodic snapshot after it was persisted.
+	OnCheckpoint func(c *flcore.TieredCheckpoint)
+	// MetricsAddr, when set (e.g. "127.0.0.1:9090" or ":0"), serves the
+	// live observability endpoint: GET /metrics returns a MetricsSnapshot
+	// as JSON, GET /healthz returns 200. Empty disables the endpoint.
+	MetricsAddr string
+	// ReassignCodec is the per-tier compression policy for live
+	// re-tierings: when a migration moves a worker to tier t, the policy's
+	// spec for t (compress.Parse syntax; "none" = dense, "" = leave the
+	// worker's codec unchanged) is compared against the worker's current
+	// codec and renegotiated over the MsgTierReassign envelope when they
+	// differ. Workers predating ProtoCodecRenegotiate keep their handshake
+	// codec. nil disables renegotiation (the pre-renegotiation behaviour).
+	ReassignCodec func(tier, numTiers int) string
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -108,6 +135,10 @@ func (c TieredAsyncConfig) validate() error {
 		return fmt.Errorf("flnet: StalenessExp = %v", c.StalenessExp)
 	case len(c.Lockstep) > 0 && len(c.Lockstep) != c.GlobalCommits:
 		return fmt.Errorf("flnet: Lockstep schedules %d commits, GlobalCommits = %d", len(c.Lockstep), c.GlobalCommits)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("flnet: CheckpointEvery = %d", c.CheckpointEvery)
+	case c.CheckpointEvery > 0 && c.CheckpointPath == "" && c.OnCheckpoint == nil:
+		return fmt.Errorf("flnet: CheckpointEvery set but neither CheckpointPath nor OnCheckpoint is")
 	}
 	return nil
 }
@@ -182,6 +213,25 @@ type TieredAsyncAggregator struct {
 
 	seq  atomic.Int64    // train-request token source (Train.Seq)
 	acks []chan lockSnap // lockstep mode: per-tier pull snapshots
+
+	// Resume state, set by Resume/ResumeModel before Run and read-only
+	// during it: the restored tier membership and per-tier cursors, plus
+	// the checkpointed cumulative totals Run's result continues from.
+	resumed     bool
+	resumeTiers [][]int
+	startRounds []int
+	baseCommits []int
+	baseRetiers int
+	baseMoved   int
+	baseUplink  int64
+
+	// roundCursor tracks each tier's next round index for checkpoints
+	// (committer-goroutine-owned: a resumed tier restarts at the round
+	// after its last *committed* one; in-flight rounds die with a crash).
+	roundCursor []int
+
+	obs     *obsState
+	metrics *metricsServer
 }
 
 // NewTieredAsyncAggregator listens on addr (e.g. "127.0.0.1:0").
@@ -198,11 +248,19 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 	if err != nil {
 		return nil, err
 	}
-	return &TieredAsyncAggregator{
+	ta := &TieredAsyncAggregator{
 		Aggregator: base,
 		tcfg:       cfg,
 		gw:         append([]float64(nil), cfg.InitialWeights...),
-	}, nil
+		obs:        &obsState{},
+	}
+	if cfg.MetricsAddr != "" {
+		if err := ta.startMetrics(cfg.MetricsAddr); err != nil {
+			base.Close()
+			return nil, err
+		}
+	}
+	return ta, nil
 }
 
 // SetManager installs the live tiering Manager after construction — the
@@ -210,6 +268,118 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 // ProfileWorkers, build a tiering.Manager from the measured latencies,
 // SetManager, Run(nil). Must be called before Run.
 func (ta *TieredAsyncAggregator) SetManager(m flcore.TierManager) { ta.tcfg.Manager = m }
+
+// ErrRosterChanged reports that a checkpoint's worker roster does not
+// match the currently registered workers. Callers should fall back to the
+// re-profiled resume: ResumeModel + a fresh profiling pass to rebuild
+// tiers over the new roster.
+var ErrRosterChanged = errors.New("flnet: worker roster changed since checkpoint")
+
+// resumeCommon validates the parts of a checkpoint every resume flavour
+// needs and loads the global model and commit counter.
+func (ta *TieredAsyncAggregator) resumeCommon(c *flcore.TieredCheckpoint) error {
+	if c.Format != flcore.TieredCheckpointFormat {
+		return fmt.Errorf("flnet: unknown tiered checkpoint format %d (this build reads format %d)", c.Format, flcore.TieredCheckpointFormat)
+	}
+	if c.Seed != ta.tcfg.Seed {
+		return fmt.Errorf("flnet: checkpoint seed %d != aggregator seed %d", c.Seed, ta.tcfg.Seed)
+	}
+	if len(c.Weights) != len(ta.tcfg.InitialWeights) {
+		return fmt.Errorf("flnet: checkpoint has %d weights, model needs %d", len(c.Weights), len(ta.tcfg.InitialWeights))
+	}
+	for i, v := range c.Weights {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("flnet: checkpoint weight %d is %v; refusing non-finite model state", i, v)
+		}
+	}
+	if c.Version < 0 || c.Version >= ta.tcfg.GlobalCommits {
+		return fmt.Errorf("flnet: checkpoint at version %d, GlobalCommits = %d: nothing to resume", c.Version, ta.tcfg.GlobalCommits)
+	}
+	if len(ta.tcfg.Lockstep) > 0 {
+		return fmt.Errorf("flnet: lockstep runs are single-shot parity harnesses and cannot resume")
+	}
+	ta.gmu.Lock()
+	ta.version = c.Version
+	ta.gw = append(ta.gw[:0], c.Weights...)
+	ta.gmu.Unlock()
+	ta.baseRetiers, ta.baseMoved = c.Retiers, c.Migrations
+	ta.baseUplink = c.UplinkBytes
+	ta.resumed = true
+	return nil
+}
+
+// Resume loads a TieredCheckpoint into the aggregator before Run: the
+// global model and version counter, each tier's round cursor and commit
+// count, the checkpointed tier membership, and the tiering Manager's
+// state. Every worker the checkpoint places in a tier must already have
+// re-registered (WaitForWorkers first); otherwise Resume fails with
+// ErrRosterChanged and the caller should re-profile the new roster and use
+// ResumeModel instead. Run(nil) then continues the job from the saved
+// commit count: GlobalCommits is the absolute target, so a run
+// checkpointed at version 40 of 100 applies 60 more commits.
+func (ta *TieredAsyncAggregator) Resume(c *flcore.TieredCheckpoint) error {
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("flnet: checkpoint has no tiers")
+	}
+	if len(c.Rounds) != len(c.Tiers) || len(c.Commits) != len(c.Tiers) {
+		return fmt.Errorf("flnet: checkpoint cursors (%d rounds, %d commits) do not match %d tiers",
+			len(c.Rounds), len(c.Commits), len(c.Tiers))
+	}
+	var missing []int
+	ta.mu.Lock()
+	for _, members := range c.Tiers {
+		for _, id := range members {
+			if _, ok := ta.workers[id]; !ok {
+				missing = append(missing, id)
+			}
+		}
+	}
+	ta.mu.Unlock()
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		return fmt.Errorf("%w: checkpointed workers %v have not re-registered", ErrRosterChanged, missing)
+	}
+	// Manager and checkpoint must agree, exactly as in the sim engine:
+	// silently resuming a managed run unmanaged (or vice versa) changes
+	// cohort selection and re-tiering semantics.
+	if len(c.ManagerState) > 0 {
+		ms, ok := ta.tcfg.Manager.(flcore.TierManagerState)
+		if ta.tcfg.Manager == nil || !ok {
+			return fmt.Errorf("flnet: checkpoint carries tiering-manager state but the aggregator has no restorable Manager (install one with SetManager)")
+		}
+		if err := ms.RestoreState(c.ManagerState); err != nil {
+			return fmt.Errorf("flnet: restoring manager state: %w", err)
+		}
+	} else if ta.tcfg.Manager != nil {
+		return fmt.Errorf("flnet: aggregator has a Manager but the checkpoint carries no manager state")
+	}
+	if err := ta.resumeCommon(c); err != nil {
+		return err
+	}
+	ta.resumeTiers = copyNetTiers(c.Tiers)
+	ta.startRounds = append([]int(nil), c.Rounds...)
+	ta.baseCommits = append([]int(nil), c.Commits...)
+	return nil
+}
+
+// ResumeModel is the roster-changed resume: it restores only the global
+// model, commit counter, and cumulative traffic totals from the
+// checkpoint. The caller supplies fresh tiers to Run (typically from a new
+// ProfileWorkers pass, with a fresh Manager for live runs) — per-tier
+// round cursors and commit histories restart at zero over the new roster,
+// while GlobalCommits remains the absolute target.
+func (ta *TieredAsyncAggregator) ResumeModel(c *flcore.TieredCheckpoint) error {
+	return ta.resumeCommon(c)
+}
+
+// copyNetTiers deep-copies a tier membership table.
+func copyNetTiers(tiers [][]int) [][]int {
+	out := make([][]int, len(tiers))
+	for t, members := range tiers {
+		out[t] = append([]int(nil), members...)
+	}
+	return out
+}
 
 // snapshot returns the current global version and a copy of the weights —
 // the tier loops' "pull".
@@ -281,12 +451,75 @@ func (ta *TieredAsyncAggregator) feedManager(tc *TierCommit, version int, res *T
 	res.Retiers++
 	res.Reassigned += len(moves)
 	for _, mv := range moves {
-		if w := ta.liveWorker(mv.Client); w != nil && w.proto >= ProtoTierReassign {
-			w.c.send(&Envelope{Type: MsgTierReassign, TierReassign: &TierReassign{ //nolint:errcheck // informational, best effort
-				From: mv.From, To: mv.To, NumTiers: len(tiers),
-			}})
+		w := ta.liveWorker(mv.Client)
+		if w == nil || w.proto < ProtoTierReassign {
+			continue
+		}
+		tr := &TierReassign{From: mv.From, To: mv.To, NumTiers: len(tiers)}
+		// Per-tier compression policy: renegotiate the migrating worker's
+		// codec over the same envelope when the destination tier's policy
+		// differs from what the worker currently speaks. The accept window
+		// (registered.acceptsCodec) keeps the worker's in-flight old-codec
+		// update decodable while the switch propagates.
+		if ta.tcfg.ReassignCodec != nil && w.proto >= ProtoCodecRenegotiate {
+			if spec := ta.tcfg.ReassignCodec(mv.To, len(tiers)); spec != "" {
+				if next, err := compress.Parse(spec); err == nil && next.ID() != w.codecID() {
+					tr.Renegotiate, tr.CodecSpec = true, next.Name()
+					w.setCodec(next.ID())
+				}
+			}
+		}
+		w.c.send(&Envelope{Type: MsgTierReassign, TierReassign: tr}) //nolint:errcheck // informational, best effort
+	}
+	counts := make([]int, len(tiers))
+	for t, ms := range tiers {
+		counts[t] = len(ms)
+	}
+	ta.obs.noteRetier(len(moves), counts)
+}
+
+// writeCheckpoint snapshots the run after the applied-th commit as a
+// flcore.TieredCheckpoint and persists/announces it per the config. The
+// network checkpoint is model-plus-cursors only: no in-flight tier rounds
+// (they die with the process and are honestly re-run) and no worker-side
+// compression residuals (workers own those and restart residual-fresh).
+func (ta *TieredAsyncAggregator) writeCheckpoint(applied int, res *TieredAsyncRunResult) error {
+	_, w := ta.snapshot()
+	c := &flcore.TieredCheckpoint{
+		Format:      flcore.TieredCheckpointFormat,
+		Seed:        ta.tcfg.Seed,
+		Version:     applied,
+		Weights:     w,
+		Rounds:      append([]int(nil), ta.roundCursor...),
+		Commits:     append([]int(nil), res.Commits...),
+		Retiers:     res.Retiers,
+		Migrations:  res.Reassigned,
+		UplinkBytes: res.UplinkBytes,
+	}
+	ta.tmu.Lock()
+	c.Tiers = copyNetTiers(ta.members)
+	ta.tmu.Unlock()
+	if ms, ok := ta.tcfg.Manager.(flcore.TierManagerState); ok {
+		state, err := ms.SnapshotState()
+		if err != nil {
+			err = fmt.Errorf("flnet: checkpoint at version %d: manager state: %w", applied, err)
+			ta.obs.noteCheckpoint(applied, err)
+			return err
+		}
+		c.ManagerState = state
+	}
+	if ta.tcfg.CheckpointPath != "" {
+		if err := c.SaveFile(ta.tcfg.CheckpointPath); err != nil {
+			err = fmt.Errorf("flnet: checkpoint at version %d: %w", applied, err)
+			ta.obs.noteCheckpoint(applied, err)
+			return err
 		}
 	}
+	ta.obs.noteCheckpoint(applied, nil)
+	if ta.tcfg.OnCheckpoint != nil {
+		ta.tcfg.OnCheckpoint(c)
+	}
+	return nil
 }
 
 // tierAlive reports whether any tier member's connection is still up.
@@ -438,6 +671,11 @@ func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version in
 			}
 			continue
 		}
+		if w.proto >= ProtoFastWire {
+			ta.obs.addDownlink(int64(len(bc.raw)))
+		} else {
+			ta.obs.addDownlink(int64(compress.DenseBytes(len(weights))))
+		}
 		reqs = append(reqs, rq)
 	}
 	if len(reqs) == 0 {
@@ -505,7 +743,13 @@ func (ta *TieredAsyncAggregator) tierLoop(t int, commitCh chan<- *Envelope, done
 	empty := 0
 	var snap lockSnap
 	haveSnap := false
-	for r := 0; ; r++ {
+	// A resumed run restarts each tier at the round after its last
+	// committed one (startRounds is immutable during Run).
+	r0 := 0
+	if t < len(ta.startRounds) {
+		r0 = ta.startRounds[t]
+	}
+	for r := r0; ; r++ {
 		select {
 		case <-done:
 			return
@@ -577,8 +821,19 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 	if tiers == nil && ta.tcfg.Manager != nil {
 		tiers = ta.tcfg.Manager.Tiers()
 	}
+	if tiers == nil && ta.resumeTiers != nil {
+		tiers = ta.resumeTiers
+	}
 	if len(tiers) == 0 {
 		return nil, fmt.Errorf("flnet: tiered-async needs at least one tier")
+	}
+	if ta.baseCommits != nil && len(ta.baseCommits) != len(tiers) {
+		return nil, fmt.Errorf("flnet: resumed checkpoint has %d tiers, Run got %d", len(ta.baseCommits), len(tiers))
+	}
+	if ta.tcfg.CheckpointEvery > 0 && ta.tcfg.Manager != nil {
+		if _, ok := ta.tcfg.Manager.(flcore.TierManagerState); !ok {
+			return nil, fmt.Errorf("flnet: CheckpointEvery set but Manager %T does not implement flcore.TierManagerState", ta.tcfg.Manager)
+		}
 	}
 	for _, t := range ta.tcfg.Lockstep {
 		if t < 0 || t >= len(tiers) {
@@ -667,15 +922,31 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 	// order, applying envelopes as tiers race to deliver them — or, in
 	// lockstep mode, in exactly the scheduled order, buffering early
 	// arrivals.
+	// A resumed run continues the checkpoint's cumulative counters: commits,
+	// re-tier totals, uplink traffic, the global version, and each tier's
+	// round cursor all pick up where the snapshot left them.
 	res := &TieredAsyncRunResult{Commits: make([]int, len(tiers))}
+	copy(res.Commits, ta.baseCommits)
+	res.Retiers, res.Reassigned = ta.baseRetiers, ta.baseMoved
+	res.UplinkBytes = ta.baseUplink
+	ta.roundCursor = make([]int, len(tiers))
+	copy(ta.roundCursor, ta.startRounds)
+	counts := make([]int, len(tiers))
+	for t, ms := range tiers {
+		counts[t] = len(ms)
+	}
+	ta.gmu.Lock()
+	applied := ta.version
+	ta.gmu.Unlock()
+	ta.obs.noteRunStart(ta.tcfg.GlobalCommits, applied, res.Commits, res.Retiers, res.Reassigned, res.UplinkBytes, counts)
 	finish := func(applied int, err error) (*TieredAsyncRunResult, error) {
 		close(done)
 		ta.FinishWorkers(applied)
 		wg.Wait()
 		_, res.Weights = ta.snapshot()
+		ta.obs.noteRunEnd()
 		return res, err
 	}
-	applied := 0
 	pending := make([][]*Envelope, len(tiers)) // lockstep buffers
 	for applied < ta.tcfg.GlobalCommits {
 		var env *Envelope
@@ -707,6 +978,7 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 			case <-loopsExited:
 				ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers
 				_, res.Weights = ta.snapshot()
+				ta.obs.noteRunEnd()
 				return res, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits)
 			}
 		}
@@ -717,7 +989,20 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 		res.Log = append(res.Log, stats)
 		res.UplinkBytes += stats.UplinkBytes
 		applied++
+		ta.obs.noteCommit(stats)
 		ta.feedManager(env.TierCommit, stats.Version, res)
+		// The committer owns the round cursors: the committing tier's next
+		// round is the one after the highest round it has committed — a
+		// resumed run restarts there, and any round that was in flight when
+		// the process died is honestly re-run.
+		if next := env.TierCommit.TierRound + 1; next > ta.roundCursor[env.TierCommit.Tier] {
+			ta.roundCursor[env.TierCommit.Tier] = next
+		}
+		if ta.tcfg.CheckpointEvery > 0 && applied%ta.tcfg.CheckpointEvery == 0 {
+			if err := ta.writeCheckpoint(applied, res); err != nil {
+				return finish(applied, err)
+			}
+		}
 		if len(ta.tcfg.Lockstep) > 0 {
 			// Hand the committing tier its next pull: the post-commit
 			// snapshot and its next round's cohort, both taken after any

@@ -40,7 +40,14 @@ type WorkerConfig struct {
 	// that cannot decode it refuses the handshake. Secure-aggregation
 	// rounds (Train.Participants set) always send dense masked updates —
 	// pairwise masks are full-entropy vectors no lossy codec may touch.
+	// A tiered-async aggregator running per-tier compression policy may
+	// renegotiate the codec when a live re-tiering migrates this worker
+	// (MsgTierReassign with Renegotiate set); the worker then switches
+	// from its next round on and resets its error-feedback residual.
 	Codec compress.Codec
+	// OnCodecRenegotiate, if set, observes each applied codec switch with
+	// the new codec's spec (compress.Parse syntax, "none" for dense).
+	OnCodecRenegotiate func(spec string)
 }
 
 // RunWorker connects to the aggregator at addr, registers, and serves
@@ -59,10 +66,11 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 		return fmt.Errorf("flnet: worker %d dial: %w", cfg.ClientID, err)
 	}
 	c := newConn(raw)
-	defer c.close() //nolint:errcheck // shutdown path
-	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoFastWire}
-	if cfg.Codec != nil {
-		reg.Codec = cfg.Codec.ID()
+	defer c.close()    //nolint:errcheck // shutdown path
+	codec := cfg.Codec // current uplink codec; renegotiated on migrations
+	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoCodecRenegotiate}
+	if codec != nil {
+		reg.Codec = codec.ID()
 	}
 	if err := c.send(&Envelope{Type: MsgRegister, Register: reg}); err != nil {
 		return err
@@ -97,7 +105,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			if cfg.ReportSeconds != nil {
 				secs = cfg.ReportSeconds(env.Train.Round)
 			}
-			if cfg.Codec != nil && len(env.Train.Participants) == 0 && cfg.Codec.ID() != compress.IDNone {
+			if codec != nil && len(env.Train.Participants) == 0 && codec.ID() != compress.IDNone {
 				if len(w) != len(tw) {
 					return fmt.Errorf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(tw))
 				}
@@ -106,10 +114,10 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 					delta[i] = w[i] - tw[i]
 				}
 				var payload []byte
-				payload, _, residual = compress.EncodeDelta(cfg.Codec, delta, residual)
+				payload, _, residual = compress.EncodeDelta(codec, delta, residual)
 				up := &CompressedUpdate{
 					Round: env.Train.Round, ClientID: cfg.ClientID,
-					Codec: cfg.Codec.ID(), Payload: payload, NumSamples: n,
+					Codec: codec.ID(), Payload: payload, NumSamples: n,
 					Seconds: secs, Seq: env.Train.Seq,
 				}
 				if err := c.send(&Envelope{Type: MsgCompressedUpdate, CompressedUpdate: up}); err != nil {
@@ -134,6 +142,21 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				cfg.OnTierAssign(env.TierAssign.Tier, env.TierAssign.NumTiers)
 			}
 		case MsgTierReassign:
+			if env.TierReassign != nil && env.TierReassign.Renegotiate {
+				// The new tier runs a different compression policy: switch
+				// codecs and drop the error-feedback residual — it was
+				// accumulated under the old codec's loss profile and must
+				// not leak into the new stream.
+				next, err := compress.Parse(env.TierReassign.CodecSpec)
+				if err != nil {
+					return fmt.Errorf("flnet: worker %d: renegotiated codec %q: %w", cfg.ClientID, env.TierReassign.CodecSpec, err)
+				}
+				codec = next
+				residual = nil
+				if cfg.OnCodecRenegotiate != nil {
+					cfg.OnCodecRenegotiate(next.Name())
+				}
+			}
 			if cfg.OnTierReassign != nil && env.TierReassign != nil {
 				cfg.OnTierReassign(env.TierReassign.From, env.TierReassign.To, env.TierReassign.NumTiers)
 			}

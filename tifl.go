@@ -69,7 +69,18 @@ type (
 	// Codec compresses client updates on their way to the aggregator (see
 	// compress.Codec). Int8Codec, TopKCodec, and ParseCodec build them.
 	Codec = compress.Codec
+	// TieredCheckpoint is a crash-safe snapshot of a tiered-asynchronous
+	// run — simulated or distributed (see flcore.TieredCheckpoint).
+	TieredCheckpoint = flcore.TieredCheckpoint
 )
+
+// LoadTieredCheckpointFile reads a durable TieredCheckpoint written by a
+// tiered-async run (NetOptions.CheckpointPath, or the sim engine's
+// SaveFile), falling back to the rotated previous snapshot when the newest
+// file is truncated or corrupt (see flcore.LoadTieredCheckpointFile).
+func LoadTieredCheckpointFile(path string) (*TieredCheckpoint, error) {
+	return flcore.LoadTieredCheckpointFile(path)
+}
 
 // Update-compression constructors, re-exported so downstream users need
 // only this package.
@@ -344,9 +355,21 @@ type NetOptions struct {
 	// (top-k@10% when none is configured) while fast-tier workers stay
 	// dense — slow tiers stop paying a dense model transfer per commit
 	// without costing the fast tiers any fidelity. Codecs are negotiated
-	// once at registration, so a later live re-tiering changes a worker's
-	// tier but not its codec.
+	// at registration and, when live re-tiering migrates a worker across
+	// the fast/slow boundary, renegotiated over the reassignment envelope
+	// so the worker's codec follows its tier.
 	AdaptiveCompression bool
+	// CheckpointEvery, when positive, snapshots the distributed run every
+	// so many applied commits as a durable TieredCheckpoint at
+	// CheckpointPath (written atomically; the previous snapshot is kept at
+	// CheckpointPath+".prev"). See cmd/tifl-node for the resume flow.
+	CheckpointEvery int
+	// CheckpointPath is the durable snapshot file for CheckpointEvery.
+	CheckpointPath string
+	// MetricsAddr, when set (e.g. "127.0.0.1:9090"), serves the
+	// aggregator's live observability endpoint: GET /metrics returns a
+	// flnet.MetricsSnapshot as JSON, GET /healthz returns 200.
+	MetricsAddr string
 	// RetierEvery / EWMABeta / AdaptiveSelection / Credits override the
 	// system Options' live-tiering fields for this distributed job when
 	// non-zero (AdaptiveSelection and Credits apply when RetierEvery or
@@ -432,7 +455,10 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		GlobalCommits: net.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
 		Alpha: cfg.Alpha, StalenessExp: cfg.StalenessExp, TierWeight: cfg.TierWeight,
 		RoundTimeout: net.RoundTimeout, InitialWeights: init, Seed: cfg.Seed,
-		Manager: mgr,
+		Manager:         mgr,
+		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
+		MetricsAddr:   net.MetricsAddr,
+		ReassignCodec: reassignCodecPolicy(net),
 	})
 	if err != nil {
 		return nil, 0, err
@@ -485,6 +511,23 @@ func workerCodec(net NetOptions, tier, numTiers int) Codec {
 		return net.Compression
 	}
 	return TopKCodec(0.1)
+}
+
+// reassignCodecPolicy is workerCodec's live counterpart: under
+// AdaptiveCompression it gives the aggregator the per-tier codec spec used
+// to renegotiate a migrating worker's codec, keeping the fast-half-dense /
+// slow-half-compressed split intact through re-tierings. nil (the default)
+// leaves codecs as negotiated at registration.
+func reassignCodecPolicy(net NetOptions) func(tier, numTiers int) string {
+	if !net.AdaptiveCompression {
+		return nil
+	}
+	return func(tier, numTiers int) string {
+		if c := workerCodec(net, tier, numTiers); c != nil {
+			return c.Name()
+		}
+		return "none"
+	}
 }
 
 // EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a
