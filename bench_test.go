@@ -132,6 +132,23 @@ func BenchmarkExtensionLiveRetier(b *testing.B) {
 	}
 }
 
+// BenchmarkExtMillion runs the population-scale event-driven engine at a
+// CI-smoke population (10k registered clients) and reports the scale
+// metrics the BENCH artifact tracks: commit throughput against wall clock
+// and uplink bytes per committed client update.
+func BenchmarkExtMillion(b *testing.B) {
+	b.ReportAllocs()
+	s := experiments.SmallScale()
+	s.Population = 10_000
+	var last experiments.MillionOutcome
+	for i := 0; i < b.N; i++ {
+		last = experiments.MillionRun(s)
+	}
+	b.ReportMetric(last.RoundsPerSec, "rounds/sec")
+	b.ReportMetric(last.BytesPerClientUpdate, "bytes/client")
+	b.ReportMetric(float64(last.PeakHeapBytes)/(1<<20), "peakheapMB")
+}
+
 func BenchmarkExtensionStaleness(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

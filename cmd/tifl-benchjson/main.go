@@ -25,6 +25,9 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+	// Metrics collects custom b.ReportMetric units (e.g. "rounds/sec",
+	// "bytes/client" from BenchmarkExtMillion), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the BENCH_<pr>.json shape. Headline is free-form space for
@@ -97,6 +100,16 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
 				r.AllocsPerOp = &v
+			}
+		default:
+			// Custom b.ReportMetric units: anything of the shape
+			// "<value> <unit>" with a parseable value and a unit
+			// containing a slash or letters (so stray tokens are skipped).
+			if v, err := strconv.ParseFloat(val, 64); err == nil && unit != "" {
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
 			}
 		}
 	}

@@ -23,9 +23,16 @@ import (
 // budgets; Full restores the paper's scale (500 synthetic rounds, 2000 LEAF
 // rounds, 50 clients, |C|=5).
 type Scale struct {
-	Rounds          int // synthetic-dataset rounds (paper: 500)
-	LEAFRounds      int // FEMNIST rounds (paper: 2000)
-	Clients         int // |K| (paper: 50)
+	Rounds     int // synthetic-dataset rounds (paper: 500)
+	LEAFRounds int // FEMNIST rounds (paper: 2000)
+	// Clients is |K| for the resident-population experiments (paper: 50):
+	// every runner that BuildClients-materializes its population sizes it
+	// from this. Population is the registered population N of the
+	// event-driven scale experiment (ext_million) only — clients there are
+	// lazily derived per selection, so N can exceed resident memory by
+	// orders of magnitude and must never feed an O(N) materialization loop.
+	Clients         int
+	Population      int // ext_million population (paper-scale extension: 1e6)
 	ClientsPerRound int // |C| (paper: 5)
 	TrainSize       int // total training samples per dataset
 	TestSize        int // global test samples
@@ -42,7 +49,7 @@ type Scale struct {
 func SmallScale() Scale {
 	return Scale{
 		Rounds: 60, LEAFRounds: 80,
-		Clients: 50, ClientsPerRound: 5,
+		Clients: 50, Population: 10_000, ClientsPerRound: 5,
 		TrainSize: 4000, TestSize: 800,
 		EvalEvery: 5, LocalTestMax: 40, TestPerTier: 150, Interval: 5,
 		Seed: 1, Parallel: true,
@@ -53,7 +60,7 @@ func SmallScale() Scale {
 func FullScale() Scale {
 	return Scale{
 		Rounds: 500, LEAFRounds: 2000,
-		Clients: 50, ClientsPerRound: 5,
+		Clients: 50, Population: 1_000_000, ClientsPerRound: 5,
 		TrainSize: 20000, TestSize: 4000,
 		EvalEvery: 5, LocalTestMax: 80, TestPerTier: 400, Interval: 20,
 		Seed: 1, Parallel: true,

@@ -148,12 +148,24 @@ func (e *TieredAsyncEngine) Snapshot() (*TieredCheckpoint, error) {
 		}
 		c.ManagerState = state
 	}
-	for ci, cl := range e.Clients {
-		if cl.residual != nil {
-			if c.Residuals == nil {
-				c.Residuals = make(map[int][]float64)
+	switch src := e.src.(type) {
+	case *EagerClients:
+		// Resident population: residuals live on the clients themselves.
+		for ci, cl := range src.Slice() {
+			if cl.residual != nil {
+				if c.Residuals == nil {
+					c.Residuals = make(map[int][]float64)
+				}
+				c.Residuals[ci] = append([]float64(nil), cl.residual...)
 			}
-			c.Residuals[ci] = append([]float64(nil), cl.residual...)
+		}
+	case ResidualStore:
+		// Lazy population: residuals live in the source's sparse map,
+		// keyed by ever-selected clients only.
+		c.Residuals = src.ResidualSnapshot()
+	default:
+		if e.Cfg.Codec != nil {
+			return nil, fmt.Errorf("flcore: ClientSource %T carries error-feedback state but implements neither EagerClients nor ResidualStore", e.src)
 		}
 	}
 	return c, nil
@@ -191,7 +203,7 @@ func (e *TieredAsyncEngine) Restore(c *TieredCheckpoint) error {
 		return fmt.Errorf("flcore: checkpoint cursors (%d rounds, %d commits) do not match %d tiers",
 			len(c.Rounds), len(c.Commits), len(c.Tiers))
 	}
-	if err := validateTiers(c.Tiers, len(e.Clients)); err != nil {
+	if err := validateTiers(c.Tiers, e.numClients()); err != nil {
 		return fmt.Errorf("flcore: checkpoint tiers: %w", err)
 	}
 	for i, p := range c.Pending {
@@ -211,14 +223,14 @@ func (e *TieredAsyncEngine) Restore(c *TieredCheckpoint) error {
 			return fmt.Errorf("flcore: pending round %d has %d latencies for %d clients", i, len(p.Lats), len(p.Selected))
 		}
 		for _, ci := range p.Selected {
-			if ci < 0 || ci >= len(e.Clients) {
-				return fmt.Errorf("flcore: pending round %d selects client %d of %d", i, ci, len(e.Clients))
+			if ci < 0 || ci >= e.numClients() {
+				return fmt.Errorf("flcore: pending round %d selects client %d of %d", i, ci, e.numClients())
 			}
 		}
 	}
 	for ci, r := range c.Residuals {
-		if ci < 0 || ci >= len(e.Clients) {
-			return fmt.Errorf("flcore: residual for client %d of %d", ci, len(e.Clients))
+		if ci < 0 || ci >= e.numClients() {
+			return fmt.Errorf("flcore: residual for client %d of %d", ci, e.numClients())
 		}
 		if len(r) != len(e.weights) {
 			return fmt.Errorf("flcore: client %d residual has %d entries, model needs %d", ci, len(r), len(e.weights))
@@ -266,11 +278,20 @@ func (e *TieredAsyncEngine) Restore(c *TieredCheckpoint) error {
 			upBytes:  p.UplinkBytes,
 		})
 	}
-	for ci := range e.Clients {
-		e.Clients[ci].residual = nil
-	}
-	for ci, r := range c.Residuals {
-		e.Clients[ci].residual = append([]float64(nil), r...)
+	switch src := e.src.(type) {
+	case *EagerClients:
+		for _, cl := range src.Slice() {
+			cl.residual = nil
+		}
+		for ci, r := range c.Residuals {
+			src.Slice()[ci].residual = append([]float64(nil), r...)
+		}
+	case ResidualStore:
+		src.RestoreResiduals(c.Residuals)
+	default:
+		if len(c.Residuals) > 0 {
+			return fmt.Errorf("flcore: checkpoint carries %d residuals but ClientSource %T cannot restore them", len(c.Residuals), e.src)
+		}
 	}
 	e.tierTest = nil // membership may differ from construction time
 	e.resumed = true

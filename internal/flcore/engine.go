@@ -241,7 +241,16 @@ func mix(seed int64, a, b int) int64 {
 // its update; exported so the distributed runtime (internal/flnet) can run
 // the identical computation on worker nodes.
 func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) Update {
-	c := e.Clients[clientIdx]
+	return e.TrainClientOn(round, e.Clients[clientIdx], globalWeights)
+}
+
+// TrainClientOn is TrainClient over an explicit client object instead of an
+// index into the engine's resident population — the entry point for
+// source-based engines (ClientSource) whose clients are materialized on
+// demand and not held in a slice. The computation is identical: every
+// random stream is keyed on (Seed, round, Client.ID), so a lazily
+// materialized client trains bit-identically to its eager twin.
+func (e *Engine) TrainClientOn(round int, c *Client, globalWeights []float64) Update {
 	s := e.getScratch()
 	defer e.putScratch(s)
 	// Replica.Acquire reproduces rand.New(rand.NewSource(mix(...))) followed

@@ -22,16 +22,28 @@ func BuildClients(train, test *dataset.Dataset, parts [][]int, cpus []float64, l
 	}
 	clients := make([]*Client, len(parts))
 	for i, idx := range parts {
-		rng := rand.New(rand.NewSource(mix(seed, i, 13)))
-		local := train.Subset(idx)
-		var localTest *dataset.Dataset
-		if test != nil {
-			classes := dataset.Classes(train, idx)
-			localTest = dataset.TestSubsetForClasses(test, classes, localTestMax, rng)
-		}
-		clients[i] = &Client{ID: i, Train: local, Test: localTest, CPU: cpus[i]}
+		clients[i] = BuildClient(train, test, idx, cpus[i], localTestMax, seed, i)
 	}
 	return clients
+}
+
+// BuildClient materializes the single client `id` of the population
+// BuildClients would construct — byte-identical to BuildClients(...)[id],
+// but touching only that client's partition. Every per-client input (the
+// shard indices, the CPU share, the rng keyed on (seed, id)) is independent
+// of the other clients, which is what makes the population lazily
+// materializable: a LazyClients factory closing over the shared train/test
+// sets and this function re-derives any client on demand without ever
+// holding the other N−1 shards resident.
+func BuildClient(train, test *dataset.Dataset, part []int, cpu float64, localTestMax int, seed int64, id int) *Client {
+	rng := rand.New(rand.NewSource(mix(seed, id, 13)))
+	local := train.Subset(part)
+	var localTest *dataset.Dataset
+	if test != nil {
+		classes := dataset.Classes(train, part)
+		localTest = dataset.TestSubsetForClasses(test, classes, localTestMax, rng)
+	}
+	return &Client{ID: id, Train: local, Test: localTest, CPU: cpu}
 }
 
 // TotalSamples returns the combined training-set size across clients.

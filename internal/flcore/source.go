@@ -1,0 +1,230 @@
+package flcore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ClientSource abstracts where a training engine's clients come from. The
+// historical engines hold the whole population as a []*Client — fine at the
+// paper's |K|=50, fatal at the million-client populations the dynamic-
+// tiering literature evaluates, where materializing N datasets costs N×
+// shard-size resident memory even though only the selected cohorts ever
+// train. A ClientSource lets the engine acquire exactly the clients a tier
+// round selected and hand them back when the round's aggregate is computed,
+// so resident client state scales with cohort size, not population size.
+//
+// Acquire(id) must be deterministic: acquiring the same id twice (with any
+// interleaving of other acquisitions and releases) must yield clients whose
+// training behavior is byte-identical — that is what keeps a lazily
+// materialized run equal to an eagerly materialized one on the same seed
+// (see TestScaledEngineEquivalence). Engines call Acquire/Release from a
+// single goroutine today, but implementations are expected to be safe for
+// concurrent use so the socket runtime can adopt them.
+type ClientSource interface {
+	// NumClients returns the registered population size N.
+	NumClients() int
+	// Acquire materializes (or fetches) client id. The returned client is
+	// owned by the caller until Release.
+	Acquire(id int) *Client
+	// Release hands a client back after its round. Implementations may
+	// drop the client's heavy state (datasets) entirely; any cross-round
+	// per-client state the engine depends on (the error-feedback residual)
+	// must survive to the next Acquire of the same id.
+	Release(c *Client)
+}
+
+// ResidualStore is the optional checkpointing contract for a ClientSource
+// that keeps error-feedback residuals outside the materialized clients
+// (LazyClients). Snapshot/Restore use it to carry compression state across
+// a crash without sweeping a client slice that does not exist.
+type ResidualStore interface {
+	// ResidualSnapshot returns a deep copy of every live residual, keyed
+	// by client id.
+	ResidualSnapshot() map[int][]float64
+	// RestoreResiduals replaces the store's residual state with a deep
+	// copy of the given map (nil clears it).
+	RestoreResiduals(map[int][]float64)
+}
+
+// EagerClients adapts a fully materialized []*Client population to the
+// ClientSource interface: Acquire indexes the slice and Release is a no-op.
+// It is the compatibility shim that keeps every historical construction
+// path (BuildClients + NewTieredAsyncEngine) running unchanged on the
+// source-based engine core.
+type EagerClients struct {
+	clients []*Client
+}
+
+// NewEagerClients wraps an existing population.
+func NewEagerClients(clients []*Client) *EagerClients {
+	return &EagerClients{clients: clients}
+}
+
+// NumClients implements ClientSource.
+func (s *EagerClients) NumClients() int { return len(s.clients) }
+
+// Acquire implements ClientSource.
+func (s *EagerClients) Acquire(id int) *Client { return s.clients[id] }
+
+// Release implements ClientSource. Eager clients stay resident.
+func (s *EagerClients) Release(c *Client) {}
+
+// Slice returns the underlying population (not a copy).
+func (s *EagerClients) Slice() []*Client { return s.clients }
+
+// DeriveSeed exposes the engine's splitmix64 sub-seed derivation for
+// ClientFactory implementations outside this package: a fully synthetic
+// population keys each client's shard generation on DeriveSeed(seed, id, k)
+// so re-materialization is byte-stable and ids are statistically
+// independent, exactly like the engine's own (seed, round, client) streams.
+func DeriveSeed(seed int64, a, b int) int64 { return mix(seed, a, b) }
+
+// ClientFactory deterministically materializes one client by id: same id →
+// byte-identical client (dataset contents, CPU share, bandwidth, drift
+// behavior), independent of materialization order. Factories must set
+// Client.ID = id and must not retain the returned client. BuildClient is
+// the canonical factory over a shared dataset + partition; population-scale
+// experiments use fully synthetic factories that generate each client's
+// shard from (seed, id) so no O(N) state exists at all.
+type ClientFactory func(id int) *Client
+
+// LazyStats is a point-in-time accounting snapshot of a LazyClients source.
+type LazyStats struct {
+	// Live is the number of currently materialized (acquired, unreleased)
+	// clients; Peak its high-water mark over the source's lifetime.
+	Live, Peak int
+	// Materialized counts factory invocations (cache-less: every Acquire
+	// of a released client re-materializes it).
+	Materialized int64
+	// Residuals is the number of clients with tracked error-feedback
+	// state — bounded by the ever-selected client count, the sparse
+	// server-side bookkeeping guarantee.
+	Residuals int
+}
+
+// LazyClients is the population-scale ClientSource: clients are derived on
+// demand from a deterministic factory, held only while a tier round trains
+// them, and dropped at Release — the PR-5 replica/workspace pool machinery
+// inside Engine.TrainClient already reuses the model-side scratch across
+// whatever client is currently materialized, so the only per-client
+// resident cost between rounds is the sparse residual map (compression runs
+// only, keyed by ever-selected ids).
+type LazyClients struct {
+	n       int
+	factory ClientFactory
+
+	mu        sync.Mutex
+	live      map[int]int // id → acquisition refcount
+	residuals map[int][]float64
+	peak      int
+	built     int64
+}
+
+// NewLazyClients builds a lazy source over a deterministic factory for a
+// registered population of n clients.
+func NewLazyClients(n int, factory ClientFactory) *LazyClients {
+	if n <= 0 {
+		panic(fmt.Sprintf("flcore: LazyClients population %d", n))
+	}
+	if factory == nil {
+		panic("flcore: LazyClients needs a factory")
+	}
+	return &LazyClients{n: n, factory: factory, live: make(map[int]int), residuals: make(map[int][]float64)}
+}
+
+// NumClients implements ClientSource.
+func (s *LazyClients) NumClients() int { return s.n }
+
+// Acquire implements ClientSource: it materializes client id through the
+// factory and attaches any error-feedback residual carried over from the
+// client's previous rounds.
+func (s *LazyClients) Acquire(id int) *Client {
+	if id < 0 || id >= s.n {
+		panic(fmt.Sprintf("flcore: LazyClients.Acquire(%d) outside population [0,%d)", id, s.n))
+	}
+	c := s.factory(id)
+	if c == nil {
+		panic(fmt.Sprintf("flcore: client factory returned nil for id %d", id))
+	}
+	if c.ID != id {
+		panic(fmt.Sprintf("flcore: client factory returned ID %d for id %d", c.ID, id))
+	}
+	s.mu.Lock()
+	c.residual = s.residuals[id]
+	s.live[id]++
+	if l := s.liveCount(); l > s.peak {
+		s.peak = l
+	}
+	s.built++
+	s.mu.Unlock()
+	return c
+}
+
+// liveCount sums refcounts; callers hold mu.
+func (s *LazyClients) liveCount() int {
+	total := 0
+	for _, rc := range s.live {
+		total += rc
+	}
+	return total
+}
+
+// Release implements ClientSource: the client's heavy state is dropped (the
+// engine holds no other reference, so the datasets become garbage), and its
+// residual — the one piece of client state that must survive to the next
+// selection — moves into the source's sparse map.
+func (s *LazyClients) Release(c *Client) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rc, ok := s.live[c.ID]; !ok || rc <= 0 {
+		panic(fmt.Sprintf("flcore: LazyClients.Release of unacquired client %d", c.ID))
+	} else if rc == 1 {
+		delete(s.live, c.ID)
+	} else {
+		s.live[c.ID] = rc - 1
+	}
+	if c.residual != nil {
+		s.residuals[c.ID] = c.residual
+	} else {
+		delete(s.residuals, c.ID)
+	}
+	c.residual = nil
+}
+
+// Stats returns the source's current accounting snapshot.
+func (s *LazyClients) Stats() LazyStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return LazyStats{Live: s.liveCount(), Peak: s.peak, Materialized: s.built, Residuals: len(s.residuals)}
+}
+
+// ResidualSnapshot implements ResidualStore.
+func (s *LazyClients) ResidualSnapshot() map[int][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.residuals) == 0 {
+		return nil
+	}
+	out := make(map[int][]float64, len(s.residuals))
+	for id, r := range s.residuals {
+		out[id] = append([]float64(nil), r...)
+	}
+	return out
+}
+
+// RestoreResiduals implements ResidualStore.
+func (s *LazyClients) RestoreResiduals(res map[int][]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.residuals = make(map[int][]float64, len(res))
+	for id, r := range res {
+		s.residuals[id] = append([]float64(nil), r...)
+	}
+}
+
+var (
+	_ ClientSource  = (*EagerClients)(nil)
+	_ ClientSource  = (*LazyClients)(nil)
+	_ ResidualStore = (*LazyClients)(nil)
+)

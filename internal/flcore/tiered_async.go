@@ -233,10 +233,17 @@ func (h *tierRunHeap) Pop() any {
 // mini-FedAvg loop per tier, asynchronous staleness-weighted commits into
 // the shared global model.
 type TieredAsyncEngine struct {
-	Cfg     TieredAsyncConfig
-	Tiers   [][]int // member client indices per tier, fastest first
+	Cfg   TieredAsyncConfig
+	Tiers [][]int // member client indices per tier, fastest first
+	// Clients is the resident population when the engine was built over an
+	// eager source (NewTieredAsyncEngine); nil for population-scale engines
+	// built over a lazy ClientSource, which materialize clients per round.
 	Clients []*Client
 	Test    *dataset.Dataset
+
+	// src is where the engine gets its clients: an EagerClients wrapper
+	// around Clients, or a LazyClients factory for population-scale runs.
+	src ClientSource
 
 	eng     *Engine // reused for TrainClient's deterministic local pass
 	weights []float64
@@ -273,9 +280,24 @@ type TieredAsyncEngine struct {
 // reuses that key's random stream — still fully deterministic, just no
 // longer collision-free across the whole run.
 func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Client, test *dataset.Dataset) *TieredAsyncEngine {
+	return NewTieredAsyncEngineFrom(cfg, tiers, NewEagerClients(clients), test)
+}
+
+// NewTieredAsyncEngineFrom is the source-based constructor: the engine's
+// clients come from src instead of a resident slice, which is what makes
+// million-client populations affordable — with a LazyClients source only
+// the round's cohort is ever materialized, and all server-side per-client
+// bookkeeping (error-feedback residuals, Manager EWMAs) stays keyed on the
+// ever-selected clients only. Construction itself holds no per-client
+// state: tier validation uses a transient membership bitmap, never a map of
+// the population.
+func NewTieredAsyncEngineFrom(cfg TieredAsyncConfig, tiers [][]int, src ClientSource, test *dataset.Dataset) *TieredAsyncEngine {
 	cfg.withDefaults()
 	if cfg.Duration <= 0 || cfg.ClientsPerRound <= 0 || cfg.Model == nil || cfg.Optimizer == nil {
 		panic(fmt.Sprintf("flcore: invalid TieredAsyncConfig %+v", cfg))
+	}
+	if src == nil {
+		panic("flcore: tiered-async needs a ClientSource")
 	}
 	if tiers == nil && cfg.Manager != nil {
 		tiers = cfg.Manager.Tiers()
@@ -286,19 +308,20 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 	if len(tiers) == 0 {
 		panic("flcore: tiered-async needs at least one tier")
 	}
-	tierOf := make(map[int]int, len(clients))
+	n := src.NumClients()
+	seen := make([]bool, n)
 	for i, members := range tiers {
 		if len(members) == 0 {
 			panic(fmt.Sprintf("flcore: tier %d is empty", i))
 		}
 		for _, ci := range members {
-			if ci < 0 || ci >= len(clients) {
-				panic(fmt.Sprintf("flcore: tier %d member %d out of range [0,%d)", i, ci, len(clients)))
+			if ci < 0 || ci >= n {
+				panic(fmt.Sprintf("flcore: tier %d member %d out of range [0,%d)", i, ci, n))
 			}
-			if prev, dup := tierOf[ci]; dup {
-				panic(fmt.Sprintf("flcore: client %d in tiers %d and %d", ci, prev, i))
+			if seen[ci] {
+				panic(fmt.Sprintf("flcore: client %d in two tiers", ci))
 			}
-			tierOf[ci] = i
+			seen[ci] = true
 		}
 	}
 	if cfg.CheckpointEvery > 0 && cfg.Manager != nil {
@@ -307,7 +330,15 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 		}
 	}
 	global := cfg.Model(rand.New(rand.NewSource(cfg.Seed)))
-	resetResiduals(clients)
+	var clients []*Client
+	if eager, ok := src.(*EagerClients); ok {
+		// Eager populations keep the historical semantics: the slice stays
+		// addressable on the engine and each job starts with clean
+		// error-feedback residuals. A fresh LazyClients source starts clean
+		// by construction and owns its residuals itself.
+		clients = eager.Slice()
+		resetResiduals(clients)
+	}
 	syncCfg := Config{
 		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
 		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
@@ -319,6 +350,7 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 		Tiers:    tiers,
 		Clients:  clients,
 		Test:     test,
+		src:      src,
 		eng:      &Engine{Cfg: syncCfg, Clients: clients, global: global},
 		weights:  global.WeightsVector(),
 		rounds:   make([]int, len(tiers)),
@@ -326,6 +358,12 @@ func NewTieredAsyncEngine(cfg TieredAsyncConfig, tiers [][]int, clients []*Clien
 		nextEval: cfg.EvalInterval,
 	}
 }
+
+// numClients returns the registered population size N.
+func (e *TieredAsyncEngine) numClients() int { return e.src.NumClients() }
+
+// Source returns the engine's client source.
+func (e *TieredAsyncEngine) Source() ClientSource { return e.src }
 
 // GlobalWeights returns the current global weight vector (not a copy).
 func (e *TieredAsyncEngine) GlobalWeights() []float64 { return e.weights }
@@ -375,8 +413,21 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 	}
 	pulled := append([]float64(nil), e.weights...)
 	updates := make([]Update, len(selected))
+	// The round's cohort is materialized through the source for exactly the
+	// span of its local training: acquire everyone (so the round is a unit
+	// of client-state lifetime), train, aggregate, release. With a lazy
+	// source this is THE memory bound of a population-scale run — at most
+	// one cohort of client state is ever resident.
+	acquired := make([]*Client, len(selected))
 	for i, ci := range selected {
-		updates[i] = e.eng.TrainClient(r, ci, pulled)
+		acquired[i] = e.src.Acquire(ci)
+	}
+	for i, c := range acquired {
+		updates[i] = e.eng.TrainClientOn(r, c, pulled)
+	}
+	agg := FedAvg(updates)
+	for _, c := range acquired {
+		e.src.Release(c)
 	}
 	lat := MaxLatency(updates)
 	lats := make([]float64, len(updates))
@@ -388,7 +439,7 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 	heap.Push(&e.pending, &tierRun{
 		tier: t, tierRound: r, pulledVer: e.version,
 		finish: now + lat, selected: selected,
-		weights: FedAvg(updates), latency: lat, lats: lats, upBytes: upBytes,
+		weights: agg, latency: lat, lats: lats, upBytes: upBytes,
 	})
 }
 
@@ -550,10 +601,18 @@ func (e *TieredAsyncEngine) tierAccuracies() []float64 {
 		e.tierTest = make([]*dataset.Dataset, len(e.Tiers))
 		for t, members := range e.Tiers {
 			var parts []*dataset.Dataset
+			// Pooling runs through the source so managed lazy runs stay
+			// byte-identical to eager ones; each member is materialized only
+			// for the duration of the shard copy. This is an O(|tier|) sweep
+			// per membership epoch — population-scale runs should not pair a
+			// lazy source with Manager accuracy feedback (ext_million uses
+			// static tiers).
 			for _, ci := range members {
-				if c := e.Clients[ci]; c.Test != nil && c.Test.Len() > 0 {
+				c := e.src.Acquire(ci)
+				if c.Test != nil && c.Test.Len() > 0 {
 					parts = append(parts, c.Test)
 				}
+				e.src.Release(c)
 			}
 			if len(parts) == 0 {
 				continue

@@ -1,0 +1,138 @@
+package tiering
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/flcore"
+)
+
+// fourByThree is a 3-tier, 12-client explicit membership (fastest first).
+func fourByThree() [][]int {
+	return [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}
+}
+
+func TestManagerWithTiersCohortMatchesStaticDraw(t *testing.T) {
+	m, err := NewManagerWithTiers(Config{ClientsPerRound: 2, Seed: 42}, fourByThree(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Tiers(); !reflect.DeepEqual(got, fourByThree()) {
+		t.Fatalf("membership %v, want the explicit tiers", got)
+	}
+	// A sparse Manager without re-tiering must reproduce the static
+	// TierCohort draw exactly — that is what keeps a Manager-driven
+	// population-scale run equal to the unmanaged engine on the same seed.
+	for tier := 0; tier < 3; tier++ {
+		for round := 0; round < 5; round++ {
+			want := flcore.TierCohort(42, round, tier, fourByThree()[tier], 2)
+			got := m.Cohort(tier, round, 2)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("tier %d round %d cohort %v, want %v", tier, round, got, want)
+			}
+		}
+	}
+}
+
+func TestManagerWithTiersValidation(t *testing.T) {
+	if _, err := NewManagerWithTiers(Config{ClientsPerRound: 2}, nil, nil); err == nil {
+		t.Fatal("no tiers accepted")
+	}
+	if _, err := NewManagerWithTiers(Config{ClientsPerRound: 2}, [][]int{{0}, {}}, nil); err == nil {
+		t.Fatal("empty tier accepted")
+	}
+	if _, err := NewManagerWithTiers(Config{ClientsPerRound: 2}, [][]int{{0, 1}, {1}}, nil); err == nil {
+		t.Fatal("duplicated client accepted")
+	}
+	if _, err := NewManagerWithTiers(Config{ClientsPerRound: 2, NumTiers: 5}, fourByThree(), nil); err == nil {
+		t.Fatal("NumTiers mismatch accepted")
+	}
+	if _, err := NewManagerWithTiers(Config{ClientsPerRound: 0}, fourByThree(), nil); err == nil {
+		t.Fatal("ClientsPerRound 0 accepted")
+	}
+}
+
+// TestSparseRebuildKeepsUnobservedClients is the population-scale rebuild
+// contract: a Manager constructed with no latency profile only ever hears
+// about selected clients, and a rebuild must re-place exactly those while
+// the silent majority keeps its current tier.
+func TestSparseRebuildKeepsUnobservedClients(t *testing.T) {
+	m, err := NewManagerWithTiers(Config{ClientsPerRound: 2, Seed: 1, RetierEvery: 1, Hysteresis: -1}, fourByThree(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three observations with inverted speeds: the tier-0 client turns out
+	// slowest, the tier-2 client fastest.
+	m.Observe(0, 100)
+	m.Observe(4, 1)
+	m.Observe(8, 0.01)
+	tiers, moves, changed := m.MaybeRetier(1)
+	if !changed {
+		t.Fatal("rebuild with moved estimates reported no change")
+	}
+	// Every registered client must still be in exactly one tier.
+	var all []int
+	for _, members := range tiers {
+		all = append(all, members...)
+	}
+	sort.Ints(all)
+	if want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}; !reflect.DeepEqual(all, want) {
+		t.Fatalf("membership after sparse rebuild %v, want %v", all, want)
+	}
+	// Observed clients moved by their estimates; unobserved stayed put.
+	tierOf := func(c int) int {
+		for ti, members := range tiers {
+			for _, m := range members {
+				if m == c {
+					return ti
+				}
+			}
+		}
+		return -1
+	}
+	if got := tierOf(0); got != 2 {
+		t.Fatalf("slow client 0 in tier %d, want 2", got)
+	}
+	if got := tierOf(8); got != 0 {
+		t.Fatalf("fast client 8 in tier %d, want 0", got)
+	}
+	for _, c := range []int{1, 2, 3} {
+		if got := tierOf(c); got != 0 {
+			t.Fatalf("unobserved client %d migrated to tier %d", c, got)
+		}
+	}
+	for _, c := range []int{5, 6, 7} {
+		if got := tierOf(c); got != 1 {
+			t.Fatalf("unobserved client %d migrated to tier %d", c, got)
+		}
+	}
+	for _, c := range []int{9, 10, 11} {
+		if got := tierOf(c); got != 2 {
+			t.Fatalf("unobserved client %d migrated to tier %d", c, got)
+		}
+	}
+	for _, mv := range moves {
+		if mv.Client != 0 && mv.Client != 8 {
+			t.Fatalf("unobserved client %d reported as migrated: %+v", mv.Client, mv)
+		}
+	}
+}
+
+// TestSparseRebuildSkippedBelowTierCount: with fewer observed clients than
+// tiers, BuildTiers cannot produce the maintained tier count, so the
+// rebuild is skipped and membership is untouched.
+func TestSparseRebuildSkippedBelowTierCount(t *testing.T) {
+	m, err := NewManagerWithTiers(Config{ClientsPerRound: 2, Seed: 1, RetierEvery: 1}, fourByThree(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Observe(0, 100)
+	m.Observe(4, 1)
+	if _, _, changed := m.MaybeRetier(1); changed {
+		t.Fatal("rebuild from 2 observations of a 3-tier population was not skipped")
+	}
+	if got := m.Tiers(); !reflect.DeepEqual(got, fourByThree()) {
+		t.Fatalf("membership changed on a skipped rebuild: %v", got)
+	}
+}

@@ -195,6 +195,69 @@ func NewManager(cfg Config, latency map[int]float64) (*Manager, error) {
 	return m, nil
 }
 
+// NewManagerWithTiers builds a Manager over explicit initial membership
+// (fastest tier first) instead of a full latency profile — the
+// population-scale construction path: profiling all N clients of a
+// million-client population is exactly the O(N) sweep the scaled engine
+// exists to avoid, so the caller supplies membership derived some other way
+// (e.g. by id-keyed resource group) plus whatever latency estimates it
+// happens to have. latency may be sparse or nil; clients without an entry
+// are adopted into the EWMA map at their first Observe, so the Manager's
+// per-client bookkeeping stays keyed on ever-selected clients only.
+// Rebuilds re-place only clients with latency estimates — everyone else
+// keeps their current tier (see MaybeRetier).
+func NewManagerWithTiers(cfg Config, tiers [][]int, latency map[int]float64) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.ClientsPerRound <= 0 {
+		return nil, fmt.Errorf("tiering: ClientsPerRound = %d", cfg.ClientsPerRound)
+	}
+	if cfg.EWMABeta <= 0 || cfg.EWMABeta > 1 {
+		return nil, fmt.Errorf("tiering: EWMABeta = %v", cfg.EWMABeta)
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("tiering: no initial tiers")
+	}
+	if cfg.NumTiers > 0 && cfg.NumTiers != len(tiers) {
+		return nil, fmt.Errorf("tiering: NumTiers %d != %d initial tiers", cfg.NumTiers, len(tiers))
+	}
+	cfg.NumTiers = len(tiers)
+	m := &Manager{
+		cfg:    cfg,
+		tierOf: make(map[int]int),
+		ewma:   make(map[int]float64, len(latency)),
+		placed: make(map[int]float64, len(latency)),
+		pinned: make(map[int]bool),
+		probs:  make([]float64, len(tiers)),
+		draws:  make([]int, len(tiers)),
+	}
+	m.tiers = copyTiers(tiers)
+	for t, members := range m.tiers {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("tiering: initial tier %d is empty", t)
+		}
+		for _, c := range members {
+			if prev, dup := m.tierOf[c]; dup {
+				return nil, fmt.Errorf("tiering: client %d in tiers %d and %d", c, prev, t)
+			}
+			m.tierOf[c] = t
+		}
+	}
+	for c, l := range latency {
+		m.ewma[c] = l
+		m.placed[c] = l
+	}
+	m.credits = make([]int, len(tiers))
+	for t := range m.probs {
+		m.probs[t] = 1 / float64(len(tiers))
+		if cfg.Credits > 0 {
+			m.credits[t] = cfg.Credits
+		} else {
+			m.credits[t] = math.MaxInt
+		}
+	}
+	return m, nil
+}
+
 // canonical converts built tiers to membership slices, preserving
 // core.BuildTiers' deterministic member order (latency, then client ID).
 // Keeping that order — rather than re-sorting — is what makes a Manager
@@ -411,6 +474,24 @@ func (m *Manager) MaybeRetier(version int) ([][]int, []flcore.TierMove, bool) {
 		return nil, nil, false
 	}
 	next := canonical(cand)
+
+	// Members without a latency estimate are not re-placed: they keep
+	// their current tier. A full-profile Manager (NewManager) never hits
+	// this — every member was profiled — but a sparse Manager over a lazy
+	// population (NewManagerWithTiers) only ever hears about selected
+	// clients, and a rebuild must not drop the silent majority from
+	// membership. Ascending client order keeps the result independent of
+	// map iteration order.
+	var unseen []int
+	for c := range m.tierOf {
+		if _, ok := eff[c]; !ok {
+			unseen = append(unseen, c)
+		}
+	}
+	sort.Ints(unseen)
+	for _, c := range unseen {
+		next[m.tierOf[c]] = append(next[m.tierOf[c]], c)
+	}
 
 	// Pinned clients stay put: pull each one back into its current tier.
 	// Pulled-back clients append in ascending client order so the result
