@@ -38,6 +38,17 @@
 //	tifl-node -role worker -addr host:7070 -id 0
 //	tifl-node -role worker -addr host:7070 -id 1 -codec topk@0.1
 //	tifl-node -role worker -addr host:7070 -id 2 -codec int8
+//
+// Hierarchical topology (the tree): run per-tier child-aggregator
+// processes between the workers and the root. Each child waits for its
+// own -workers leaf workers, joins the root as tier -id, and pre-reduces
+// its tier's mini-FedAvg rounds at the edge — the root only applies one
+// vector per tier round. The root is a tiered-aggregator with -children:
+//
+//	tifl-node -role tiered-aggregator -addr :7070 -children 2 -commits 40 -per-round 2
+//	tifl-node -role child-aggregator -addr :7171 -root host:7070 -id 0 -workers 3
+//	tifl-node -role child-aggregator -addr :7172 -root host:7070 -id 1 -workers 3
+//	tifl-node -role worker -addr host:7171 -id 0   # leaves dial their child
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"os"
 	"time"
 
+	tifl "repro"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -60,9 +72,9 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "", "aggregator | tiered-aggregator | worker")
-		addr     = flag.String("addr", "127.0.0.1:7070", "aggregator address")
-		workers  = flag.Int("workers", 3, "aggregator: workers to wait for")
+		role     = flag.String("role", "", "aggregator | tiered-aggregator | child-aggregator | worker")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address (aggregator roles) or aggregator address (worker)")
+		workers  = flag.Int("workers", 3, "aggregator/child-aggregator: workers to wait for")
 		rounds   = flag.Int("rounds", 20, "aggregator: training rounds")
 		perRound = flag.Int("per-round", 2, "aggregator: clients per round (per tier round when tiered)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "aggregator: per-round timeout")
@@ -71,27 +83,25 @@ func main() {
 		commits  = flag.Int("commits", 40, "tiered-aggregator: global commits to run")
 		alpha    = flag.Float64("alpha", 0, "tiered-aggregator: base mixing rate (0 = default 0.6)")
 		staleExp = flag.Float64("staleness-exp", 0, "tiered-aggregator: staleness discount exponent (0 = default 0.5)")
-		retier   = flag.Int("retier-every", 0, "tiered-aggregator: rebuild tiers every k commits from observed latencies (0 = frozen tiers)")
-		ewmaBeta = flag.Float64("ewma-beta", 0, "tiered-aggregator: EWMA weight of new latency observations (0 = default 0.5)")
-		adaptSel = flag.Bool("adaptive-select", false, "tiered-aggregator: Algorithm-2 adaptive per-tier cohort sizing")
-		credits  = flag.Int("credits", 0, "tiered-aggregator: per-tier boosted-round budget for -adaptive-select (0 = unlimited)")
-		ckptPath = flag.String("checkpoint", "", "tiered-aggregator: durable snapshot file; resumes from it when it exists")
-		ckptEach = flag.Int("checkpoint-every", 10, "tiered-aggregator: snapshot every k applied commits (with -checkpoint)")
+		children = flag.Int("children", 0, "tiered-aggregator: child aggregators forming a tree (0 = flat worker fan-in)")
+		rootAddr = flag.String("root", "", "child-aggregator: tree root address to join")
 		metrics  = flag.String("metrics-addr", "", "tiered-aggregator: observability endpoint address (e.g. 127.0.0.1:9090; empty = off)")
-		id       = flag.Int("id", 0, "worker: client ID (also seeds its shard)")
+		id       = flag.Int("id", 0, "worker: client ID / child-aggregator: tier index")
 		samples  = flag.Int("samples", 400, "worker: local training samples")
-		codecArg = flag.String("codec", "none", "worker: uplink update compression (none | int8 | int8@<chunk> | topk@<fraction>)")
 		seed     = flag.Int64("seed", 1, "seed")
 	)
+	// The tiering, checkpoint, and compression flags are generated from the
+	// same option structs the library embeds in Options/NetOptions, so this
+	// command cannot drift from the API surface.
+	var tierOpts tifl.TieringOptions
+	tierOpts.AddFlags(flag.CommandLine)
+	ckptOpts := tifl.CheckpointOptions{CheckpointEvery: 10}
+	ckptOpts.AddFlags(flag.CommandLine)
+	var compOpts tifl.CompressionOptions
+	compOpts.AddFlags(flag.CommandLine)
 	flag.Parse()
 
-	codec, err := compress.Parse(*codecArg)
-	if err != nil {
-		fail("%v", err)
-	}
-	if codec.ID() == compress.IDNone {
-		codec = nil // dense updates, no compression path
-	}
+	codec := compOpts.Compression
 
 	spec := dataset.CIFAR10Like
 	arch := func(rng *rand.Rand) *nn.Model {
@@ -140,41 +150,49 @@ func main() {
 
 	case "tiered-aggregator":
 		init := arch(rand.New(rand.NewSource(*seed))).WeightsVector()
-		live := *retier > 0 || *adaptSel
+		live := tierOpts.Live()
+		if *children > 0 && live {
+			fail("live tiering (-retier-every/-adaptive-select) is not supported over the tree; drop -children or the tiering flags")
+		}
 		// A checkpoint file already on disk means this invocation is a
 		// restart: load it (falling back to the rotated .prev snapshot if
 		// the newest write was torn) and resume instead of starting over.
 		var resumeCkpt *flcore.TieredCheckpoint
-		if *ckptPath != "" && checkpointExists(*ckptPath) {
-			c, err := flcore.LoadTieredCheckpointFile(*ckptPath)
+		if ckptOpts.CheckpointPath != "" && checkpointExists(ckptOpts.CheckpointPath) {
+			c, err := flcore.LoadTieredCheckpointFile(ckptOpts.CheckpointPath)
 			if err != nil {
 				fail("loading checkpoint: %v", err)
 			}
 			if hasMgr := len(c.ManagerState) > 0; hasMgr != live {
-				fail("checkpoint %s live tiering = %v; rerun with matching -retier-every/-adaptive-select flags", *ckptPath, hasMgr)
+				fail("checkpoint %s live tiering = %v; rerun with matching -retier-every/-adaptive-select flags", ckptOpts.CheckpointPath, hasMgr)
 			}
 			if c.Version >= *commits {
-				fail("checkpoint %s is already at version %d; raise -commits above it to continue the job", *ckptPath, c.Version)
+				fail("checkpoint %s is already at version %d; raise -commits above it to continue the job", ckptOpts.CheckpointPath, c.Version)
 			}
 			resumeCkpt = c
-			fmt.Printf("found checkpoint %s at version %d of %d\n", *ckptPath, c.Version, *commits)
+			fmt.Printf("found checkpoint %s at version %d of %d\n", ckptOpts.CheckpointPath, c.Version, *commits)
 		}
 		ckptEvery := 0
-		if *ckptPath != "" {
-			ckptEvery = *ckptEach
+		if ckptOpts.CheckpointPath != "" {
+			ckptEvery = ckptOpts.CheckpointEvery
 		}
 		agg, err := flnet.NewTieredAsyncAggregator(*addr, flnet.TieredAsyncConfig{
 			GlobalCommits: *commits, ClientsPerRound: *perRound,
 			Alpha: *alpha, StalenessExp: *staleExp,
 			TierWeight:   core.FedATWeights(),
 			RoundTimeout: *timeout, InitialWeights: init, Seed: *seed,
-			CheckpointEvery: ckptEvery, CheckpointPath: *ckptPath,
-			MetricsAddr: *metrics,
+			CheckpointEvery: ckptEvery, CheckpointPath: ckptOpts.CheckpointPath,
+			MetricsAddr:   *metrics,
+			ReassignCodec: compOpts.ReassignPolicy(),
 		})
 		if err != nil {
 			fail("%v", err)
 		}
 		defer agg.Close()
+		if *children > 0 {
+			runTreeRoot(agg, *children, *commits, resumeCkpt, arch, spec, *seed)
+			return
+		}
 		fmt.Printf("tiered-async aggregator listening on %s, waiting for %d workers...\n", agg.Addr(), *workers)
 		if ma := agg.MetricsAddr(); ma != "" {
 			fmt.Printf("metrics endpoint on http://%s/metrics\n", ma)
@@ -197,9 +215,9 @@ func main() {
 				fmt.Printf("profiling dropouts (excluded from all tiers): %v\n", dropouts)
 			}
 			mgr, err = tiering.NewManager(tiering.Config{
-				NumTiers: *numTiers, RetierEvery: *retier, EWMABeta: *ewmaBeta,
+				NumTiers: *numTiers, RetierEvery: tierOpts.RetierEvery, EWMABeta: tierOpts.EWMABeta,
 				ClientsPerRound: *perRound, Seed: *seed,
-				Adaptive: *adaptSel, Credits: *credits,
+				Adaptive: tierOpts.AdaptiveSelection, Credits: tierOpts.Credits,
 			}, lat)
 			if err != nil {
 				fail("%v", err)
@@ -267,6 +285,25 @@ func main() {
 			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes)
 		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 
+	case "child-aggregator":
+		if *rootAddr == "" {
+			fail("child-aggregator needs -root (the tree root's address)")
+		}
+		ch, err := flnet.NewChild(flnet.ChildConfig{
+			ID: *id, Addr: *addr, RootAddr: *rootAddr,
+			Workers: *workers, WorkerTimeout: 10 * time.Minute, RoundTimeout: *timeout,
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+		defer ch.Close()
+		fmt.Printf("child aggregator %d listening on %s for %d leaf workers, root %s\n",
+			*id, ch.Addr(), *workers, *rootAddr)
+		if err := ch.Run(); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("child aggregator %d: done\n", *id)
+
 	case "worker":
 		local := dataset.Generate(spec, *samples, *seed+int64(*id)*31)
 		fmt.Printf("worker %d: %d local samples, connecting to %s\n", *id, local.Len(), *addr)
@@ -298,8 +335,54 @@ func main() {
 		fmt.Printf("worker %d: done\n", *id)
 
 	default:
-		fail("need -role aggregator or -role worker")
+		fail("need -role aggregator, tiered-aggregator, child-aggregator, or worker")
 	}
+}
+
+// runTreeRoot drives a tiered-aggregator invoked with -children: the
+// hierarchical topology where per-tier child-aggregator processes
+// pre-reduce their tier's rounds and the root applies one vector per tier
+// round. Tier membership is fixed by which child each leaf registered
+// with, so no profiling pass runs here.
+func runTreeRoot(agg *flnet.TieredAsyncAggregator, children, commits int, resumeCkpt *flcore.TieredCheckpoint, arch func(*rand.Rand) *nn.Model, spec dataset.Spec, seed int64) {
+	fmt.Printf("tree root listening on %s, waiting for %d child aggregators...\n", agg.Addr(), children)
+	if ma := agg.MetricsAddr(); ma != "" {
+		fmt.Printf("metrics endpoint on http://%s/metrics\n", ma)
+	}
+	if err := agg.WaitForChildren(children, 10*time.Minute); err != nil {
+		fail("%v", err)
+	}
+	if resumeCkpt != nil {
+		switch err := agg.ResumeTree(resumeCkpt); {
+		case err == nil:
+			fmt.Printf("resumed model and per-tier cursors at version %d\n", resumeCkpt.Version)
+		case errors.Is(err, flnet.ErrRosterChanged):
+			// The tree came back with different leaves: keep the model,
+			// restart the cursors over the re-registered membership.
+			fmt.Printf("%v; resuming model only\n", err)
+			if err := agg.ResumeModel(resumeCkpt); err != nil {
+				fail("resume: %v", err)
+			}
+		default:
+			fail("resume: %v", err)
+		}
+	}
+	res, err := agg.RunTree()
+	if err != nil {
+		fail("tree training: %v", err)
+	}
+	for _, row := range agg.Metrics().Children {
+		fmt.Printf("tier %d child %s: %d commits, %d uplink bytes reported\n",
+			row.Tier+1, row.Addr, res.Commits[row.Tier], row.UplinkBytes)
+	}
+	test := dataset.Generate(spec, 1000, seed+999)
+	model := arch(rand.New(rand.NewSource(seed)))
+	model.SetWeightsVector(res.Weights)
+	acc, loss := model.Evaluate(test.X, test.Y, 256)
+	last := res.Log[len(res.Log)-1]
+	fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes\n",
+		len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes)
+	fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 }
 
 // checkpointExists reports whether a resumable snapshot is on disk: the

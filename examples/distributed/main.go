@@ -12,6 +12,13 @@
 // stops gating every round instead of being discarded. Phase-2 workers
 // also compress their uplink updates with top-k sparsification (negotiated
 // at registration via internal/compress), cutting bytes-on-wire ~10x.
+//
+// The final phase rebuilds the same job as an aggregation tree: a root
+// coordinator plus one child-aggregator process per tier, each running its
+// own mini-FedAvg fan-in over its leaf workers and forwarding a single
+// pre-reduced update per tier round — the root never talks to a leaf. The
+// slow tier's workers compress their uplink; the root's metrics report the
+// per-child commit counts and uplink bytes flowing up the tree.
 package main
 
 import (
@@ -262,4 +269,87 @@ func main() {
 	racc, _ := model.Evaluate(test.X, test.Y, 256)
 	fmt.Printf("resumed at version %d, applied %d more commits to reach %d, final accuracy %.4f\n",
 		ckpt.Version, len(rres.Log), ckptTarget, racc)
+
+	// Phase 4: the same population as an aggregation tree. One child
+	// aggregator per tier pre-reduces its workers' updates at the edge and
+	// sends the root a single MsgTierCommit per tier round, so root fan-in
+	// is O(tiers), not O(workers). The slow child's leaves compress their
+	// uplink with top-k; the root's metrics show what each child reported.
+	fmt.Println("\n--- hierarchical aggregation tree: root + per-tier child aggregators ---")
+	treeTiers := [][]int{{0, 1, 2}, {3, 4, 5}} // fast half, slow half (worker 5's 400ms delay)
+	root, err := flnet.NewTieredAsyncAggregator("127.0.0.1:0", flnet.TieredAsyncConfig{
+		GlobalCommits: 4 * rounds, ClientsPerRound: perRound,
+		TierWeight:   core.FedATWeights(),
+		RoundTimeout: 30 * time.Second, InitialWeights: init, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer root.Close()
+	var twgTree sync.WaitGroup
+	for t, members := range treeTiers {
+		ch, err := flnet.NewChild(flnet.ChildConfig{
+			ID: t, RootAddr: root.Addr(), Workers: len(members),
+			RoundTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			panic(err)
+		}
+		defer ch.Close()
+		twgTree.Add(1)
+		go func(t int, ch *flnet.Child) {
+			defer twgTree.Done()
+			if err := ch.Run(); err != nil {
+				fmt.Printf("child %d: %v\n", t, err)
+			}
+		}(t, ch)
+		var codec compress.Codec
+		if t == len(treeTiers)-1 {
+			codec = compress.NewTopK(0.1) // slow tier compresses its uplink
+		}
+		for _, id := range members {
+			local := train.Subset(parts[id])
+			delay := time.Duration(0)
+			if id == numWorkers-1 {
+				delay = 400 * time.Millisecond
+			}
+			twgTree.Add(1)
+			go func(id int, local *dataset.Dataset, delay time.Duration, addr string, codec compress.Codec) {
+				defer twgTree.Done()
+				trainFn := func(round int, weights []float64) ([]float64, int, error) {
+					time.Sleep(delay)
+					rng := rand.New(rand.NewSource(int64(id) + int64(round)*7919))
+					model := arch(rng)
+					model.SetWeightsVector(weights)
+					opt := nn.NewRMSprop(0.01, 0.995)
+					local.Batches(10, rng, func(x *tensor.Tensor, y []int) {
+						model.TrainBatch(x, y, opt)
+					})
+					return model.WeightsVector(), local.Len(), nil
+				}
+				if err := flnet.RunWorker(addr, flnet.WorkerConfig{
+					ClientID: id, NumSamples: local.Len(), Train: trainFn, Codec: codec,
+				}); err != nil {
+					fmt.Printf("leaf worker %d: %v\n", id, err)
+				}
+			}(id, local, delay, ch.Addr(), codec)
+		}
+	}
+	if err := root.WaitForChildren(len(treeTiers), 30*time.Second); err != nil {
+		panic(err)
+	}
+	treeRes, err := root.RunTree()
+	if err != nil {
+		panic(err)
+	}
+	twgTree.Wait()
+	snap := root.Metrics()
+	for _, c := range snap.Children {
+		fmt.Printf("tier %d child %s: %d commits, %d uplink bytes reported\n",
+			c.Tier+1, c.Addr, treeRes.Commits[c.Tier], c.UplinkBytes)
+	}
+	model.SetWeightsVector(treeRes.Weights)
+	treeAcc, _ := model.Evaluate(test.X, test.Y, 256)
+	fmt.Printf("%d commits through the tree (root fan-in: %d children, not %d workers), final accuracy %.4f\n",
+		len(treeRes.Log), len(treeTiers), numWorkers, treeAcc)
 }

@@ -97,7 +97,7 @@ func main() {
 			return 1
 		}
 	}
-	liveSys, err := tifl.New(drifted, tifl.Options{RetierEvery: 25})
+	liveSys, err := tifl.New(drifted, tifl.Options{TieringOptions: tifl.TieringOptions{RetierEvery: 25}})
 	if err != nil {
 		panic(err)
 	}

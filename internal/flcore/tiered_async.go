@@ -271,8 +271,14 @@ type TieredAsyncEngine struct {
 }
 
 // NewTieredAsyncEngine validates the configuration and tier membership and
-// builds the engine. Tiers are ordered fastest first (core.BuildTiers
-// order); every tier must be non-empty and the tiers disjoint. When
+// builds the engine from a resident client slice. It is a thin shim over
+// NewTieredAsyncEngineFrom with an EagerClients source — the slice-based
+// and source-based constructors were unified behind the same engine, so
+// every behaviour documented there (determinism, Manager ownership,
+// per-client bookkeeping) holds identically here; only client
+// materialization differs. Tiers are ordered fastest first
+// (core.BuildTiers order); every tier must be non-empty and the tiers
+// disjoint. When
 // Cfg.Manager is set, tiers may be nil — membership then comes from the
 // Manager, which owns it for the rest of the run. Randomness stays keyed on
 // (Seed, tier round, client); under live re-tiering a migrated client can

@@ -35,6 +35,23 @@ type TierMetrics struct {
 	MeanEWMASeconds float64 `json:"mean_ewma_seconds"`
 }
 
+// ChildMetrics is one child aggregator's slice of a tree-run
+// MetricsSnapshot: which tier the child serves, its self-reported address,
+// whether its connection is still up, the age of its last applied partial
+// (commit), and the cumulative leaf→child uplink traffic it has reported
+// upstream.
+type ChildMetrics struct {
+	Tier  int    `json:"tier"`
+	Addr  string `json:"addr,omitempty"`
+	Alive bool   `json:"alive"`
+	// LastPartialAgeSeconds is the age of the child's most recent applied
+	// commit (-1 = none applied yet).
+	LastPartialAgeSeconds float64 `json:"last_partial_age_seconds"`
+	// UplinkBytes is the child's cumulative reported leaf-side update
+	// traffic across its applied commits.
+	UplinkBytes int64 `json:"uplink_bytes"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	Running       bool          `json:"running"`
@@ -43,10 +60,13 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64       `json:"uptime_seconds"`
 	LiveWorkers   int           `json:"live_workers"`
 	Tiers         []TierMetrics `json:"tiers"`
-	UplinkBytes   int64         `json:"uplink_bytes"`
-	DownlinkBytes int64         `json:"downlink_bytes"`
-	Retiers       int           `json:"retiers"`
-	Reassigned    int           `json:"reassigned"`
+	// Children carries per-child-aggregator rows on tree runs (empty on
+	// flat runs).
+	Children      []ChildMetrics `json:"children,omitempty"`
+	UplinkBytes   int64          `json:"uplink_bytes"`
+	DownlinkBytes int64          `json:"downlink_bytes"`
+	Retiers       int            `json:"retiers"`
+	Reassigned    int            `json:"reassigned"`
 	// LastCheckpointVersion is the global version of the newest durable
 	// snapshot (0 = none yet); LastCheckpointAgeSeconds its age (-1 = none
 	// yet). LastCheckpointError surfaces a failed write.
@@ -75,6 +95,46 @@ type obsState struct {
 	ckptVersion   int
 	ckptTime      time.Time
 	ckptErr       string
+	children      []childObs // tree runs: per-child-aggregator rows
+}
+
+// childObs is one child aggregator's observable state (tree runs).
+type childObs struct {
+	addr   string
+	alive  bool
+	last   time.Time // last applied partial (zero = none yet)
+	uplink int64     // cumulative reported leaf-side uplink bytes
+}
+
+// noteChildUp records a child aggregator joining the tree at tier t.
+func (o *obsState) noteChildUp(t int, addr string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.children) <= t {
+		o.children = append(o.children, childObs{})
+	}
+	o.children[t] = childObs{addr: addr, alive: true}
+}
+
+// noteChildCommit records one applied partial from tier t's child.
+func (o *obsState) noteChildCommit(t int, uplink int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t < 0 || t >= len(o.children) {
+		return
+	}
+	o.children[t].last = time.Now()
+	o.children[t].uplink += uplink
+}
+
+// noteChildDown marks tier t's child connection as gone.
+func (o *obsState) noteChildDown(t int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if t < 0 || t >= len(o.children) {
+		return
+	}
+	o.children[t].alive = false
 }
 
 // noteRunStart arms the observable state for a run over numTiers tiers,
@@ -188,6 +248,14 @@ func (ta *TieredAsyncAggregator) Metrics() MetricsSnapshot {
 			tm.RoundRatePerSec = float64(o.commits[t]-o.startCommits[t]) / elapsed
 		}
 		snap.Tiers = append(snap.Tiers, tm)
+	}
+	for t, c := range o.children {
+		cm := ChildMetrics{Tier: t, Addr: c.addr, Alive: c.alive, UplinkBytes: c.uplink}
+		cm.LastPartialAgeSeconds = -1
+		if !c.last.IsZero() {
+			cm.LastPartialAgeSeconds = time.Since(c.last).Seconds()
+		}
+		snap.Children = append(snap.Children, cm)
 	}
 	o.mu.Unlock()
 

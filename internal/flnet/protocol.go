@@ -47,6 +47,19 @@ const (
 	MsgTierCommit
 	MsgCompressedUpdate
 	MsgTierReassign
+	MsgTreePull
+)
+
+// Registration roles (Register.Role). Nodes predating the field gob-decode
+// to RoleWorker, so old workers keep registering unchanged.
+const (
+	// RoleWorker is a leaf training worker (the default).
+	RoleWorker byte = 0
+	// RoleChildAggregator is a per-tier child aggregator joining a tree
+	// root: it registers with ClientID = its tier index and Members = the
+	// leaf worker IDs it aggregates, then speaks the TreePull/TierCommit
+	// cycle instead of Train/Update.
+	RoleChildAggregator byte = 1
 )
 
 // Worker protocol levels announced in Register.Proto. Workers predating a
@@ -92,6 +105,7 @@ type Envelope struct {
 	TierCommit       *TierCommit
 	CompressedUpdate *CompressedUpdate
 	TierReassign     *TierReassign
+	TreePull         *TreePull
 }
 
 // Register announces a worker to its aggregator. Codec is the update
@@ -109,6 +123,17 @@ type Register struct {
 	// newer envelope types from them (today: MsgTierReassign) instead of
 	// sending messages they would reject.
 	Proto byte
+	// Role distinguishes leaf workers from child aggregators (Role*
+	// constants); nodes predating the field decode to RoleWorker.
+	Role byte
+	// Members lists the leaf worker IDs a child aggregator fans in over
+	// (RoleChildAggregator only). The tree root checkpoints and validates
+	// tier membership from these, so a resumed tree can detect roster
+	// changes without ever seeing the leaves' connections.
+	Members []int
+	// Addr is the node's own listen address (informational; child
+	// aggregators report theirs so the root's metrics can name them).
+	Addr string
 }
 
 // Profile asks a worker to run one profiling task (Section 4.2's
@@ -226,6 +251,37 @@ type Done struct {
 type TierAssign struct {
 	Tier     int
 	NumTiers int
+	// The remaining fields configure a child aggregator joining a tree
+	// root (zero for plain workers, which ignore them): Seed and
+	// ClientsPerRound key the child's flcore.TierCohort draws so the tree
+	// selects exactly the cohorts a flat run would, and StartRound is the
+	// tier's first local round index (non-zero when resuming from a
+	// checkpoint).
+	Seed            int64
+	ClientsPerRound int
+	StartRound      int
+}
+
+// TreePull is the tree root's counterpart of a tier loop's snapshot pull:
+// the current global version and weights, sent to a child aggregator after
+// its registration and again after each of its commits is applied — the
+// same dispatch-at-commit discipline the in-process lockstep mode uses, so
+// a tree run can be byte-compared against a flat one. Exactly one of
+// Weights/Raw is set, negotiated by the child's Register.Proto like any
+// broadcast.
+type TreePull struct {
+	Version int
+	Weights []float64
+	Raw     []byte
+}
+
+// pullWeights decodes the pull's weight vector from whichever encoding it
+// arrived in.
+func (p *TreePull) pullWeights() ([]float64, error) {
+	if p.Raw != nil {
+		return nn.DecodeWeights(p.Raw)
+	}
+	return p.Weights, nil
 }
 
 // TierCommit is one tier's finished mini-FedAvg round on its way to the

@@ -89,7 +89,10 @@ type RunResult struct {
 type registered struct {
 	id      int
 	samples int
-	proto   byte // announced protocol level (Proto* constants; 0 = legacy)
+	proto   byte   // announced protocol level (Proto* constants; 0 = legacy)
+	role    byte   // Role* constants (RoleWorker for leaf workers)
+	members []int  // leaf worker IDs behind a child aggregator (RoleChildAggregator only)
+	addr    string // self-reported listen address (child aggregators; informational)
 	c       *conn
 
 	// codec is the worker's current update compression (compress.IDNone =
@@ -264,7 +267,9 @@ func (a *Aggregator) handshake(raw net.Conn) {
 	w := &registered{
 		id: env.Register.ClientID, samples: env.Register.NumSamples,
 		codec: env.Register.Codec, prevCodec: env.Register.Codec,
-		proto: env.Register.Proto, c: c,
+		proto: env.Register.Proto, role: env.Register.Role,
+		members: append([]int(nil), env.Register.Members...),
+		addr:    env.Register.Addr, c: c,
 		updates: make(chan *Envelope, 4),
 		deadCh:  make(chan struct{}),
 		pending: make(map[int64]chan *Envelope),

@@ -211,7 +211,7 @@ type TieredAsyncAggregator struct {
 	tmu     sync.Mutex // guards the live membership view
 	members [][]int
 
-	seq  atomic.Int64    // train-request token source (Train.Seq)
+	fan  *fanIn          // the shared mini-FedAvg fan-in machinery
 	acks []chan lockSnap // lockstep mode: per-tier pull snapshots
 
 	// Resume state, set by Resume/ResumeModel before Run and read-only
@@ -248,11 +248,13 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 	if err != nil {
 		return nil, err
 	}
+	obs := &obsState{}
 	ta := &TieredAsyncAggregator{
 		Aggregator: base,
 		tcfg:       cfg,
 		gw:         append([]float64(nil), cfg.InitialWeights...),
-		obs:        &obsState{},
+		fan:        &fanIn{agg: base, obs: obs, timeout: cfg.RoundTimeout},
+		obs:        obs,
 	}
 	if cfg.MetricsAddr != "" {
 		if err := ta.startMetrics(cfg.MetricsAddr); err != nil {
@@ -542,6 +544,18 @@ func (ta *TieredAsyncAggregator) cohortFor(t, r int, members []int) []int {
 	return flcore.TierCohort(ta.tcfg.Seed, r, t, members, ta.tcfg.ClientsPerRound)
 }
 
+// fanIn is the synchronous mini-FedAvg fan-in machinery shared by the two
+// places a cohort is trained and collected: the in-process tier loops of
+// TieredAsyncAggregator and the per-tier Child aggregator processes of the
+// hierarchical tree (tree.go). Both get identical dispatch, seq routing,
+// disconnect tolerance, and aggregation-order semantics by construction.
+type fanIn struct {
+	agg     *Aggregator
+	obs     *obsState
+	timeout time.Duration // per-collection-window bound (0 = indefinite)
+	seq     atomic.Int64  // train-request token source (Train.Seq)
+}
+
 // trainReq is one outstanding train request of a tier round: the worker it
 // went to and, for seq-echoing workers, the waiter its reply is routed to.
 // Legacy workers (seq 0, ch nil) are collected from their shared channel
@@ -553,20 +567,20 @@ type trainReq struct {
 	ch  chan *Envelope
 }
 
-// collectTier gathers the round's updates for the given outstanding
-// requests, respecting the round timeout (0 = wait indefinitely). Replies
-// from seq-echoing workers arrive through their per-request waiters, so a
+// collect gathers the round's updates for the given outstanding requests,
+// respecting the round timeout (0 = wait indefinitely). Replies from
+// seq-echoing workers arrive through their per-request waiters, so a
 // migrated worker trained concurrently by its old and new tier can never
 // have its updates cross-matched between the two rounds.
-func (ta *TieredAsyncAggregator) collectTier(reqs []trainReq, round int, weights []float64) []flcore.Update {
+func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.Update {
 	type got struct {
 		u  flcore.Update
 		ok bool
 	}
 	ch := make(chan got, len(reqs))
 	var deadline time.Time
-	if ta.cfg.RoundTimeout > 0 {
-		deadline = time.Now().Add(ta.cfg.RoundTimeout)
+	if f.timeout > 0 {
+		deadline = time.Now().Add(f.timeout)
 	}
 	for _, rq := range reqs {
 		go func(rq trainReq) {
@@ -630,24 +644,24 @@ const (
 	roundAbort                            // the tier cannot continue
 )
 
-// runTierRound executes one mini-round of tier t: send the cohort the
-// round's weights, collect the matched replies (with extra collection
-// windows for all-slow cohorts — a cohort slower than one RoundTimeout
-// still commits instead of being perpetually one round behind; a single
-// member persistently slower than its cohort is still dropped each round,
-// and live re-tiering is the mitigation: its EWMA drifts up until a
-// rebuild moves it to a slower tier), and deliver the FedAvg aggregate as
-// a MsgTierCommit envelope.
-func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version int, weights []float64, commitCh chan<- *Envelope, done <-chan struct{}) tierRoundStatus {
+// runRound executes one mini-round of tier t: send the cohort the round's
+// weights, collect the matched replies (with extra collection windows for
+// all-slow cohorts — a cohort slower than one timeout window still commits
+// instead of being perpetually one round behind; a single member
+// persistently slower than its cohort is still dropped each round, and
+// live re-tiering is the mitigation: its EWMA drifts up until a rebuild
+// moves it to a slower tier), and return the FedAvg aggregate as a
+// TierCommit ready for the committer — in-process or over the wire.
+func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64, done <-chan struct{}) (*TierCommit, tierRoundStatus) {
 	const maxCollects = 3
 	var conns []*registered
 	for _, id := range cohort {
-		if w := ta.liveWorker(id); w != nil {
+		if w := f.agg.liveWorker(id); w != nil {
 			conns = append(conns, w) // dead cohort members: train the rest
 		}
 	}
 	if len(conns) == 0 {
-		return roundNoCohort
+		return nil, roundNoCohort
 	}
 	start := time.Now()
 	var reqs []trainReq
@@ -662,7 +676,7 @@ func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version in
 	for _, w := range conns {
 		rq := trainReq{w: w}
 		if w.proto >= ProtoTierReassign {
-			rq.seq = ta.seq.Add(1)
+			rq.seq = f.seq.Add(1)
 			rq.ch = w.addPending(rq.seq)
 		}
 		if err := w.c.send(&Envelope{Type: MsgTrain, Train: bc.fill(&Train{Round: r, Seq: rq.seq}, w.proto)}); err != nil {
@@ -672,26 +686,26 @@ func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version in
 			continue
 		}
 		if w.proto >= ProtoFastWire {
-			ta.obs.addDownlink(int64(len(bc.raw)))
+			f.obs.addDownlink(int64(len(bc.raw)))
 		} else {
-			ta.obs.addDownlink(int64(compress.DenseBytes(len(weights))))
+			f.obs.addDownlink(int64(compress.DenseBytes(len(weights))))
 		}
 		reqs = append(reqs, rq)
 	}
 	if len(reqs) == 0 {
-		return roundNoCohort
+		return nil, roundNoCohort
 	}
-	updates := ta.collectTier(reqs, r, weights)
+	updates := f.collect(reqs, r, weights)
 	for retry := 0; len(updates) == 0 && retry < maxCollects-1; retry++ {
 		select {
 		case <-done:
-			return roundAbort
+			return nil, roundAbort
 		default:
 		}
-		updates = ta.collectTier(reqs, r, weights)
+		updates = f.collect(reqs, r, weights)
 	}
 	if len(updates) == 0 {
-		return roundEmpty
+		return nil, roundEmpty
 	}
 	// Deterministic aggregation order: replies arrive in wall-clock order,
 	// FedAvg's float sums are order-sensitive, and the simulated engine
@@ -712,13 +726,22 @@ func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version in
 		}
 		obs[i] = ClientSeconds{Client: u.ClientID, Seconds: secs}
 	}
-	env := &Envelope{Type: MsgTierCommit, TierCommit: &TierCommit{
+	return &TierCommit{
 		Tier: t, TierRound: r, PulledVersion: version,
 		Weights: flcore.FedAvg(updates), Clients: len(updates),
 		Seconds: wall, UplinkBytes: upBytes, Observed: obs,
-	}}
+	}, roundCommitted
+}
+
+// runTierRound runs one mini-round through the shared fan-in and delivers
+// the committed aggregate into the in-process commit channel.
+func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version int, weights []float64, commitCh chan<- *Envelope, done <-chan struct{}) tierRoundStatus {
+	tc, status := ta.fan.runRound(t, r, cohort, version, weights, done)
+	if status != roundCommitted {
+		return status
+	}
 	select {
-	case commitCh <- env:
+	case commitCh <- &Envelope{Type: MsgTierCommit, TierCommit: tc}:
 		return roundCommitted
 	case <-done:
 		return roundAbort

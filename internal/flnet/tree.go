@@ -1,0 +1,601 @@
+package flnet
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/flcore"
+	"repro/internal/nn"
+)
+
+// Hierarchical aggregation tree: the multi-process promotion of the
+// master/child sketch in hierarchy.go (the paper's Section 3.1/4.1 design
+// for fan-in scale and fault isolation). A root TieredAsyncAggregator
+// speaks the reserved MsgTierCommit envelope to per-tier Child aggregator
+// processes; each child runs its own mini-FedAvg fan-in (the exact fanIn
+// machinery the in-process tier loops use) over the leaf workers that
+// registered with it, so the root only ever sees one pre-reduced vector
+// per tier round and FedAT's staleness-discounted commit mixing applies
+// unchanged.
+//
+// The protocol is a strict commit/pull cycle per child:
+//
+//	child → root  MsgRegister   (Role=RoleChildAggregator, ClientID=tier,
+//	                             Members=its leaf worker IDs)
+//	root → child  MsgTierAssign (tier, cohort seed + size, start round)
+//	root → child  MsgTreePull   (global version + weights)
+//	child → root  MsgTierCommit (the tier round's FedAvg aggregate)
+//	              ... root applies, replies the next MsgTreePull ...
+//	root → child  MsgDone
+//
+// Because the pull is the reply to the child's own applied commit, each
+// tier trains round r+1 from exactly the post-commit state of its round r
+// — the same dispatch-at-commit discipline the in-process Lockstep mode
+// implements with ack channels. A tree run under a Lockstep schedule is
+// therefore byte-identical to the flat run under the same schedule
+// (TestTreeMatchesFlatLockstep); without a schedule only the wall-clock
+// commit interleaving differs, exactly as between two flat runs.
+//
+// Failure semantics: a child tolerates leaf-worker disconnects with the
+// flat runtime's collect semantics (dead cohort members are skipped, empty
+// rounds retried); the root tolerates a child death by degrading that tier
+// — its pump goroutine exits and the remaining tiers keep committing — and
+// only fails when every child is gone (or a Lockstep schedule names a dead
+// tier). Checkpoint/resume composes: the root checkpoints child-reported
+// leaf membership per tier, and ResumeTree validates re-registered
+// children against it, falling back to ResumeModel on ErrRosterChanged.
+
+// ChildConfig configures one child-aggregator process of the tree.
+type ChildConfig struct {
+	// ID is the child's tier index at the root (0 = fastest tier). Children
+	// must register the contiguous IDs 0..K-1.
+	ID int
+	// Addr is the child's own listen address for its leaf workers
+	// ("127.0.0.1:0" when empty).
+	Addr string
+	// RootAddr is the tree root's listen address.
+	RootAddr string
+	// Workers is how many leaf workers must register with the child before
+	// it joins the tree.
+	Workers int
+	// WorkerTimeout bounds the leaf registration wait (default 60s).
+	WorkerTimeout time.Duration
+	// RoundTimeout bounds each mini-round collection window, exactly like
+	// TieredAsyncConfig.RoundTimeout (0 = wait indefinitely).
+	RoundTimeout time.Duration
+	// DialTimeout bounds the dial to the root (default 10s).
+	DialTimeout time.Duration
+}
+
+// Child is a per-tier child aggregator: an FL server to its leaf workers
+// (registration, codec negotiation, seq-routed fast-wire rounds — the full
+// flat-runtime worker contract) and a single pre-reduced "worker" to the
+// tree root.
+type Child struct {
+	cfg  ChildConfig
+	agg  *Aggregator
+	fan  *fanIn
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	root   *conn
+}
+
+// NewChild listens for leaf workers on cfg.Addr. Run joins the tree.
+func NewChild(cfg ChildConfig) (*Child, error) {
+	switch {
+	case cfg.ID < 0:
+		return nil, fmt.Errorf("flnet: child ID = %d", cfg.ID)
+	case cfg.Workers <= 0:
+		return nil, fmt.Errorf("flnet: child Workers = %d", cfg.Workers)
+	case cfg.RootAddr == "":
+		return nil, fmt.Errorf("flnet: child needs a RootAddr")
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("flnet: child listen: %w", err)
+	}
+	// Constructed directly rather than through NewAggregator: the child
+	// reuses only the registration/reader/fan-in machinery, so the
+	// synchronous-run fields NewAggregator validates (Rounds,
+	// ClientsPerRound, InitialWeights) have no meaningful values here.
+	agg := &Aggregator{cfg: AggregatorConfig{RoundTimeout: cfg.RoundTimeout}, ln: ln, workers: make(map[int]*registered)}
+	return &Child{
+		cfg:  cfg,
+		agg:  agg,
+		fan:  &fanIn{agg: agg, obs: &obsState{}, timeout: cfg.RoundTimeout},
+		done: make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the child's leaf-worker listen address.
+func (ch *Child) Addr() string { return ch.agg.Addr() }
+
+// Close tears the child down: its root connection, its listener, and every
+// leaf worker connection. A Run in progress returns nil if the shutdown
+// was deliberate.
+func (ch *Child) Close() {
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return
+	}
+	ch.closed = true
+	root := ch.root
+	close(ch.done)
+	ch.mu.Unlock()
+	if root != nil {
+		root.close() //nolint:errcheck // shutdown path
+	}
+	ch.agg.Close()
+}
+
+func (ch *Child) isClosed() bool {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.closed
+}
+
+// Run waits for the configured leaf workers, registers with the root as a
+// child aggregator, then serves the pull/commit cycle until the root sends
+// MsgDone (returned error nil), the child is Closed (nil), or the tree
+// breaks (the error). Leaf workers negotiate codecs with the child exactly
+// as with a flat aggregator, and each commit reports the tier round's
+// encoded uplink traffic upstream into the root's metrics.
+func (ch *Child) Run() error {
+	wt := ch.cfg.WorkerTimeout
+	if wt <= 0 {
+		wt = 60 * time.Second
+	}
+	if err := ch.agg.WaitForWorkers(ch.cfg.Workers, wt); err != nil {
+		return fmt.Errorf("flnet: child %d: %w", ch.cfg.ID, err)
+	}
+	members := ch.agg.ids()
+	total := 0
+	ch.agg.mu.Lock()
+	for _, w := range ch.agg.workers {
+		total += w.samples
+	}
+	ch.agg.mu.Unlock()
+
+	dt := ch.cfg.DialTimeout
+	if dt <= 0 {
+		dt = 10 * time.Second
+	}
+	raw, err := net.DialTimeout("tcp", ch.cfg.RootAddr, dt)
+	if err != nil {
+		return fmt.Errorf("flnet: child %d dialing root: %w", ch.cfg.ID, err)
+	}
+	root := newConn(raw)
+	defer root.close() //nolint:errcheck // Run owns the root connection
+	ch.mu.Lock()
+	if ch.closed {
+		ch.mu.Unlock()
+		return nil
+	}
+	ch.root = root
+	ch.mu.Unlock()
+
+	if err := root.send(&Envelope{Type: MsgRegister, Register: &Register{
+		ClientID: ch.cfg.ID, NumSamples: total,
+		Proto: ProtoCodecRenegotiate, Role: RoleChildAggregator,
+		Members: members, Addr: ch.agg.Addr(),
+	}}); err != nil {
+		return ch.runErr(err)
+	}
+	env, err := root.recv(0)
+	if err != nil {
+		return ch.runErr(err)
+	}
+	if env.Type == MsgDone {
+		ch.agg.FinishWorkers(env.Done.Rounds)
+		return nil
+	}
+	if env.Type != MsgTierAssign || env.TierAssign == nil {
+		return fmt.Errorf("flnet: child %d: expected tier assignment, got message %d", ch.cfg.ID, env.Type)
+	}
+	as := env.TierAssign
+	r := as.StartRound
+	// Forward the placement to the leaves (best effort, informational —
+	// exactly what the flat aggregator announces).
+	for _, id := range members {
+		if w := ch.agg.liveWorker(id); w != nil {
+			w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: as.Tier, NumTiers: as.NumTiers}}) //nolint:errcheck // best effort
+		}
+	}
+	for {
+		env, err := root.recv(0)
+		if err != nil {
+			return ch.runErr(err)
+		}
+		switch env.Type {
+		case MsgTreePull:
+			weights, err := env.TreePull.pullWeights()
+			if err != nil {
+				return fmt.Errorf("flnet: child %d: decoding pull: %w", ch.cfg.ID, err)
+			}
+			tc, err := ch.localRound(&r, as, members, env.TreePull.Version, weights)
+			if err != nil {
+				return ch.runErr(err)
+			}
+			if err := root.send(&Envelope{Type: MsgTierCommit, TierCommit: tc}); err != nil {
+				return ch.runErr(err)
+			}
+		case MsgDone:
+			ch.agg.FinishWorkers(env.Done.Rounds)
+			return nil
+		default:
+			return fmt.Errorf("flnet: child %d: unexpected message %d from root", ch.cfg.ID, env.Type)
+		}
+	}
+}
+
+// runErr maps mid-run failures after a deliberate Close to a clean nil.
+func (ch *Child) runErr(err error) error {
+	if ch.isClosed() {
+		return nil
+	}
+	return fmt.Errorf("flnet: child %d: %w", ch.cfg.ID, err)
+}
+
+// errChildClosed signals localRound abandonment after Close.
+var errChildClosed = fmt.Errorf("flnet: child closed")
+
+// localRound drives mini-rounds of the child's tier until one commits,
+// mirroring the flat tierLoop's retry policy: dead cohort draws are
+// redrawn next round, empty rounds (cohort reached, no update before the
+// collection windows closed) are retried up to the same bound, and the
+// round index advances per attempt either way. The committed aggregate is
+// returned for shipping to the root.
+func (ch *Child) localRound(r *int, as *TierAssign, members []int, version int, weights []float64) (*TierCommit, error) {
+	const maxEmptyRounds = 3
+	empty := 0
+	for {
+		select {
+		case <-ch.done:
+			return nil, errChildClosed
+		default:
+		}
+		alive := false
+		for _, id := range members {
+			if ch.agg.liveWorker(id) != nil {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return nil, fmt.Errorf("every leaf worker disconnected")
+		}
+		if empty >= maxEmptyRounds {
+			return nil, fmt.Errorf("%d consecutive rounds produced no update", empty)
+		}
+		cohort := flcore.TierCohort(as.Seed, *r, as.Tier, members, as.ClientsPerRound)
+		if len(cohort) == 0 {
+			return nil, fmt.Errorf("round %d drew an empty cohort", *r)
+		}
+		tc, status := ch.fan.runRound(as.Tier, *r, cohort, version, weights, ch.done)
+		*r++
+		switch status {
+		case roundCommitted:
+			return tc, nil
+		case roundNoCohort:
+			// Whole cohort dead while other members live: next round draws a
+			// different cohort. Back off briefly while dead flags propagate.
+			time.Sleep(10 * time.Millisecond)
+		case roundEmpty:
+			empty++
+		case roundAbort:
+			return nil, errChildClosed
+		}
+	}
+}
+
+// WaitForChildren accepts registrations until n child aggregators have
+// joined (or timeout) and validates the tree shape: contiguous tier IDs
+// 0..n-1, non-empty and disjoint leaf membership, no plain workers
+// registered directly with the root.
+func (ta *TieredAsyncAggregator) WaitForChildren(n int, timeout time.Duration) error {
+	if err := ta.WaitForWorkers(n, timeout); err != nil {
+		return err
+	}
+	_, err := ta.treeChildren()
+	return err
+}
+
+// treeChildren snapshots and validates the registered child aggregators,
+// sorted by tier ID.
+func (ta *TieredAsyncAggregator) treeChildren() ([]*registered, error) {
+	ta.mu.Lock()
+	children := make([]*registered, 0, len(ta.workers))
+	for _, w := range ta.workers {
+		children = append(children, w)
+	}
+	ta.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].id < children[j].id })
+	seen := make(map[int]int)
+	for i, c := range children {
+		if c.role != RoleChildAggregator {
+			return nil, fmt.Errorf("flnet: node %d registered with the tree root as a plain worker; leaves must register with a child aggregator", c.id)
+		}
+		if c.id != i {
+			return nil, fmt.Errorf("flnet: child-aggregator IDs must be the contiguous tier indexes 0..%d; got %d", len(children)-1, c.id)
+		}
+		if len(c.members) == 0 {
+			return nil, fmt.Errorf("flnet: child aggregator %d registered no leaf workers", c.id)
+		}
+		for _, id := range c.members {
+			if prev, dup := seen[id]; dup {
+				return nil, fmt.Errorf("flnet: leaf worker %d claimed by child aggregators %d and %d", id, prev, c.id)
+			}
+			seen[id] = c.id
+		}
+	}
+	return children, nil
+}
+
+// sameMembers reports set equality of two membership lists.
+func sameMembers(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResumeTree loads a TieredCheckpoint into a tree root before RunTree,
+// validating the re-registered children against the checkpointed leaf
+// membership per tier. Every child must have re-registered first
+// (WaitForChildren); a changed roster fails with ErrRosterChanged and the
+// caller should fall back to ResumeModel (fresh cursors over the new
+// tree). RunTree then continues toward the absolute GlobalCommits target,
+// handing each child its checkpointed round cursor via the assignment.
+func (ta *TieredAsyncAggregator) ResumeTree(c *flcore.TieredCheckpoint) error {
+	if len(c.Tiers) == 0 {
+		return fmt.Errorf("flnet: checkpoint has no tiers")
+	}
+	if len(c.Rounds) != len(c.Tiers) || len(c.Commits) != len(c.Tiers) {
+		return fmt.Errorf("flnet: checkpoint cursors (%d rounds, %d commits) do not match %d tiers",
+			len(c.Rounds), len(c.Commits), len(c.Tiers))
+	}
+	if len(c.ManagerState) > 0 {
+		return fmt.Errorf("flnet: checkpoint carries tiering-manager state; the tree topology does not support a live Manager")
+	}
+	children, err := ta.treeChildren()
+	if err != nil {
+		return err
+	}
+	if len(children) != len(c.Tiers) {
+		return fmt.Errorf("%w: checkpoint has %d tiers, %d child aggregators re-registered", ErrRosterChanged, len(c.Tiers), len(children))
+	}
+	for t, child := range children {
+		if !sameMembers(child.members, c.Tiers[t]) {
+			return fmt.Errorf("%w: tier %d leaf membership %v does not match checkpointed %v", ErrRosterChanged, t, child.members, c.Tiers[t])
+		}
+	}
+	if err := ta.resumeCommon(c); err != nil {
+		return err
+	}
+	ta.resumeTiers = copyNetTiers(c.Tiers)
+	ta.startRounds = append([]int(nil), c.Rounds...)
+	ta.baseCommits = append([]int(nil), c.Commits...)
+	return nil
+}
+
+// treeCommit tags a child's commit envelope with the tier its connection
+// is registered as, so the committer can reject mislabeled commits.
+type treeCommit struct {
+	env  *Envelope
+	tier int
+}
+
+// sendPull hands a child the current global snapshot — the tree's
+// dispatch-at-commit. Best effort: a dead child is degraded by its pump,
+// not here.
+func (ta *TieredAsyncAggregator) sendPull(c *registered) {
+	ver, w := ta.snapshot()
+	pull := &TreePull{Version: ver}
+	wire := int64(compress.DenseBytes(len(w)))
+	if c.proto >= ProtoFastWire {
+		pull.Raw = nn.EncodeWeights(w)
+		wire = int64(len(pull.Raw))
+	} else {
+		pull.Weights = w
+	}
+	if c.c.send(&Envelope{Type: MsgTreePull, TreePull: pull}) == nil {
+		ta.obs.addDownlink(wire)
+	}
+}
+
+// RunTree drives the hierarchical topology over the registered child
+// aggregators until GlobalCommits commits have been applied: assign each
+// child its tier (ID order, 0 = fastest), hand out initial pulls, then
+// apply MsgTierCommit envelopes exactly as the flat committer does —
+// same CommitMix, same checkpoint cadence, same Lockstep buffering — and
+// reply each applied commit with the child's next pull. A dead child
+// degrades its tier (the run continues on the remaining tiers); RunTree
+// fails when every child is gone before the target, when a Lockstep
+// schedule names a dead tier, or on the first malformed commit. Live
+// tiering Managers are not supported over the tree.
+func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
+	if ta.tcfg.Manager != nil {
+		return nil, fmt.Errorf("flnet: the tree topology does not support a live tiering Manager; run flat or pre-assign tiers")
+	}
+	children, err := ta.treeChildren()
+	if err != nil {
+		return nil, err
+	}
+	if len(children) == 0 {
+		return nil, fmt.Errorf("flnet: tree run needs at least one child aggregator")
+	}
+	k := len(children)
+	for _, t := range ta.tcfg.Lockstep {
+		if t < 0 || t >= k {
+			return nil, fmt.Errorf("flnet: lockstep schedule names tier %d of %d", t, k)
+		}
+	}
+	if ta.baseCommits != nil && len(ta.baseCommits) != k {
+		return nil, fmt.Errorf("flnet: resumed checkpoint has %d tiers, %d children registered", len(ta.baseCommits), k)
+	}
+	tiers := make([][]int, k)
+	counts := make([]int, k)
+	for t, c := range children {
+		tiers[t] = append([]int(nil), c.members...)
+		counts[t] = len(c.members)
+	}
+	ta.tmu.Lock()
+	ta.members = tiers
+	ta.tmu.Unlock()
+
+	res := &TieredAsyncRunResult{Commits: make([]int, k)}
+	copy(res.Commits, ta.baseCommits)
+	res.Retiers, res.Reassigned = ta.baseRetiers, ta.baseMoved
+	res.UplinkBytes = ta.baseUplink
+	ta.roundCursor = make([]int, k)
+	copy(ta.roundCursor, ta.startRounds)
+	ta.gmu.Lock()
+	applied := ta.version
+	ta.gmu.Unlock()
+	ta.obs.noteRunStart(ta.tcfg.GlobalCommits, applied, res.Commits, res.Retiers, res.Reassigned, res.UplinkBytes, counts)
+
+	// Assign tiers and hand out the initial pulls (best effort: a child
+	// that died since registering is degraded by its pump below).
+	for t, c := range children {
+		addr := c.addr
+		if addr == "" {
+			addr = c.c.raw.RemoteAddr().String()
+		}
+		ta.obs.noteChildUp(t, addr)
+		r0 := 0
+		if t < len(ta.startRounds) {
+			r0 = ta.startRounds[t]
+		}
+		c.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{ //nolint:errcheck // best effort
+			Tier: t, NumTiers: k,
+			Seed: ta.tcfg.Seed, ClientsPerRound: ta.tcfg.ClientsPerRound,
+			StartRound: r0,
+		}})
+		ta.sendPull(c)
+	}
+
+	// One pump per child: commits flow from the connection reader into the
+	// committer; a closed updates channel is the child's death.
+	commitCh := make(chan treeCommit)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	childDown := make([]chan struct{}, k)
+	for t, c := range children {
+		childDown[t] = make(chan struct{})
+		wg.Add(1)
+		go func(t int, c *registered) {
+			defer wg.Done()
+			defer close(childDown[t])
+			for {
+				select {
+				case env, ok := <-c.updates:
+					if !ok {
+						ta.obs.noteChildDown(t)
+						return
+					}
+					if env.Type != MsgTierCommit || env.TierCommit == nil {
+						continue // stray profile replies etc.; commits are the contract
+					}
+					select {
+					case commitCh <- treeCommit{env: env, tier: t}:
+					case <-done:
+						return
+					}
+				case <-done:
+					return
+				}
+			}
+		}(t, c)
+	}
+	allDown := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(allDown)
+	}()
+
+	finish := func(applied int, err error) (*TieredAsyncRunResult, error) {
+		close(done)
+		ta.FinishWorkers(applied) // the registered "workers" are the children
+		wg.Wait()
+		_, res.Weights = ta.snapshot()
+		ta.obs.noteRunEnd()
+		return res, err
+	}
+	pending := make([][]*Envelope, k) // lockstep buffers
+	for applied < ta.tcfg.GlobalCommits {
+		var env *Envelope
+		if len(ta.tcfg.Lockstep) > 0 {
+			want := ta.tcfg.Lockstep[applied]
+			for len(pending[want]) == 0 {
+				select {
+				case tc := <-commitCh:
+					if tc.env.TierCommit.Tier != tc.tier {
+						return finish(applied, fmt.Errorf("flnet: child %d delivered a commit labeled tier %d", tc.tier, tc.env.TierCommit.Tier))
+					}
+					pending[tc.tier] = append(pending[tc.tier], tc.env)
+				case <-childDown[want]:
+					// A completed send was already stashed (the commit
+					// channel is unbuffered), so an empty buffer means no
+					// commit is coming from the scheduled tier.
+					return finish(applied, fmt.Errorf("flnet: lockstep schedule stalled: child aggregator %d gone before commit %d of %d", want, applied+1, ta.tcfg.GlobalCommits))
+				}
+			}
+			env = pending[want][0]
+			pending[want] = pending[want][1:]
+		} else {
+			select {
+			case tc := <-commitCh:
+				if tc.env.TierCommit.Tier != tc.tier {
+					return finish(applied, fmt.Errorf("flnet: child %d delivered a commit labeled tier %d", tc.tier, tc.env.TierCommit.Tier))
+				}
+				env = tc.env
+			case <-allDown:
+				close(done)
+				_, res.Weights = ta.snapshot()
+				ta.obs.noteRunEnd()
+				return res, fmt.Errorf("flnet: every child aggregator gone after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+			}
+		}
+		stats, err := ta.applyCommit(env.TierCommit, res.Commits)
+		if err != nil {
+			return finish(applied, err)
+		}
+		res.Log = append(res.Log, stats)
+		res.UplinkBytes += stats.UplinkBytes
+		applied++
+		ta.obs.noteCommit(stats)
+		ta.obs.noteChildCommit(stats.Tier, stats.UplinkBytes)
+		if next := env.TierCommit.TierRound + 1; next > ta.roundCursor[env.TierCommit.Tier] {
+			ta.roundCursor[env.TierCommit.Tier] = next
+		}
+		if ta.tcfg.CheckpointEvery > 0 && applied%ta.tcfg.CheckpointEvery == 0 {
+			if err := ta.writeCheckpoint(applied, res); err != nil {
+				return finish(applied, err)
+			}
+		}
+		// The committing child's next pull — dispatch-at-commit, which is
+		// what makes the tree replay-equivalent to the lockstep flat run.
+		ta.sendPull(children[stats.Tier])
+	}
+	return finish(applied, nil)
+}

@@ -1,0 +1,100 @@
+package flnet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTreeFanIn compares root-side commit throughput of the flat
+// topology (every worker registers with the one aggregator) against the
+// hierarchical tree (per-tier child aggregators pre-reduce at the edge) on
+// the same 3-tier × 8-worker fleet and commit budget. Each iteration is a
+// full run — listener setup, registration, training, teardown — so the
+// numbers are end-to-end commit latency, not just the mixing arithmetic.
+func BenchmarkTreeFanIn(b *testing.B) {
+	const (
+		numTiers = 3
+		perTier  = 8
+		commits  = 6
+		dim      = 2048
+	)
+	weights := make([]float64, dim)
+	tiers := make([][]int, numTiers)
+	for t := 0; t < numTiers; t++ {
+		for i := 0; i < perTier; i++ {
+			tiers[t] = append(tiers[t], t*perTier+i)
+		}
+	}
+	cfg := func() TieredAsyncConfig {
+		return TieredAsyncConfig{
+			GlobalCommits: commits, ClientsPerRound: perTier,
+			RoundTimeout: 10 * time.Second, InitialWeights: weights, Seed: 1,
+		}
+	}
+	checkRun := func(b *testing.B, res *TieredAsyncRunResult, err error) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Log) != commits {
+			b.Fatalf("applied %d commits, want %d", len(res.Log), commits)
+		}
+	}
+
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			agg, err := NewTieredAsyncAggregator("127.0.0.1:0", cfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, members := range tiers {
+				for _, ci := range members {
+					go RunWorker(agg.Addr(), WorkerConfig{ //nolint:errcheck
+						ClientID: ci, NumSamples: 1, Train: echoTrain(1e-3, 1, 0),
+					})
+				}
+			}
+			if err := agg.WaitForWorkers(numTiers*perTier, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			res, err := agg.Run(tiers)
+			checkRun(b, res, err)
+			agg.Close()
+		}
+	})
+
+	b.Run("tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			root, err := NewTieredAsyncAggregator("127.0.0.1:0", cfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			children := make([]*Child, numTiers)
+			for t, members := range tiers {
+				ch, err := NewChild(ChildConfig{
+					ID: t, RootAddr: root.Addr(), Workers: len(members),
+					RoundTimeout: 10 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				children[t] = ch
+				go ch.Run() //nolint:errcheck
+				for _, ci := range members {
+					go RunWorker(ch.Addr(), WorkerConfig{ //nolint:errcheck
+						ClientID: ci, NumSamples: 1, Train: echoTrain(1e-3, 1, 0),
+					})
+				}
+			}
+			if err := root.WaitForChildren(numTiers, 10*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			res, err := root.RunTree()
+			checkRun(b, res, err)
+			for _, ch := range children {
+				ch.Close()
+			}
+			root.Close()
+		}
+	})
+}

@@ -1,0 +1,163 @@
+package tifl
+
+import (
+	"flag"
+
+	"repro/internal/compress"
+)
+
+// Shared option sub-structs. The tiering, compression, and checkpointing
+// knobs used to be duplicated field-by-field across Options (simulation),
+// NetOptions (flat distributed), and tifl-node's hand-rolled flag list;
+// they now live here once and are embedded wherever they apply, so the
+// three surfaces cannot drift. Field promotion keeps every existing
+// `opts.RetierEvery`-style access compiling; only composite literals that
+// named the moved fields need the embedded struct spelled out.
+
+// TieringOptions are the live-tiering knobs (internal/tiering): they make
+// tiered-async jobs re-tier mid-run instead of freezing the profiled
+// tiers. Embedded in Options (system-wide defaults) and NetOptions
+// (per-distributed-job overrides; see Overlay).
+type TieringOptions struct {
+	// RetierEvery rebuilds tiers from observed latencies every k global
+	// commits (0 keeps the profiled tiers frozen, the paper's one-shot
+	// Section 4.2 behaviour).
+	RetierEvery int
+	// EWMABeta weights new latency observations in the live estimates
+	// (0 defaults to 0.5).
+	EWMABeta float64
+	// AdaptiveSelection enables Algorithm-2 selection inside the tier
+	// loops: accuracy-driven tier probabilities size each tier's cohorts
+	// under per-tier Credits budgets.
+	AdaptiveSelection bool
+	// Credits is the per-tier boosted-round budget Credits_t for
+	// AdaptiveSelection (0 = unlimited).
+	Credits int
+}
+
+// Overlay merges o over base: non-zero fields of o win (AdaptiveSelection
+// when set). This is the NetOptions-over-Options precedence every
+// distributed job applies.
+func (o TieringOptions) Overlay(base TieringOptions) TieringOptions {
+	if o.RetierEvery > 0 {
+		base.RetierEvery = o.RetierEvery
+	}
+	if o.EWMABeta > 0 {
+		base.EWMABeta = o.EWMABeta
+	}
+	if o.AdaptiveSelection {
+		base.AdaptiveSelection = true
+	}
+	if o.Credits > 0 {
+		base.Credits = o.Credits
+	}
+	return base
+}
+
+// Live reports whether these options ask for a live tiering Manager.
+func (o TieringOptions) Live() bool { return o.RetierEvery > 0 || o.AdaptiveSelection }
+
+// AddFlags registers the live-tiering flags on fs, bound to o's fields
+// with its current values as defaults (tifl-node's flag surface).
+func (o *TieringOptions) AddFlags(fs *flag.FlagSet) {
+	fs.IntVar(&o.RetierEvery, "retier-every", o.RetierEvery,
+		"tiered-aggregator: rebuild tiers every k commits from observed latencies (0 = frozen tiers)")
+	fs.Float64Var(&o.EWMABeta, "ewma-beta", o.EWMABeta,
+		"tiered-aggregator: EWMA weight of new latency observations (0 = default 0.5)")
+	fs.BoolVar(&o.AdaptiveSelection, "adaptive-select", o.AdaptiveSelection,
+		"tiered-aggregator: Algorithm-2 adaptive per-tier cohort sizing")
+	fs.IntVar(&o.Credits, "credits", o.Credits,
+		"tiered-aggregator: per-tier boosted-round budget for -adaptive-select (0 = unlimited)")
+}
+
+// CompressionOptions are the update-compression knobs. Embedded in Options
+// (system-wide default codec) and NetOptions (per-job codec and the
+// tier-aware adaptive policy).
+type CompressionOptions struct {
+	// Compression, if set, is the update codec clients/workers apply to
+	// their trained deltas (error-feedback residual kept client-side).
+	Compression Codec
+	// AdaptiveCompression makes the codec tier-aware on distributed runs:
+	// workers in the slower half of the tiers negotiate the configured
+	// codec (top-k@10% when none is configured) while fast-tier workers
+	// stay dense. Ignored by the pure simulation paths.
+	AdaptiveCompression bool
+}
+
+// TierCodec resolves the codec a worker profiled into tier (of numTiers,
+// 0 = fastest) negotiates under this policy: the uniform Compression
+// codec, or — under AdaptiveCompression — dense (nil) for the fast half of
+// the tiers and the configured codec (top-k@10% when none is configured)
+// for the slow half.
+func (o CompressionOptions) TierCodec(tier, numTiers int) Codec {
+	if !o.AdaptiveCompression {
+		return o.Compression
+	}
+	if tier < (numTiers+1)/2 {
+		return nil // fast half: dense updates
+	}
+	if o.Compression != nil {
+		return o.Compression
+	}
+	return TopKCodec(0.1)
+}
+
+// ReassignPolicy is TierCodec's live counterpart: under
+// AdaptiveCompression it returns the per-tier codec-spec function an
+// aggregator uses to renegotiate a migrating worker's codec
+// (flnet.TieredAsyncConfig.ReassignCodec), keeping the fast-half-dense /
+// slow-half-compressed split intact through re-tierings. nil (the
+// default) leaves codecs as negotiated at registration.
+func (o CompressionOptions) ReassignPolicy() func(tier, numTiers int) string {
+	if !o.AdaptiveCompression {
+		return nil
+	}
+	return func(tier, numTiers int) string {
+		if c := o.TierCodec(tier, numTiers); c != nil {
+			return c.Name()
+		}
+		return "none"
+	}
+}
+
+// AddFlags registers the compression flags on fs. -codec parses the spec
+// eagerly ("none" | "int8" | "int8@<chunk>" | "topk@<fraction>"), so a bad
+// spec fails at flag parse time, and "none" resolves to a nil codec (the
+// dense path).
+func (o *CompressionOptions) AddFlags(fs *flag.FlagSet) {
+	fs.Func("codec", "uplink update compression: none | int8 | int8@<chunk> | topk@<fraction>", func(spec string) error {
+		c, err := compress.Parse(spec)
+		if err != nil {
+			return err
+		}
+		if c.ID() == compress.IDNone {
+			o.Compression = nil // dense updates, no compression path
+		} else {
+			o.Compression = c
+		}
+		return nil
+	})
+	fs.BoolVar(&o.AdaptiveCompression, "adaptive-compress", o.AdaptiveCompression,
+		"tiered-aggregator: slow-half tiers compress (with -codec, default topk@0.1), fast half stays dense")
+}
+
+// CheckpointOptions are the crash-safety knobs of a distributed run.
+// Embedded in NetOptions and registered as tifl-node flags.
+type CheckpointOptions struct {
+	// CheckpointEvery, when positive, snapshots the run every so many
+	// applied commits as a durable TieredCheckpoint at CheckpointPath
+	// (written atomically; the previous snapshot is kept at
+	// CheckpointPath+".prev").
+	CheckpointEvery int
+	// CheckpointPath is the durable snapshot file for CheckpointEvery.
+	CheckpointPath string
+}
+
+// AddFlags registers the checkpoint flags on fs with o's current values as
+// defaults.
+func (o *CheckpointOptions) AddFlags(fs *flag.FlagSet) {
+	fs.StringVar(&o.CheckpointPath, "checkpoint", o.CheckpointPath,
+		"tiered-aggregator: durable snapshot file; resumes from it when it exists")
+	fs.IntVar(&o.CheckpointEvery, "checkpoint-every", o.CheckpointEvery,
+		"tiered-aggregator: snapshot every k applied commits (with -checkpoint)")
+}

@@ -122,31 +122,17 @@ type Options struct {
 	// EqualWidthTiers selects the paper's equal-width histogram split
 	// instead of the default balanced quantile split.
 	EqualWidthTiers bool
-	// Compression, if set, is the default update codec for every training
-	// job on this system: client updates are compressed with error
-	// feedback and the latency model charges for encoded bytes. A job's
-	// config can still override it by setting its own Codec.
-	Compression Codec
-
-	// Live tiering (internal/tiering): the fields below make the
-	// tiered-async jobs re-tier mid-run instead of freezing the profiled
-	// tiers. They apply to TrainTieredAsync and TrainTieredAsyncNet;
+	// CompressionOptions supplies the default update codec for every
+	// training job on this system: client updates are compressed with
+	// error feedback and the latency model charges for encoded bytes. A
+	// job's config can still override it by setting its own Codec;
+	// AdaptiveCompression applies to distributed jobs only.
+	CompressionOptions
+	// TieringOptions makes the tiered-async jobs re-tier mid-run instead
+	// of freezing the profiled tiers (internal/tiering). They apply to
+	// TrainTieredAsync, TrainTieredAsyncNet, and TrainTieredAsyncTree;
 	// NetOptions can override them per distributed job.
-
-	// RetierEvery rebuilds tiers from observed latencies every k global
-	// commits (0 keeps the profiled tiers frozen, the paper's one-shot
-	// Section 4.2 behaviour).
-	RetierEvery int
-	// EWMABeta weights new latency observations in the live estimates
-	// (0 defaults to 0.5).
-	EWMABeta float64
-	// AdaptiveSelection enables Algorithm-2 selection inside the tier
-	// loops: accuracy-driven tier probabilities size each tier's cohorts
-	// under per-tier Credits budgets.
-	AdaptiveSelection bool
-	// Credits is the per-tier boosted-round budget Credits_t for
-	// AdaptiveSelection (0 = unlimited).
-	Credits int
+	TieringOptions
 }
 
 // System is a profiled and tiered federation, ready to train under any
@@ -278,7 +264,7 @@ func UniformTierWeights() TierWeightFunc { return core.UniformTierWeights() }
 // profiled latencies when the effective options ask for one (RetierEvery
 // > 0 or AdaptiveSelection); nil keeps the profiled tiers frozen.
 func (s *System) tieringManager(o Options, clientsPerRound int, seed int64) (flcore.TierManager, error) {
-	if o.RetierEvery <= 0 && !o.AdaptiveSelection {
+	if !o.Live() {
 		return nil, nil
 	}
 	mgr, err := tiering.NewManager(tiering.Config{
@@ -343,41 +329,30 @@ type NetOptions struct {
 	RoundTimeout time.Duration
 	// WorkerTimeout bounds the registration wait (default 30s).
 	WorkerTimeout time.Duration
-	// Compression, if set, is the update codec every worker negotiates at
-	// registration: trained deltas travel as compressed
-	// MsgCompressedUpdate payloads with the error-feedback residual kept
-	// worker-side. Defaults to the training config's Codec (or the
-	// system's Options.Compression), so a simulated and a distributed run
-	// of the same job compress identically.
-	Compression Codec
-	// AdaptiveCompression makes the codec tier-aware: workers in the
-	// slower half of the profiled tiers negotiate the configured codec
-	// (top-k@10% when none is configured) while fast-tier workers stay
-	// dense — slow tiers stop paying a dense model transfer per commit
-	// without costing the fast tiers any fidelity. Codecs are negotiated
-	// at registration and, when live re-tiering migrates a worker across
-	// the fast/slow boundary, renegotiated over the reassignment envelope
-	// so the worker's codec follows its tier.
-	AdaptiveCompression bool
-	// CheckpointEvery, when positive, snapshots the distributed run every
-	// so many applied commits as a durable TieredCheckpoint at
-	// CheckpointPath (written atomically; the previous snapshot is kept at
-	// CheckpointPath+".prev"). See cmd/tifl-node for the resume flow.
-	CheckpointEvery int
-	// CheckpointPath is the durable snapshot file for CheckpointEvery.
-	CheckpointPath string
+	// CompressionOptions is the wire codec policy for this job: workers
+	// negotiate Compression at registration (trained deltas travel as
+	// compressed MsgCompressedUpdate payloads with the error-feedback
+	// residual kept worker-side; defaults to the training config's Codec
+	// or the system's Options.Compression, so a simulated and a
+	// distributed run of the same job compress identically), and
+	// AdaptiveCompression makes the codec tier-aware — the slower half of
+	// the profiled tiers negotiates the configured codec (top-k@10% when
+	// none is configured) while fast-tier workers stay dense, and live
+	// re-tierings renegotiate a migrating worker's codec over the
+	// reassignment envelope so it follows its tier.
+	CompressionOptions
+	// CheckpointOptions snapshots the distributed run every
+	// CheckpointEvery applied commits as a durable TieredCheckpoint at
+	// CheckpointPath. See cmd/tifl-node for the resume flow.
+	CheckpointOptions
 	// MetricsAddr, when set (e.g. "127.0.0.1:9090"), serves the
 	// aggregator's live observability endpoint: GET /metrics returns a
 	// flnet.MetricsSnapshot as JSON, GET /healthz returns 200.
 	MetricsAddr string
-	// RetierEvery / EWMABeta / AdaptiveSelection / Credits override the
-	// system Options' live-tiering fields for this distributed job when
-	// non-zero (AdaptiveSelection and Credits apply when RetierEvery or
-	// AdaptiveSelection is enabled on either level).
-	RetierEvery       int
-	EWMABeta          float64
-	AdaptiveSelection bool
-	Credits           int
+	// TieringOptions overrides the system Options' live-tiering fields for
+	// this distributed job when non-zero (TieringOptions.Overlay
+	// precedence). Not supported by TrainTieredAsyncTree.
+	TieringOptions
 }
 
 // TrainTieredAsyncNet runs the same FedAT-style protocol as
@@ -423,21 +398,13 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 			net.Compression = s.codec
 		}
 	}
+	if !net.AdaptiveCompression {
+		net.AdaptiveCompression = s.opts.AdaptiveCompression
+	}
 	// Effective live-tiering options: NetOptions overrides, Options
 	// defaults.
 	topts := s.opts
-	if net.RetierEvery > 0 {
-		topts.RetierEvery = net.RetierEvery
-	}
-	if net.EWMABeta > 0 {
-		topts.EWMABeta = net.EWMABeta
-	}
-	if net.AdaptiveSelection {
-		topts.AdaptiveSelection = true
-	}
-	if net.Credits > 0 {
-		topts.Credits = net.Credits
-	}
+	topts.TieringOptions = net.TieringOptions.Overlay(s.opts.TieringOptions)
 	mgr, err := s.tieringManager(topts, cfg.ClientsPerRound, cfg.Seed)
 	if err != nil {
 		return nil, 0, err
@@ -458,7 +425,7 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		Manager:         mgr,
 		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
 		MetricsAddr:   net.MetricsAddr,
-		ReassignCodec: reassignCodecPolicy(net),
+		ReassignCodec: net.ReassignPolicy(),
 	})
 	if err != nil {
 		return nil, 0, err
@@ -469,7 +436,7 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		idx := i
 		go flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with the aggregator
 			ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
-			Codec: workerCodec(net, tierOf[idx], len(s.tiers)),
+			Codec: net.TierCodec(tierOf[idx], len(s.tiers)),
 			Train: func(round int, weights []float64) ([]float64, int, error) {
 				u := eng.TrainClient(round, idx, weights)
 				return u.Weights, u.NumSamples, nil
@@ -496,38 +463,107 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 	return res, acc, nil
 }
 
-// workerCodec resolves the codec one worker negotiates at registration:
-// the job's uniform codec, or — under NetOptions.AdaptiveCompression —
-// the configured codec (top-k@10% by default) for workers profiled into
-// the slower half of the tiers and dense for the rest.
-func workerCodec(net NetOptions, tier, numTiers int) Codec {
-	if !net.AdaptiveCompression {
-		return net.Compression
+// TrainTieredAsyncTree runs the same FedAT-style protocol as
+// TrainTieredAsyncNet, but over the hierarchical topology: one
+// flnet.Child aggregator per profiled tier (each on its own ephemeral
+// loopback port, pre-reducing its tier's mini-FedAvg rounds at the edge)
+// behind one tree root, with every leaf worker registered at its tier's
+// child rather than the root. Leaves negotiate codecs with their child
+// under the same CompressionOptions policy as the flat run, and the
+// children report uplink traffic upstream into the root's metrics
+// endpoint. Live tiering is not supported over the tree — membership is
+// fixed at the profiled tiers — so effective TieringOptions asking for a
+// Manager (RetierEvery / AdaptiveSelection) are an error.
+func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, test *Dataset) (*NetTieredAsyncResult, float64, error) {
+	if cfg.TierWeight == nil {
+		cfg.TierWeight = core.FedATWeights()
 	}
-	if tier < (numTiers+1)/2 {
-		return nil // fast half: dense updates
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 10
 	}
-	if net.Compression != nil {
-		return net.Compression
+	if cfg.LocalEpochs == 0 {
+		cfg.LocalEpochs = 1
 	}
-	return TopKCodec(0.1)
-}
-
-// reassignCodecPolicy is workerCodec's live counterpart: under
-// AdaptiveCompression it gives the aggregator the per-tier codec spec used
-// to renegotiate a migrating worker's codec, keeping the fast-half-dense /
-// slow-half-compressed split intact through re-tierings. nil (the default)
-// leaves codecs as negotiated at registration.
-func reassignCodecPolicy(net NetOptions) func(tier, numTiers int) string {
-	if !net.AdaptiveCompression {
-		return nil
+	if net.Addr == "" {
+		net.Addr = "127.0.0.1:0"
 	}
-	return func(tier, numTiers int) string {
-		if c := workerCodec(net, tier, numTiers); c != nil {
-			return c.Name()
+	if net.RoundTimeout == 0 {
+		net.RoundTimeout = 60 * time.Second
+	}
+	if net.WorkerTimeout == 0 {
+		net.WorkerTimeout = 30 * time.Second
+	}
+	if cfg.Model == nil || cfg.Optimizer == nil {
+		return nil, 0, fmt.Errorf("tifl: TrainTieredAsyncTree needs Model and Optimizer factories")
+	}
+	if net.Compression == nil {
+		if cfg.Codec != nil {
+			net.Compression = cfg.Codec
+		} else {
+			net.Compression = s.codec
 		}
-		return "none"
 	}
+	if !net.AdaptiveCompression {
+		net.AdaptiveCompression = s.opts.AdaptiveCompression
+	}
+	if topts := net.TieringOptions.Overlay(s.opts.TieringOptions); topts.Live() {
+		return nil, 0, fmt.Errorf("tifl: live tiering (RetierEvery/AdaptiveSelection) is not supported over the tree topology; use TrainTieredAsyncNet")
+	}
+	eng := flcore.NewEngine(flcore.Config{
+		Rounds: 1, ClientsPerRound: 1, LocalEpochs: cfg.LocalEpochs,
+		BatchSize: cfg.BatchSize, Seed: cfg.Seed,
+		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
+	}, s.clients, nil)
+	init := eng.GlobalWeights()
+	root, err := flnet.NewTieredAsyncAggregator(net.Addr, flnet.TieredAsyncConfig{
+		GlobalCommits: net.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
+		Alpha: cfg.Alpha, StalenessExp: cfg.StalenessExp, TierWeight: cfg.TierWeight,
+		RoundTimeout: net.RoundTimeout, InitialWeights: init, Seed: cfg.Seed,
+		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
+		MetricsAddr: net.MetricsAddr,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer root.Close()
+	children := make([]*flnet.Child, len(s.tiers))
+	for t, tier := range s.tiers {
+		ch, err := flnet.NewChild(flnet.ChildConfig{
+			ID: t, RootAddr: root.Addr(), Workers: len(tier.Members),
+			WorkerTimeout: net.WorkerTimeout, RoundTimeout: net.RoundTimeout,
+		})
+		if err != nil {
+			return nil, 0, fmt.Errorf("tifl: starting child aggregator %d: %w", t, err)
+		}
+		defer ch.Close()
+		children[t] = ch
+		go ch.Run() //nolint:errcheck // child exits with the root
+		for _, ci := range tier.Members {
+			idx := ci
+			go flnet.RunWorker(ch.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with its child
+				ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
+				Codec: net.TierCodec(t, len(s.tiers)),
+				Train: func(round int, weights []float64) ([]float64, int, error) {
+					u := eng.TrainClient(round, idx, weights)
+					return u.Weights, u.NumSamples, nil
+				},
+			})
+		}
+	}
+	if err := root.WaitForChildren(len(s.tiers), net.WorkerTimeout); err != nil {
+		return nil, 0, err
+	}
+	res, err := root.RunTree()
+	if err != nil {
+		return nil, 0, err
+	}
+	acc := 0.0
+	if test != nil {
+		model := eng.GlobalModel()
+		model.SetWeightsVector(res.Weights)
+		acc, _ = model.Evaluate(test.InputTensor(), test.Y, cfg.EvalBatch)
+	}
+	return res, acc, nil
 }
 
 // EstimateTrainingTime applies the paper's estimation model (Eq. 6) to a

@@ -243,6 +243,58 @@ func TestTrainTieredAsyncNet(t *testing.T) {
 	}
 }
 
+// TestTrainTieredAsyncTree drives the hierarchical topology through the
+// public API: one child aggregator per profiled tier pre-reduces its
+// mini-FedAvg rounds at the edge, and the root only ever applies one
+// vector per tier round.
+func TestTrainTieredAsyncTree(t *testing.T) {
+	clients, test := testPopulation(t)
+	sys, err := New(clients, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(1)
+	commits := 30
+	if testing.Short() {
+		commits = 12
+	}
+	res, acc, err := sys.TrainTieredAsyncTree(TieredAsyncConfig{
+		ClientsPerRound: 5, Seed: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
+		EvalBatch: 128,
+	}, NetOptions{
+		GlobalCommits:      commits,
+		CompressionOptions: CompressionOptions{AdaptiveCompression: true},
+	}, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range res.Commits {
+		total += c
+	}
+	if total != commits || len(res.Log) != commits {
+		t.Fatalf("commits %v (log %d), want %d total", res.Commits, len(res.Log), commits)
+	}
+	if len(res.Commits) != len(sys.Tiers()) {
+		t.Fatalf("%d commit counters for %d tiers", len(res.Commits), len(sys.Tiers()))
+	}
+	if res.UplinkBytes <= 0 {
+		t.Fatalf("children reported %d uplink bytes", res.UplinkBytes)
+	}
+	if acc <= 0.15 {
+		t.Fatalf("tree accuracy %v at chance", acc)
+	}
+	// Live tiering cannot ride over the tree.
+	if _, _, err := sys.TrainTieredAsyncTree(TieredAsyncConfig{
+		ClientsPerRound: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
+	}, NetOptions{
+		GlobalCommits:  1,
+		TieringOptions: TieringOptions{RetierEvery: 5},
+	}, nil); err == nil {
+		t.Fatal("live tiering over the tree accepted")
+	}
+}
+
 // TestTrainTieredAsyncLiveRetier drives the public live-tiering surface:
 // Options.RetierEvery makes the simulated tiered-async job re-tier from
 // observed latencies when client resources drift mid-run.
@@ -262,7 +314,7 @@ func TestTrainTieredAsyncLiveRetier(t *testing.T) {
 			return 1
 		}
 	}
-	sys, err := New(clients, Options{RetierEvery: 10, EWMABeta: 0.5})
+	sys, err := New(clients, Options{TieringOptions: TieringOptions{RetierEvery: 10, EWMABeta: 0.5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +336,7 @@ func TestTrainTieredAsyncLiveRetier(t *testing.T) {
 // the credit budget and the 2x cap.
 func TestTrainTieredAsyncAdaptiveSelection(t *testing.T) {
 	clients, test := testPopulation(t)
-	sys, err := New(clients, Options{AdaptiveSelection: true, Credits: 5})
+	sys, err := New(clients, Options{TieringOptions: TieringOptions{AdaptiveSelection: true, Credits: 5}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +373,9 @@ func TestTrainTieredAsyncNetLiveRetier(t *testing.T) {
 		ClientsPerRound: 5, Seed: 5, Model: cfg.Model, Optimizer: cfg.Optimizer,
 		EvalBatch: 128,
 	}, NetOptions{
-		GlobalCommits: commits, RetierEvery: 50, AdaptiveCompression: true,
+		GlobalCommits:      commits,
+		TieringOptions:     TieringOptions{RetierEvery: 50},
+		CompressionOptions: CompressionOptions{AdaptiveCompression: true},
 	}, test)
 	if err != nil {
 		t.Fatal(err)
@@ -344,24 +398,24 @@ func TestTrainTieredAsyncNetLiveRetier(t *testing.T) {
 
 func TestWorkerCodecPolicy(t *testing.T) {
 	topk := TopKCodec(0.1)
-	uniform := NetOptions{Compression: topk}
-	if workerCodec(uniform, 0, 5) != topk || workerCodec(uniform, 4, 5) != topk {
+	uniform := NetOptions{CompressionOptions: CompressionOptions{Compression: topk}}
+	if uniform.TierCodec(0, 5) != topk || uniform.TierCodec(4, 5) != topk {
 		t.Fatal("uniform compression must ignore tiers")
 	}
-	adaptive := NetOptions{AdaptiveCompression: true, Compression: topk}
-	if workerCodec(adaptive, 0, 5) != nil || workerCodec(adaptive, 2, 5) != nil {
+	adaptive := NetOptions{CompressionOptions: CompressionOptions{AdaptiveCompression: true, Compression: topk}}
+	if adaptive.TierCodec(0, 5) != nil || adaptive.TierCodec(2, 5) != nil {
 		t.Fatal("fast half must stay dense")
 	}
-	if workerCodec(adaptive, 3, 5) != topk || workerCodec(adaptive, 4, 5) != topk {
+	if adaptive.TierCodec(3, 5) != topk || adaptive.TierCodec(4, 5) != topk {
 		t.Fatal("slow half must use the configured codec")
 	}
 	// Without a configured codec the slow half defaults to top-k@10%.
-	fallback := NetOptions{AdaptiveCompression: true}
-	if workerCodec(fallback, 4, 5) == nil || workerCodec(fallback, 0, 5) != nil {
+	fallback := NetOptions{CompressionOptions: CompressionOptions{AdaptiveCompression: true}}
+	if fallback.TierCodec(4, 5) == nil || fallback.TierCodec(0, 5) != nil {
 		t.Fatal("default adaptive codec policy broken")
 	}
 	// Two tiers: ceil(2/2)=1 fast tier, one compressed tier.
-	if workerCodec(adaptive, 0, 2) != nil || workerCodec(adaptive, 1, 2) != topk {
+	if adaptive.TierCodec(0, 2) != nil || adaptive.TierCodec(1, 2) != topk {
 		t.Fatal("two-tier split wrong")
 	}
 }
