@@ -132,6 +132,13 @@ func BenchmarkExtensionLiveRetier(b *testing.B) {
 	}
 }
 
+func BenchmarkExtensionDownlink(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		experiments.RunExtensionDownlink(benchScale())
+	}
+}
+
 // BenchmarkExtMillion runs the population-scale event-driven engine at a
 // CI-smoke population (10k registered clients) and reports the scale
 // metrics the BENCH artifact tracks: commit throughput against wall clock

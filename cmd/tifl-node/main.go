@@ -39,6 +39,16 @@
 //	tifl-node -role worker -addr host:7070 -id 1 -codec topk@0.1
 //	tifl-node -role worker -addr host:7070 -id 2 -codec int8
 //
+// The broadcast direction compresses independently: -downlink-codec on the
+// aggregator roles sends each tier round's model as one shared delta
+// against the version-acked base delta-capable workers already hold
+// (dense snapshot on first contact, resume, or ack gap; legacy workers
+// always get dense). "delta" is lossless, "delta+int8" / "delta+topk@0.1"
+// trade accuracy for bytes with a server-side error-feedback residual:
+//
+//	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -downlink-codec delta+topk@0.1
+//	tifl-node -role child-aggregator -addr :7171 -root host:7070 -id 0 -workers 3 -downlink-codec delta
+//
 // Hierarchical topology (the tree): run per-tier child-aggregator
 // processes between the workers and the root. Each child waits for its
 // own -workers leaf workers, joins the root as tier -id, and pre-reduces
@@ -184,6 +194,7 @@ func main() {
 			CheckpointEvery: ckptEvery, CheckpointPath: ckptOpts.CheckpointPath,
 			MetricsAddr:   *metrics,
 			ReassignCodec: compOpts.ReassignPolicy(),
+			Downlink:      compOpts.Downlink,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -281,8 +292,8 @@ func main() {
 		model.SetWeightsVector(res.Weights)
 		acc, loss := model.Evaluate(test.X, test.Y, 256)
 		last := res.Log[len(res.Log)-1]
-		fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes\n",
-			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes)
+		fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes, downlink %d bytes\n",
+			len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes, res.DownlinkBytes)
 		fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 
 	case "child-aggregator":
@@ -292,6 +303,7 @@ func main() {
 		ch, err := flnet.NewChild(flnet.ChildConfig{
 			ID: *id, Addr: *addr, RootAddr: *rootAddr,
 			Workers: *workers, WorkerTimeout: 10 * time.Minute, RoundTimeout: *timeout,
+			Downlink: compOpts.Downlink,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -372,16 +384,16 @@ func runTreeRoot(agg *flnet.TieredAsyncAggregator, children, commits int, resume
 		fail("tree training: %v", err)
 	}
 	for _, row := range agg.Metrics().Children {
-		fmt.Printf("tier %d child %s: %d commits, %d uplink bytes reported\n",
-			row.Tier+1, row.Addr, res.Commits[row.Tier], row.UplinkBytes)
+		fmt.Printf("tier %d child %s: %d commits, %d uplink bytes, %d downlink bytes reported\n",
+			row.Tier+1, row.Addr, res.Commits[row.Tier], row.UplinkBytes, row.DownlinkBytes)
 	}
 	test := dataset.Generate(spec, 1000, seed+999)
 	model := arch(rand.New(rand.NewSource(seed)))
 	model.SetWeightsVector(res.Weights)
 	acc, loss := model.Evaluate(test.X, test.Y, 256)
 	last := res.Log[len(res.Log)-1]
-	fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes\n",
-		len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes)
+	fmt.Printf("%d commits applied (last: tier %d round %d, staleness %d, weight %.3f), uplink %d bytes, downlink %d bytes\n",
+		len(res.Log), last.Tier+1, last.TierRound, last.Staleness, last.Weight, res.UplinkBytes, res.DownlinkBytes)
 	fmt.Printf("final global accuracy %.4f (loss %.4f)\n", acc, loss)
 }
 

@@ -149,6 +149,9 @@ func main() {
 		GlobalCommits: 8 * rounds, ClientsPerRound: perRound,
 		TierWeight:   core.FedATWeights(),
 		RoundTimeout: 30 * time.Second, InitialWeights: init, Seed: 1,
+		// Broadcasts travel as int8-quantized deltas against each worker's
+		// last-acked version (first contact goes dense automatically).
+		Downlink: &compress.Downlink{Codec: compress.NewInt8(0)},
 	})
 	if err != nil {
 		panic(err)
@@ -181,6 +184,8 @@ func main() {
 		len(tres.Log), tacc)
 	fmt.Printf("uplink %d bytes with top-k@10%% compression (dense would be %d, %.1fx more)\n",
 		tres.UplinkBytes, denseBytes, float64(denseBytes)/float64(tres.UplinkBytes))
+	fmt.Printf("downlink %d bytes with delta+int8 broadcast (dense would be %d, %.1fx more)\n",
+		tres.DownlinkBytes, denseBytes, float64(denseBytes)/float64(tres.DownlinkBytes))
 
 	// Phase 3: crash-safe checkpointing. The same tiered-async job snapshots
 	// itself durably every few commits and serves live metrics; we kill the

@@ -27,6 +27,7 @@ func All() []Runner {
 		{"ext_live_retier", "Extension: live re-tiering inside tiered-async under drift", RunExtensionLiveRetier},
 		{"ext_staleness", "Extension: tiered-async Alpha/StalenessExp ablation", RunExtensionStaleness},
 		{"ext_compression", "Extension: quantized / top-k compressed updates", RunExtensionCompression},
+		{"ext_downlink", "Extension: delta-compressed downlink broadcast", RunExtensionDownlink},
 		{"ext_million", "Extension: million-client event-driven population scale", RunExtensionMillion},
 		{"ablation_tiering", "Ablation: tiering strategy", RunAblationTiering},
 		{"ablation_tiercount", "Ablation: tier count", RunAblationTierCount},

@@ -41,6 +41,13 @@ type PendingTierRound struct {
 	Latency                        float64
 	Lats                           []float64
 	UplinkBytes                    int64
+	// DownlinkBytes and CommBytes mirror tierRun's broadcast accounting:
+	// the round's total broadcast charge and each selected client's
+	// down+up wire bytes (parallel to Selected). Checkpoints from before
+	// the fields gob-decode to zero/nil; a resumed commit then feeds the
+	// Manager zero bytes for those rounds, which the EWMA simply skips.
+	DownlinkBytes int64
+	CommBytes     []int64
 }
 
 // TieredCheckpoint captures a tiered-asynchronous job between commits:
@@ -69,10 +76,13 @@ type TieredCheckpoint struct {
 	// cumulative committed rounds per tier.
 	Rounds  []int
 	Commits []int
-	// Retiers / Migrations / UplinkBytes are cumulative run totals.
-	Retiers     int
-	Migrations  int
-	UplinkBytes int64
+	// Retiers / Migrations / UplinkBytes / DownlinkBytes are cumulative
+	// run totals. (DownlinkBytes gob-decodes to zero from checkpoints that
+	// predate downlink accounting.)
+	Retiers       int
+	Migrations    int
+	UplinkBytes   int64
+	DownlinkBytes int64
 	// Tiers is the tier membership at the snapshot, fastest first.
 	Tiers [][]int
 	// Pending are the in-flight tier rounds (ordered by commit time).
@@ -105,28 +115,31 @@ func (c *TieredCheckpoint) Clients() []int {
 // holds every live tier's in-flight round.
 func (e *TieredAsyncEngine) Snapshot() (*TieredCheckpoint, error) {
 	c := &TieredCheckpoint{
-		Format:      TieredCheckpointFormat,
-		Seed:        e.Cfg.Seed,
-		Version:     e.version,
-		SimTime:     e.clock.Now(),
-		NextEval:    e.nextEval,
-		Weights:     append([]float64(nil), e.weights...),
-		Rounds:      append([]int(nil), e.rounds...),
-		Commits:     append([]int(nil), e.commits...),
-		Retiers:     e.retiers,
-		Migrations:  e.migrations,
-		UplinkBytes: e.uplink,
-		Tiers:       copyTiers(e.Tiers),
+		Format:        TieredCheckpointFormat,
+		Seed:          e.Cfg.Seed,
+		Version:       e.version,
+		SimTime:       e.clock.Now(),
+		NextEval:      e.nextEval,
+		Weights:       append([]float64(nil), e.weights...),
+		Rounds:        append([]int(nil), e.rounds...),
+		Commits:       append([]int(nil), e.commits...),
+		Retiers:       e.retiers,
+		Migrations:    e.migrations,
+		UplinkBytes:   e.uplink,
+		DownlinkBytes: e.downlink,
+		Tiers:         copyTiers(e.Tiers),
 	}
 	for _, run := range e.pending {
 		c.Pending = append(c.Pending, PendingTierRound{
 			Tier: run.tier, TierRound: run.tierRound, PulledVersion: run.pulledVer,
-			Finish:      run.finish,
-			Selected:    append([]int(nil), run.selected...),
-			Weights:     append([]float64(nil), run.weights...),
-			Latency:     run.latency,
-			Lats:        append([]float64(nil), run.lats...),
-			UplinkBytes: run.upBytes,
+			Finish:        run.finish,
+			Selected:      append([]int(nil), run.selected...),
+			Weights:       append([]float64(nil), run.weights...),
+			Latency:       run.latency,
+			Lats:          append([]float64(nil), run.lats...),
+			UplinkBytes:   run.upBytes,
+			DownlinkBytes: run.downBytes,
+			CommBytes:     append([]int64(nil), run.bytes...),
 		})
 	}
 	// Canonical order: the heap's internal layout is an implementation
@@ -265,17 +278,28 @@ func (e *TieredAsyncEngine) Restore(c *TieredCheckpoint) error {
 	copy(e.commits, c.Commits)
 	e.retiers, e.migrations = c.Retiers, c.Migrations
 	e.uplink = c.UplinkBytes
+	e.downlink = c.DownlinkBytes
+	// Delta-downlink chains do not survive a crash: the resumed aggregator
+	// cannot trust any client's held version, so chains and acks reset and
+	// every tier's first post-resume broadcast goes dense. In lossless mode
+	// the re-adopted base is bit-identical to the chain the crash lost, so
+	// the model replays exactly; only the traffic (and therefore simulated
+	// comm timing) of the fallback rounds differs from an uninterrupted
+	// run. Lossy chains additionally restart their error feedback.
+	e.resetDownlink()
 	e.pending = e.pending[:0]
 	heap.Init(&e.pending)
 	for _, p := range c.Pending {
 		heap.Push(&e.pending, &tierRun{
 			tier: p.Tier, tierRound: p.TierRound, pulledVer: p.PulledVersion,
-			finish:   p.Finish,
-			selected: append([]int(nil), p.Selected...),
-			weights:  append([]float64(nil), p.Weights...),
-			latency:  p.Latency,
-			lats:     append([]float64(nil), p.Lats...),
-			upBytes:  p.UplinkBytes,
+			finish:    p.Finish,
+			selected:  append([]int(nil), p.Selected...),
+			weights:   append([]float64(nil), p.Weights...),
+			latency:   p.Latency,
+			lats:      append([]float64(nil), p.Lats...),
+			upBytes:   p.UplinkBytes,
+			downBytes: p.DownlinkBytes,
+			bytes:     append([]int64(nil), p.CommBytes...),
 		})
 	}
 	switch src := e.src.(type) {

@@ -251,6 +251,19 @@ func (e *Engine) TrainClient(round int, clientIdx int, globalWeights []float64) 
 // random stream is keyed on (Seed, round, Client.ID), so a lazily
 // materialized client trains bit-identically to its eager twin.
 func (e *Engine) TrainClientOn(round int, c *Client, globalWeights []float64) Update {
+	return e.TrainClientComm(round, c, globalWeights, -1)
+}
+
+// TrainClientComm is TrainClientOn with an explicit downlink charge: the
+// broadcast reached this client as downBytes wire bytes (a shared delta
+// payload under downlink compression, or a dense snapshot it was not
+// eligible for) instead of the implicit dense transfer. The latency model
+// then charges downBytes + the update's encoded size for the round's
+// communication. downBytes < 0 keeps the historical dense charging
+// bit-identically (including the parameter-based LatencyFull path for
+// uncompressed uplinks). The rng draw sequence is identical either way, so
+// switching charging modes never perturbs training randomness.
+func (e *Engine) TrainClientComm(round int, c *Client, globalWeights []float64, downBytes int) Update {
 	s := e.getScratch()
 	defer e.putScratch(s)
 	// Replica.Acquire reproduces rand.New(rand.NewSource(mix(...))) followed
@@ -305,8 +318,15 @@ func (e *Engine) TrainClientOn(round int, c *Client, globalWeights []float64) Up
 			weightsOut[i] = globalWeights[i] + rec[i]
 		}
 		wire = len(payload)
+		down := compress.DenseBytes(len(weightsOut))
+		if downBytes >= 0 {
+			down = downBytes
+		}
 		lat = e.Cfg.Latency.LatencyBytes(c.EffectiveCPU(round), c.NumSamples(), epochs,
-			compress.DenseBytes(len(weightsOut))+wire, c.Bandwidth, rng)
+			down+wire, c.Bandwidth, rng)
+	} else if downBytes >= 0 {
+		lat = e.Cfg.Latency.LatencyBytes(c.EffectiveCPU(round), c.NumSamples(), epochs,
+			downBytes+wire, c.Bandwidth, rng)
 	} else {
 		lat = e.Cfg.Latency.LatencyFull(c.EffectiveCPU(round), c.NumSamples(), epochs, len(weightsOut), c.Bandwidth, rng)
 	}

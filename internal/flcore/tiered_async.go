@@ -74,6 +74,20 @@ type TierManager interface {
 	MaybeRetier(version int) (tiers [][]int, moves []TierMove, changed bool)
 }
 
+// CommObserver is the optional comm-aware extension of TierManager: a
+// Manager implementing it receives the full per-client round observation —
+// the client-measured compute seconds, the end-to-end response time, and
+// the wire bytes the round moved for that client — instead of the bare
+// Observe(seconds) call. Both tiered-async engines probe for it at commit
+// time, so re-tiering can rank clients by what a round actually costs
+// (transfer included) rather than compute latency alone. The canonical
+// implementation is internal/tiering.Manager, which keys the behavior on
+// its CommAware config so observation-richness alone never changes
+// placement.
+type CommObserver interface {
+	ObserveRound(client int, seconds, endToEnd float64, bytes int64)
+}
+
 // TierWeightFunc maps a committing tier to its cross-tier aggregation
 // weight given the per-tier commit counts so far (commits[k] includes the
 // current commit of tier `tier`). The weight is a multiplier on the base
@@ -133,6 +147,16 @@ type TieredAsyncConfig struct {
 	// compression FedAT motivates: slow tiers stop paying a dense model
 	// transfer per commit.
 	Codec compress.Codec
+	// Downlink, if set, delta-compresses the broadcast direction: each
+	// tier keeps a compress.Chain advanced once per tier round, clients
+	// whose last participation matches the chain's base are charged the
+	// shared delta payload, and everyone else (first contact, migration,
+	// resume) is charged a dense snapshot. Chain state is a pure function
+	// of the broadcast sequence, so the socket runtime
+	// (flnet.TieredAsyncAggregator) configured with the same spec reports
+	// identical DownlinkBytes on the same seed. nil keeps dense
+	// broadcasts.
+	Downlink *compress.Downlink
 	// Manager, if set, makes tiering live: every committed tier round's
 	// observed client latencies are fed to it, and at its rebuild points
 	// clients migrate between the running tier loops (the engine swaps its
@@ -183,6 +207,10 @@ type TierRoundRecord struct {
 	Latency, SimTime float64
 	// UplinkBytes is the tier round's total encoded update traffic.
 	UplinkBytes int64
+	// DownlinkBytes is the tier round's total broadcast traffic as charged
+	// on the wire: delta payloads for chain-eligible clients under
+	// downlink compression, dense snapshots otherwise.
+	DownlinkBytes int64
 }
 
 // TieredAsyncResult extends Result with the per-tier commit log.
@@ -195,6 +223,9 @@ type TieredAsyncResult struct {
 	// Retiers counts membership rebuilds that actually moved clients
 	// (Manager runs only); Migrations is the total clients moved.
 	Retiers, Migrations int
+	// DownlinkBytes is the run's total broadcast traffic as charged on the
+	// wire (see TierRoundRecord.DownlinkBytes).
+	DownlinkBytes int64
 }
 
 // tierRun is one in-flight tier round in the event queue.
@@ -208,6 +239,8 @@ type tierRun struct {
 	latency   float64
 	lats      []float64 // per-client observed latencies, parallel to selected
 	upBytes   int64     // total encoded uplink bytes of the round's updates
+	downBytes int64     // total broadcast bytes charged for the round
+	bytes     []int64   // per-client down+up wire bytes, parallel to selected
 }
 
 type tierRunHeap []*tierRun
@@ -261,7 +294,17 @@ type TieredAsyncEngine struct {
 	retiers    int
 	migrations int
 	uplink     int64
+	downlink   int64
 	resumed    bool
+
+	// Downlink-delta state (Cfg.Downlink only): one chain per tier, the
+	// global version each chain last advanced at, and the (tier, version)
+	// of every ever-selected client's last participation — the sim mirror
+	// of the socket runtime's per-worker ack tracking, kept sparse like
+	// the residual maps so population-scale runs stay affordable.
+	downChains []*compress.Chain
+	downVers   []int
+	acked      map[int]ackRef
 
 	// tierTest caches the per-tier pooled evaluation shards for adaptive
 	// accuracy feedback; rebuilt lazily when membership changes.
@@ -351,7 +394,7 @@ func NewTieredAsyncEngineFrom(cfg TieredAsyncConfig, tiers [][]int, src ClientSo
 		Model: cfg.Model, Optimizer: cfg.Optimizer, Latency: cfg.Latency,
 		Codec: cfg.Codec,
 	}
-	return &TieredAsyncEngine{
+	e := &TieredAsyncEngine{
 		Cfg:      cfg,
 		Tiers:    tiers,
 		Clients:  clients,
@@ -363,6 +406,29 @@ func NewTieredAsyncEngineFrom(cfg TieredAsyncConfig, tiers [][]int, src ClientSo
 		commits:  make([]int, len(tiers)),
 		nextEval: cfg.EvalInterval,
 	}
+	e.resetDownlink()
+	return e
+}
+
+// ackRef is one client's last participation under the downlink-delta
+// scheme: the tier whose round it trained in and the global version of
+// that round's broadcast.
+type ackRef struct{ tier, ver int }
+
+// resetDownlink (re)initializes the per-tier delta chains and the ack map
+// — fresh construction and checkpoint restore alike, since a resumed run
+// cannot trust any client's held version and must fall back to dense.
+func (e *TieredAsyncEngine) resetDownlink() {
+	if e.Cfg.Downlink == nil {
+		return
+	}
+	e.downChains = make([]*compress.Chain, len(e.Tiers))
+	e.downVers = make([]int, len(e.Tiers))
+	for t := range e.downChains {
+		e.downChains[t] = e.Cfg.Downlink.NewChain()
+		e.downVers[t] = -1
+	}
+	e.acked = make(map[int]ackRef)
 }
 
 // numClients returns the registered population size N.
@@ -418,6 +484,36 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 		return
 	}
 	pulled := append([]float64(nil), e.weights...)
+	// Downlink charging: every client is charged a dense snapshot unless
+	// the tier's delta chain covers it — the chain advances exactly once
+	// per round (shared payload, the O(1)-per-round encode), clients whose
+	// last participation matches the chain's base get the payload size,
+	// and the round then trains from the chain's post-round base so lossy
+	// broadcasts affect the model here exactly as they do over sockets.
+	dense := int64(compress.DenseBytes(len(pulled)))
+	downs := make([]int64, len(selected))
+	for i := range downs {
+		downs[i] = dense
+	}
+	if e.Cfg.Downlink != nil {
+		ch := e.downChains[t]
+		if !ch.HasBase() {
+			ch.Adopt(pulled)
+		} else {
+			payload, _ := ch.Encode(pulled)
+			baseVer := e.downVers[t]
+			for i, ci := range selected {
+				if a, ok := e.acked[ci]; ok && a.tier == t && a.ver == baseVer {
+					downs[i] = int64(len(payload))
+				}
+			}
+		}
+		e.downVers[t] = e.version
+		for _, ci := range selected {
+			e.acked[ci] = ackRef{tier: t, ver: e.version}
+		}
+		pulled = append(pulled[:0], ch.Base()...)
+	}
 	updates := make([]Update, len(selected))
 	// The round's cohort is materialized through the source for exactly the
 	// span of its local training: acquire everyone (so the round is a unit
@@ -429,7 +525,11 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 		acquired[i] = e.src.Acquire(ci)
 	}
 	for i, c := range acquired {
-		updates[i] = e.eng.TrainClientOn(r, c, pulled)
+		if e.Cfg.Downlink != nil {
+			updates[i] = e.eng.TrainClientComm(r, c, pulled, int(downs[i]))
+		} else {
+			updates[i] = e.eng.TrainClientOn(r, c, pulled)
+		}
 	}
 	agg := FedAvg(updates)
 	for _, c := range acquired {
@@ -437,15 +537,19 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 	}
 	lat := MaxLatency(updates)
 	lats := make([]float64, len(updates))
-	var upBytes int64
+	bytesPer := make([]int64, len(updates))
+	var upBytes, downBytes int64
 	for i, u := range updates {
 		upBytes += int64(u.WireBytes)
+		downBytes += downs[i]
+		bytesPer[i] = downs[i] + int64(u.WireBytes)
 		lats[i] = u.Latency
 	}
 	heap.Push(&e.pending, &tierRun{
 		tier: t, tierRound: r, pulledVer: e.version,
 		finish: now + lat, selected: selected,
 		weights: agg, latency: lat, lats: lats, upBytes: upBytes,
+		downBytes: downBytes, bytes: bytesPer,
 	})
 }
 
@@ -547,8 +651,20 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 			// estimates, then the Manager decides whether this version is a
 			// rebuild point. Migrations take effect at each tier's next
 			// dispatch; the in-flight runs in the heap keep their cohorts.
+			// A CommObserver gets the full observation — in the simulation
+			// the per-client latency already is the end-to-end round cost,
+			// so it doubles as both signals, plus the round's wire bytes.
+			co, commAware := e.Cfg.Manager.(CommObserver)
 			for i, ci := range run.selected {
-				e.Cfg.Manager.Observe(ci, run.lats[i])
+				if commAware {
+					var b int64
+					if run.bytes != nil {
+						b = run.bytes[i]
+					}
+					co.ObserveRound(ci, run.lats[i], run.lats[i], b)
+				} else {
+					e.Cfg.Manager.Observe(ci, run.lats[i])
+				}
 			}
 			if tiers, moves, changed := e.Cfg.Manager.MaybeRetier(e.version); changed {
 				e.Tiers = tiers
@@ -559,10 +675,12 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 		}
 
 		e.uplink += run.upBytes
+		e.downlink += run.downBytes
 		rec := TierRoundRecord{
 			Tier: run.tier, TierRound: run.tierRound, Version: e.version,
 			Selected: run.selected, Staleness: staleness, Weight: alpha,
 			Latency: run.latency, SimTime: now, UplinkBytes: run.upBytes,
+			DownlinkBytes: run.downBytes,
 		}
 		res.TierRounds = append(res.TierRounds, rec)
 		if e.Cfg.OnCommit != nil {
@@ -588,6 +706,7 @@ func (e *TieredAsyncEngine) Run() *TieredAsyncResult {
 	res.Commits = append([]int(nil), e.commits...)
 	res.Retiers, res.Migrations = e.retiers, e.migrations
 	res.UplinkBytes = e.uplink
+	res.DownlinkBytes = e.downlink
 	return res
 }
 

@@ -50,6 +50,10 @@ type ChildMetrics struct {
 	// UplinkBytes is the child's cumulative reported leaf-side update
 	// traffic across its applied commits.
 	UplinkBytes int64 `json:"uplink_bytes"`
+	// DownlinkBytes is the child's cumulative reported leaf-side broadcast
+	// traffic across its applied commits — delta payloads where the
+	// child's version-acked scheme allowed them, dense snapshots otherwise.
+	DownlinkBytes int64 `json:"downlink_bytes"`
 }
 
 // MetricsSnapshot is the GET /metrics response body.
@@ -100,10 +104,11 @@ type obsState struct {
 
 // childObs is one child aggregator's observable state (tree runs).
 type childObs struct {
-	addr   string
-	alive  bool
-	last   time.Time // last applied partial (zero = none yet)
-	uplink int64     // cumulative reported leaf-side uplink bytes
+	addr     string
+	alive    bool
+	last     time.Time // last applied partial (zero = none yet)
+	uplink   int64     // cumulative reported leaf-side uplink bytes
+	downlink int64     // cumulative reported leaf-side broadcast bytes
 }
 
 // noteChildUp records a child aggregator joining the tree at tier t.
@@ -117,7 +122,7 @@ func (o *obsState) noteChildUp(t int, addr string) {
 }
 
 // noteChildCommit records one applied partial from tier t's child.
-func (o *obsState) noteChildCommit(t int, uplink int64) {
+func (o *obsState) noteChildCommit(t int, uplink, downlink int64) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if t < 0 || t >= len(o.children) {
@@ -125,6 +130,7 @@ func (o *obsState) noteChildCommit(t int, uplink int64) {
 	}
 	o.children[t].last = time.Now()
 	o.children[t].uplink += uplink
+	o.children[t].downlink += downlink
 }
 
 // noteChildDown marks tier t's child connection as gone.
@@ -250,7 +256,7 @@ func (ta *TieredAsyncAggregator) Metrics() MetricsSnapshot {
 		snap.Tiers = append(snap.Tiers, tm)
 	}
 	for t, c := range o.children {
-		cm := ChildMetrics{Tier: t, Addr: c.addr, Alive: c.alive, UplinkBytes: c.uplink}
+		cm := ChildMetrics{Tier: t, Addr: c.addr, Alive: c.alive, UplinkBytes: c.uplink, DownlinkBytes: c.downlink}
 		cm.LastPartialAgeSeconds = -1
 		if !c.last.IsZero() {
 			cm.LastPartialAgeSeconds = time.Since(c.last).Seconds()

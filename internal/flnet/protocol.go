@@ -88,6 +88,16 @@ const (
 	// error-feedback residual). Older workers keep their handshake codec
 	// for the whole run; the aggregator never renegotiates with them.
 	ProtoCodecRenegotiate byte = 3
+	// ProtoDeltaDownlink marks a worker that understands the version-acked
+	// delta broadcast (Train.Version/Delta/DeltaBase/DeltaCodec): it tracks
+	// the last versioned snapshot it received, reconstructs delta payloads
+	// against it via compress.ApplyDelta, and adopts versioned dense
+	// snapshots as the new base. The aggregator only sends deltas to
+	// workers at this level whose last acked version matches the tier
+	// chain's base; everyone else — and every worker below this level —
+	// receives the dense snapshot exactly as before, so the feature is
+	// invisible to old nodes.
+	ProtoDeltaDownlink byte = 4
 )
 
 // Envelope is the single on-wire message shape; exactly one payload field
@@ -170,6 +180,24 @@ type Train struct {
 	// set instead of Weights for workers that registered with
 	// Proto ≥ ProtoFastWire. Exactly one of Weights/Raw is non-nil.
 	Raw []byte
+	// Version identifies the broadcast snapshot under the delta-downlink
+	// scheme: the sending tier's 1-based versioned-broadcast counter (so
+	// 0, the value old aggregators gob-decode to, means "no version — do
+	// not track a base"). A per-tier per-broadcast counter rather than the
+	// global model version, because a tier racing its own commit's
+	// application can pull the same global version twice and every
+	// (tier, Version) pair must name exactly one base. Only set for
+	// workers that registered with Proto ≥ ProtoDeltaDownlink on runs
+	// with a downlink mode configured.
+	Version int
+	// Delta, when non-nil, replaces Weights/Raw: the compress delta
+	// payload to apply against the worker's held base. DeltaBase names
+	// that base (its Version value), and DeltaCodec is the compress delta
+	// codec ID (compress.IDDeltaXOR for the lossless XOR delta, the lossy
+	// codec's ID otherwise).
+	Delta      []byte
+	DeltaBase  int
+	DeltaCodec byte
 }
 
 // broadcast is one round's weight vector prepared for sending to a mixed
@@ -273,6 +301,16 @@ type TreePull struct {
 	Version int
 	Weights []float64
 	Raw     []byte
+	// Delta, when non-nil, replaces Weights/Raw: the compress delta
+	// payload against the child's previously applied pull. DeltaBase is
+	// that pull's Version, DeltaCodec the compress delta codec ID. The
+	// root may send deltas because the pull→commit cycle is strictly
+	// sequential per child — a pull is only followed by another after the
+	// child's commit for it was applied, so the received commit is the
+	// implicit ack that the child holds the previous pull's base.
+	Delta      []byte
+	DeltaBase  int
+	DeltaCodec byte
 }
 
 // pullWeights decodes the pull's weight vector from whichever encoding it
@@ -301,6 +339,10 @@ type TierCommit struct {
 	// UplinkBytes is the tier round's worker→aggregator update traffic as
 	// encoded on the wire (compressed payloads where negotiated).
 	UplinkBytes int64
+	// DownlinkBytes is the tier round's aggregator→worker broadcast
+	// traffic as encoded on the wire (delta payloads where the ack state
+	// allowed them, dense snapshots otherwise).
+	DownlinkBytes int64
 	// Observed carries each contributing client's observed response
 	// latency, feeding the live tiering Manager's EWMA estimates at the
 	// committer (worker-reported seconds where available, the tier round's
@@ -308,10 +350,23 @@ type TierCommit struct {
 	Observed []ClientSeconds
 }
 
-// ClientSeconds is one client's observed response latency.
+// ClientSeconds is one client's observed round cost: the compute-side
+// latency plus, when the aggregator measures them, the end-to-end response
+// time and the wire traffic the client caused. Bytes and EndToEnd feed the
+// comm-aware tiering signal (tiering.Config.CommAware); both gob-decode to
+// zero from senders predating the fields, in which case the Manager falls
+// back to Seconds alone.
 type ClientSeconds struct {
 	Client  int
 	Seconds float64
+	// Bytes is the client's total wire traffic for the round: its share
+	// of the broadcast (dense or delta payload) plus its update as
+	// encoded on the wire.
+	Bytes int64
+	// EndToEnd is the aggregator-measured time from broadcast to the
+	// arrival of the client's update — queueing and transfer included,
+	// unlike the worker-reported Seconds.
+	EndToEnd float64
 }
 
 // TierReassign tells a worker it migrated between latency tiers at a live

@@ -117,6 +117,42 @@ type registered struct {
 	// synchronous path's straggler-discard semantics.
 	pmu     sync.Mutex
 	pending map[int64]chan *Envelope
+
+	// Delta-downlink ack state (Proto ≥ ProtoDeltaDownlink workers on runs
+	// with a downlink mode): the tier and global version of the last
+	// versioned snapshot this worker is known to hold — recorded when its
+	// update for that broadcast arrives, never merely when the broadcast
+	// was sent. A delta is only dispatched when the ack matches the tier
+	// chain's base exactly; everything else (first contact, a missed round,
+	// a migration, a resume) degrades to the dense snapshot.
+	amu     sync.Mutex
+	ackTier int
+	ackVer  int
+}
+
+// setAck records that the worker acknowledged (responded to) the versioned
+// broadcast of tier t at global version ver.
+func (w *registered) setAck(t, ver int) {
+	w.amu.Lock()
+	defer w.amu.Unlock()
+	w.ackTier, w.ackVer = t, ver
+}
+
+// clearAck forgets the worker's ack — called when a re-tiering migrates it,
+// so a stale same-tier ack can never resurface after the worker returns to
+// a tier it left.
+func (w *registered) clearAck() {
+	w.amu.Lock()
+	defer w.amu.Unlock()
+	w.ackTier, w.ackVer = -1, -1
+}
+
+// ackMatch reports whether the worker's last ack is exactly tier t at
+// version ver — the eligibility test for a delta against that base.
+func (w *registered) ackMatch(t, ver int) bool {
+	w.amu.Lock()
+	defer w.amu.Unlock()
+	return ver >= 0 && w.ackTier == t && w.ackVer == ver
 }
 
 // codecID returns the worker's current negotiated codec.
@@ -273,6 +309,7 @@ func (a *Aggregator) handshake(raw net.Conn) {
 		updates: make(chan *Envelope, 4),
 		deadCh:  make(chan struct{}),
 		pending: make(map[int64]chan *Envelope),
+		ackTier: -1, ackVer: -1,
 	}
 	a.mu.Lock()
 	if _, dup := a.workers[w.id]; dup {

@@ -110,6 +110,18 @@ type TieredAsyncConfig struct {
 	// differ. Workers predating ProtoCodecRenegotiate keep their handshake
 	// codec. nil disables renegotiation (the pre-renegotiation behaviour).
 	ReassignCodec func(tier, numTiers int) string
+	// Downlink enables the version-acked delta broadcast: each tier's
+	// aggregator loop keeps one delta chain (compress.Downlink.NewChain),
+	// encodes the round's snapshot against the chain's base exactly once,
+	// and sends the shared payload to every cohort member whose last acked
+	// broadcast matches that base — everyone else (first contact, a missed
+	// round, a migrated worker, a resume, any worker below
+	// ProtoDeltaDownlink) receives the dense snapshot and adopts it as its
+	// new base. With a nil Codec the delta is the lossless XOR stream and
+	// the run is byte-identical to a dense one; with a lossy codec the
+	// chain keeps a server-side error-feedback residual per tier. nil
+	// keeps the dense broadcast everywhere.
+	Downlink *compress.Downlink
 }
 
 func (c *TieredAsyncConfig) withDefaults() {
@@ -162,6 +174,10 @@ type TierCommitStats struct {
 	Seconds float64
 	// UplinkBytes is the tier round's encoded update traffic.
 	UplinkBytes int64
+	// DownlinkBytes is the tier round's broadcast traffic as encoded on
+	// the wire (delta payloads where the ack state allowed them, dense
+	// snapshots otherwise).
+	DownlinkBytes int64
 }
 
 // TieredAsyncRunResult is a finished distributed tiered-asynchronous job.
@@ -175,6 +191,10 @@ type TieredAsyncRunResult struct {
 	// UplinkBytes is the total encoded update traffic across all applied
 	// commits.
 	UplinkBytes int64
+	// DownlinkBytes is the total broadcast traffic across all applied
+	// commits as encoded on the wire — delta payloads where the
+	// version-acked scheme allowed them, dense snapshots otherwise.
+	DownlinkBytes int64
 	// Retiers counts live re-tierings that moved workers; Reassigned is
 	// the total workers migrated (Manager runs only).
 	Retiers, Reassigned int
@@ -213,17 +233,19 @@ type TieredAsyncAggregator struct {
 
 	fan  *fanIn          // the shared mini-FedAvg fan-in machinery
 	acks []chan lockSnap // lockstep mode: per-tier pull snapshots
+	down []*downTier     // per-tier delta-broadcast chains (Downlink runs)
 
 	// Resume state, set by Resume/ResumeModel before Run and read-only
 	// during it: the restored tier membership and per-tier cursors, plus
 	// the checkpointed cumulative totals Run's result continues from.
-	resumed     bool
-	resumeTiers [][]int
-	startRounds []int
-	baseCommits []int
-	baseRetiers int
-	baseMoved   int
-	baseUplink  int64
+	resumed      bool
+	resumeTiers  [][]int
+	startRounds  []int
+	baseCommits  []int
+	baseRetiers  int
+	baseMoved    int
+	baseUplink   int64
+	baseDownlink int64
 
 	// roundCursor tracks each tier's next round index for checkpoints
 	// (committer-goroutine-owned: a resumed tier restarts at the round
@@ -306,6 +328,7 @@ func (ta *TieredAsyncAggregator) resumeCommon(c *flcore.TieredCheckpoint) error 
 	ta.gmu.Unlock()
 	ta.baseRetiers, ta.baseMoved = c.Retiers, c.Migrations
 	ta.baseUplink = c.UplinkBytes
+	ta.baseDownlink = c.DownlinkBytes
 	ta.resumed = true
 	return nil
 }
@@ -418,6 +441,7 @@ func (ta *TieredAsyncAggregator) applyCommit(tc *TierCommit, commits []int) (Tie
 		Tier: tc.Tier, TierRound: tc.TierRound, Version: ta.version,
 		Staleness: staleness, Weight: alpha, Clients: tc.Clients,
 		Seconds: tc.Seconds, UplinkBytes: tc.UplinkBytes,
+		DownlinkBytes: tc.DownlinkBytes,
 	}, nil
 }
 
@@ -440,8 +464,18 @@ func (ta *TieredAsyncAggregator) feedManager(tc *TierCommit, version int, res *T
 	if mgr == nil {
 		return
 	}
-	for _, o := range tc.Observed {
-		mgr.Observe(o.Client, o.Seconds)
+	// Managers that take the richer round observation (tiering.Manager
+	// does) get the end-to-end response time and the wire traffic next to
+	// the compute-side seconds — the comm-aware tiering signal. Plain
+	// TierManagers keep the seconds-only feed.
+	if co, ok := mgr.(flcore.CommObserver); ok {
+		for _, o := range tc.Observed {
+			co.ObserveRound(o.Client, o.Seconds, o.EndToEnd, o.Bytes)
+		}
+	} else {
+		for _, o := range tc.Observed {
+			mgr.Observe(o.Client, o.Seconds)
+		}
 	}
 	tiers, moves, changed := mgr.MaybeRetier(version)
 	if !changed {
@@ -457,6 +491,11 @@ func (ta *TieredAsyncAggregator) feedManager(tc *TierCommit, version int, res *T
 		if w == nil || w.proto < ProtoTierReassign {
 			continue
 		}
+		// A migrated worker's delta-downlink ack is void: its new tier's
+		// chain has a different base, and clearing (rather than leaving) the
+		// ack also keeps a stale same-tier ack from resurfacing if a later
+		// rebuild moves the worker back.
+		w.clearAck()
 		tr := &TierReassign{From: mv.From, To: mv.To, NumTiers: len(tiers)}
 		// Per-tier compression policy: renegotiate the migrating worker's
 		// codec over the same envelope when the destination tier's policy
@@ -488,15 +527,16 @@ func (ta *TieredAsyncAggregator) feedManager(tc *TierCommit, version int, res *T
 func (ta *TieredAsyncAggregator) writeCheckpoint(applied int, res *TieredAsyncRunResult) error {
 	_, w := ta.snapshot()
 	c := &flcore.TieredCheckpoint{
-		Format:      flcore.TieredCheckpointFormat,
-		Seed:        ta.tcfg.Seed,
-		Version:     applied,
-		Weights:     w,
-		Rounds:      append([]int(nil), ta.roundCursor...),
-		Commits:     append([]int(nil), res.Commits...),
-		Retiers:     res.Retiers,
-		Migrations:  res.Reassigned,
-		UplinkBytes: res.UplinkBytes,
+		Format:        flcore.TieredCheckpointFormat,
+		Seed:          ta.tcfg.Seed,
+		Version:       applied,
+		Weights:       w,
+		Rounds:        append([]int(nil), ta.roundCursor...),
+		Commits:       append([]int(nil), res.Commits...),
+		Retiers:       res.Retiers,
+		Migrations:    res.Reassigned,
+		UplinkBytes:   res.UplinkBytes,
+		DownlinkBytes: res.DownlinkBytes,
 	}
 	ta.tmu.Lock()
 	c.Tiers = copyNetTiers(ta.members)
@@ -556,6 +596,28 @@ type fanIn struct {
 	seq     atomic.Int64  // train-request token source (Train.Seq)
 }
 
+// downTier is one tier's delta-broadcast state: the chain holding the
+// tier's last reconstructed base (plus, for lossy codecs, the server-side
+// error-feedback residual), and the tier's versioned-broadcast counter —
+// the Train.Version value of the chain's current base. The counter is
+// per-tier and per-broadcast rather than the global model version because
+// a tier racing its own commit's application can pull the same global
+// version twice; a per-broadcast counter keeps every (tier, version) pair
+// naming exactly one base, so a stale ack can never alias a newer one.
+// Owned by the tier's single aggregator loop — no locking needed.
+type downTier struct {
+	chain *compress.Chain
+	seq   int // versioned broadcasts sent so far (0 = none)
+}
+
+// timedUpdate is one collected update plus its aggregator-side arrival
+// time, measured from the round's broadcast — the end-to-end response
+// latency that feeds comm-aware tiering.
+type timedUpdate struct {
+	flcore.Update
+	arrival float64
+}
+
 // trainReq is one outstanding train request of a tier round: the worker it
 // went to and, for seq-echoing workers, the waiter its reply is routed to.
 // Legacy workers (seq 0, ch nil) are collected from their shared channel
@@ -572,9 +634,9 @@ type trainReq struct {
 // seq-echoing workers arrive through their per-request waiters, so a
 // migrated worker trained concurrently by its old and new tier can never
 // have its updates cross-matched between the two rounds.
-func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.Update {
+func (f *fanIn) collect(reqs []trainReq, round int, weights []float64, start time.Time) []timedUpdate {
 	type got struct {
-		u  flcore.Update
+		u  timedUpdate
 		ok bool
 	}
 	ch := make(chan got, len(reqs))
@@ -586,7 +648,7 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.
 		go func(rq trainReq) {
 			if rq.ch == nil {
 				u, ok := drainFor(rq.w, round, weights, deadline)
-				ch <- got{u: u, ok: ok}
+				ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds()}, ok: ok}
 				return
 			}
 			var timeout <-chan time.Time
@@ -594,6 +656,10 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.
 				timer := time.NewTimer(time.Until(deadline))
 				defer timer.Stop()
 				timeout = timer.C
+			}
+			deliver := func(env *Envelope) {
+				u, ok := decodeUpdate(rq.w, env, weights)
+				ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds()}, ok: ok}
 			}
 			// A reply that was routed before the connection dropped (or
 			// just before the deadline) still counts: always drain the
@@ -603,8 +669,7 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.
 			take := func() bool {
 				select {
 				case env := <-rq.ch:
-					u, ok := decodeUpdate(rq.w, env, weights)
-					ch <- got{u: u, ok: ok}
+					deliver(env)
 					return true
 				default:
 					return false
@@ -612,8 +677,7 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.
 			}
 			select {
 			case env := <-rq.ch:
-				u, ok := decodeUpdate(rq.w, env, weights)
-				ch <- got{u: u, ok: ok}
+				deliver(env)
 			case <-rq.w.deadCh:
 				if !take() {
 					ch <- got{ok: false}
@@ -625,7 +689,7 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64) []flcore.
 			}
 		}(rq)
 	}
-	var updates []flcore.Update
+	var updates []timedUpdate
 	for range reqs {
 		if g := <-ch; g.ok {
 			updates = append(updates, g.u)
@@ -652,7 +716,7 @@ const (
 // live re-tiering is the mitigation: its EWMA drifts up until a rebuild
 // moves it to a slower tier), and return the FedAvg aggregate as a
 // TierCommit ready for the committer — in-process or over the wire.
-func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64, done <-chan struct{}) (*TierCommit, tierRoundStatus) {
+func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64, dl *downTier, done <-chan struct{}) (*TierCommit, tierRoundStatus) {
 	const maxCollects = 3
 	var conns []*registered
 	for _, id := range cohort {
@@ -662,6 +726,26 @@ func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64,
 	}
 	if len(conns) == 0 {
 		return nil, roundNoCohort
+	}
+	// Delta broadcast: the chain advances exactly once per round — the
+	// payload is encoded against the chain's base and shared by every
+	// eligible recipient (the O(1)-per-round encode) — and the round then
+	// proceeds from the chain's post-encode base, so with a lossy codec
+	// training, uplink reconstruction, and every dense fallback all see the
+	// weights the delta recipients reconstruct, not the pre-loss snapshot.
+	var dlPayload []byte
+	var dlCodec byte
+	dlBase, dlVer := 0, 0
+	if dl != nil {
+		if dl.chain.HasBase() {
+			dlPayload, dlCodec = dl.chain.Encode(weights)
+			dlBase = dl.seq
+		} else {
+			dl.chain.Adopt(weights)
+		}
+		dl.seq++
+		dlVer = dl.seq
+		weights = append([]float64(nil), dl.chain.Base()...)
 	}
 	start := time.Now()
 	var reqs []trainReq
@@ -673,39 +757,71 @@ func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64,
 		}
 	}()
 	bc := newBroadcast(weights)
+	sent := make(map[int]int64, len(conns))
+	var downBytes int64
 	for _, w := range conns {
 		rq := trainReq{w: w}
 		if w.proto >= ProtoTierReassign {
 			rq.seq = f.seq.Add(1)
 			rq.ch = w.addPending(rq.seq)
 		}
-		if err := w.c.send(&Envelope{Type: MsgTrain, Train: bc.fill(&Train{Round: r, Seq: rq.seq}, w.proto)}); err != nil {
+		tr := &Train{Round: r, Seq: rq.seq}
+		var db int64
+		if dlVer != 0 && w.proto >= ProtoDeltaDownlink {
+			tr.Version = dlVer
+			if dlPayload != nil && w.ackMatch(t, dlBase) {
+				tr.Delta, tr.DeltaBase, tr.DeltaCodec = dlPayload, dlBase, dlCodec
+				db = int64(len(dlPayload))
+			}
+		}
+		if tr.Delta == nil {
+			bc.fill(tr, w.proto)
+			if w.proto >= ProtoFastWire {
+				db = int64(len(bc.raw))
+			} else {
+				db = int64(compress.DenseBytes(len(weights)))
+			}
+		}
+		if err := w.c.send(&Envelope{Type: MsgTrain, Train: tr}); err != nil {
 			if rq.seq != 0 {
 				w.dropPending(rq.seq)
 			}
 			continue
 		}
-		if w.proto >= ProtoFastWire {
-			f.obs.addDownlink(int64(len(bc.raw)))
-		} else {
-			f.obs.addDownlink(int64(compress.DenseBytes(len(weights))))
-		}
+		f.obs.addDownlink(db)
+		downBytes += db
+		sent[w.id] = db
 		reqs = append(reqs, rq)
 	}
 	if len(reqs) == 0 {
 		return nil, roundNoCohort
 	}
-	updates := f.collect(reqs, r, weights)
+	updates := f.collect(reqs, r, weights, start)
 	for retry := 0; len(updates) == 0 && retry < maxCollects-1; retry++ {
 		select {
 		case <-done:
 			return nil, roundAbort
 		default:
 		}
-		updates = f.collect(reqs, r, weights)
+		updates = f.collect(reqs, r, weights, start)
 	}
 	if len(updates) == 0 {
 		return nil, roundEmpty
+	}
+	// A responding Proto ≥ ProtoDeltaDownlink worker has provably received
+	// and adopted this round's versioned base — record the ack that makes
+	// it delta-eligible next round. Workers that received the broadcast but
+	// never replied stay unacked and fall back to dense, which is always
+	// safe.
+	if dlVer != 0 {
+		for _, u := range updates {
+			for _, w := range conns {
+				if w.id == u.ClientID && w.proto >= ProtoDeltaDownlink {
+					w.setAck(t, dlVer)
+					break
+				}
+			}
+		}
 	}
 	// Deterministic aggregation order: replies arrive in wall-clock order,
 	// FedAvg's float sums are order-sensitive, and the simulated engine
@@ -718,25 +834,35 @@ func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64,
 	wall := time.Since(start).Seconds()
 	var upBytes int64
 	obs := make([]ClientSeconds, len(updates))
+	plain := make([]flcore.Update, len(updates))
 	for i, u := range updates {
+		plain[i] = u.Update
 		upBytes += int64(u.WireBytes)
 		secs := u.Latency // worker-reported training seconds
 		if secs <= 0 {
 			secs = wall // legacy workers: the round's wall clock
 		}
-		obs[i] = ClientSeconds{Client: u.ClientID, Seconds: secs}
+		obs[i] = ClientSeconds{
+			Client: u.ClientID, Seconds: secs,
+			Bytes: sent[u.ClientID] + int64(u.WireBytes), EndToEnd: u.arrival,
+		}
 	}
 	return &TierCommit{
 		Tier: t, TierRound: r, PulledVersion: version,
-		Weights: flcore.FedAvg(updates), Clients: len(updates),
-		Seconds: wall, UplinkBytes: upBytes, Observed: obs,
+		Weights: flcore.FedAvg(plain), Clients: len(updates),
+		Seconds: wall, UplinkBytes: upBytes, DownlinkBytes: downBytes,
+		Observed: obs,
 	}, roundCommitted
 }
 
 // runTierRound runs one mini-round through the shared fan-in and delivers
 // the committed aggregate into the in-process commit channel.
 func (ta *TieredAsyncAggregator) runTierRound(t, r int, cohort []int, version int, weights []float64, commitCh chan<- *Envelope, done <-chan struct{}) tierRoundStatus {
-	tc, status := ta.fan.runRound(t, r, cohort, version, weights, done)
+	var dl *downTier
+	if ta.down != nil {
+		dl = ta.down[t]
+	}
+	tc, status := ta.fan.runRound(t, r, cohort, version, weights, dl, done)
 	if status != roundCommitted {
 		return status
 	}
@@ -913,6 +1039,16 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 		}
 	}
 
+	if ta.tcfg.Downlink != nil {
+		// Fresh chains every Run — on a resumed run the workers' held bases
+		// did not survive the crash any more than the chains did, so every
+		// tier re-enters through the dense first-contact path.
+		ta.down = make([]*downTier, len(tiers))
+		for t := range ta.down {
+			ta.down[t] = &downTier{chain: ta.tcfg.Downlink.NewChain()}
+		}
+	}
+
 	if len(ta.tcfg.Lockstep) > 0 {
 		ta.acks = make([]chan lockSnap, len(tiers))
 		initial := append([]float64(nil), ta.tcfg.InitialWeights...)
@@ -952,6 +1088,7 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 	copy(res.Commits, ta.baseCommits)
 	res.Retiers, res.Reassigned = ta.baseRetiers, ta.baseMoved
 	res.UplinkBytes = ta.baseUplink
+	res.DownlinkBytes = ta.baseDownlink
 	ta.roundCursor = make([]int, len(tiers))
 	copy(ta.roundCursor, ta.startRounds)
 	counts := make([]int, len(tiers))
@@ -1011,6 +1148,7 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 		}
 		res.Log = append(res.Log, stats)
 		res.UplinkBytes += stats.UplinkBytes
+		res.DownlinkBytes += stats.DownlinkBytes
 		applied++
 		ta.obs.noteCommit(stats)
 		ta.feedManager(env.TierCommit, stats.Version, res)

@@ -69,6 +69,12 @@ type ChildConfig struct {
 	RoundTimeout time.Duration
 	// DialTimeout bounds the dial to the root (default 10s).
 	DialTimeout time.Duration
+	// Downlink enables the version-acked delta broadcast on the child's
+	// leaf-worker fan-in, exactly as TieredAsyncConfig.Downlink does on the
+	// flat runtime. It is independent of the root→child pull deltas, which
+	// the root enables through its own Downlink config; a child re-encodes
+	// each reconstructed pull against its own leaf-side chains.
+	Downlink *compress.Downlink
 }
 
 // Child is a per-tier child aggregator: an FL server to its leaf workers
@@ -187,7 +193,7 @@ func (ch *Child) Run() error {
 
 	if err := root.send(&Envelope{Type: MsgRegister, Register: &Register{
 		ClientID: ch.cfg.ID, NumSamples: total,
-		Proto: ProtoCodecRenegotiate, Role: RoleChildAggregator,
+		Proto: ProtoDeltaDownlink, Role: RoleChildAggregator,
 		Members: members, Addr: ch.agg.Addr(),
 	}}); err != nil {
 		return ch.runErr(err)
@@ -212,6 +218,17 @@ func (ch *Child) Run() error {
 			w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: as.Tier, NumTiers: as.NumTiers}}) //nolint:errcheck // best effort
 		}
 	}
+	// Root-side pull base (the strict pull→commit cycle means the root may
+	// delta against the previous pull) and the child's own leaf-side delta
+	// chain — a reconstructed pull is re-encoded against the leaves' bases,
+	// so pull compression and leaf compression compose without either side
+	// knowing about the other.
+	pullVer := -1
+	var pullBase []float64
+	var leafDL *downTier
+	if ch.cfg.Downlink != nil {
+		leafDL = &downTier{chain: ch.cfg.Downlink.NewChain()}
+	}
 	for {
 		env, err := root.recv(0)
 		if err != nil {
@@ -219,11 +236,21 @@ func (ch *Child) Run() error {
 		}
 		switch env.Type {
 		case MsgTreePull:
-			weights, err := env.TreePull.pullWeights()
+			var weights []float64
+			if env.TreePull.Delta != nil {
+				if pullBase == nil || env.TreePull.DeltaBase != pullVer {
+					return fmt.Errorf("flnet: child %d: pull delta against version %d, holding %d", ch.cfg.ID, env.TreePull.DeltaBase, pullVer)
+				}
+				weights, err = compress.ApplyDelta(env.TreePull.DeltaCodec, env.TreePull.Delta, pullBase)
+			} else {
+				weights, err = env.TreePull.pullWeights()
+			}
 			if err != nil {
 				return fmt.Errorf("flnet: child %d: decoding pull: %w", ch.cfg.ID, err)
 			}
-			tc, err := ch.localRound(&r, as, members, env.TreePull.Version, weights)
+			pullVer = env.TreePull.Version
+			pullBase = append(pullBase[:0], weights...)
+			tc, err := ch.localRound(&r, as, members, env.TreePull.Version, weights, leafDL)
 			if err != nil {
 				return ch.runErr(err)
 			}
@@ -256,7 +283,7 @@ var errChildClosed = fmt.Errorf("flnet: child closed")
 // collection windows closed) are retried up to the same bound, and the
 // round index advances per attempt either way. The committed aggregate is
 // returned for shipping to the root.
-func (ch *Child) localRound(r *int, as *TierAssign, members []int, version int, weights []float64) (*TierCommit, error) {
+func (ch *Child) localRound(r *int, as *TierAssign, members []int, version int, weights []float64, dl *downTier) (*TierCommit, error) {
 	const maxEmptyRounds = 3
 	empty := 0
 	for {
@@ -282,7 +309,7 @@ func (ch *Child) localRound(r *int, as *TierAssign, members []int, version int, 
 		if len(cohort) == 0 {
 			return nil, fmt.Errorf("round %d drew an empty cohort", *r)
 		}
-		tc, status := ch.fan.runRound(as.Tier, *r, cohort, version, weights, ch.done)
+		tc, status := ch.fan.runRound(as.Tier, *r, cohort, version, weights, dl, ch.done)
 		*r++
 		switch status {
 		case roundCommitted:
@@ -407,16 +434,35 @@ type treeCommit struct {
 
 // sendPull hands a child the current global snapshot — the tree's
 // dispatch-at-commit. Best effort: a dead child is degraded by its pump,
-// not here.
-func (ta *TieredAsyncAggregator) sendPull(c *registered) {
+// not here. With a Downlink config and a ProtoDeltaDownlink child, every
+// pull after the first travels as a delta against the previous pull: the
+// strict pull→commit cycle means the received commit IS the ack that the
+// child holds that base, so no explicit ack tracking is needed. dl.seq
+// holds the previous pull's Version for the child-side sanity check.
+func (ta *TieredAsyncAggregator) sendPull(c *registered, dl *downTier) {
 	ver, w := ta.snapshot()
 	pull := &TreePull{Version: ver}
-	wire := int64(compress.DenseBytes(len(w)))
-	if c.proto >= ProtoFastWire {
-		pull.Raw = nn.EncodeWeights(w)
-		wire = int64(len(pull.Raw))
-	} else {
-		pull.Weights = w
+	var wire int64
+	delta := false
+	if dl != nil && c.proto >= ProtoDeltaDownlink {
+		if dl.chain.HasBase() {
+			payload, id := dl.chain.Encode(w)
+			pull.Delta, pull.DeltaBase, pull.DeltaCodec = payload, dl.seq, id
+			wire = int64(len(payload))
+			delta = true
+		} else {
+			dl.chain.Adopt(w)
+		}
+		dl.seq = ver
+	}
+	if !delta {
+		wire = int64(compress.DenseBytes(len(w)))
+		if c.proto >= ProtoFastWire {
+			pull.Raw = nn.EncodeWeights(w)
+			wire = int64(len(pull.Raw))
+		} else {
+			pull.Weights = w
+		}
 	}
 	if c.c.send(&Envelope{Type: MsgTreePull, TreePull: pull}) == nil {
 		ta.obs.addDownlink(wire)
@@ -467,6 +513,15 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 	copy(res.Commits, ta.baseCommits)
 	res.Retiers, res.Reassigned = ta.baseRetiers, ta.baseMoved
 	res.UplinkBytes = ta.baseUplink
+	res.DownlinkBytes = ta.baseDownlink
+	// Per-child pull-delta chains (fresh every run: a resumed child holds
+	// no base, so it re-enters through the dense first pull).
+	pulls := make([]*downTier, k)
+	if ta.tcfg.Downlink != nil {
+		for t := range pulls {
+			pulls[t] = &downTier{chain: ta.tcfg.Downlink.NewChain()}
+		}
+	}
 	ta.roundCursor = make([]int, k)
 	copy(ta.roundCursor, ta.startRounds)
 	ta.gmu.Lock()
@@ -491,7 +546,7 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 			Seed: ta.tcfg.Seed, ClientsPerRound: ta.tcfg.ClientsPerRound,
 			StartRound: r0,
 		}})
-		ta.sendPull(c)
+		ta.sendPull(c, pulls[t])
 	}
 
 	// One pump per child: commits flow from the connection reader into the
@@ -582,9 +637,10 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 		}
 		res.Log = append(res.Log, stats)
 		res.UplinkBytes += stats.UplinkBytes
+		res.DownlinkBytes += stats.DownlinkBytes
 		applied++
 		ta.obs.noteCommit(stats)
-		ta.obs.noteChildCommit(stats.Tier, stats.UplinkBytes)
+		ta.obs.noteChildCommit(stats.Tier, stats.UplinkBytes, stats.DownlinkBytes)
 		if next := env.TierCommit.TierRound + 1; next > ta.roundCursor[env.TierCommit.Tier] {
 			ta.roundCursor[env.TierCommit.Tier] = next
 		}
@@ -595,7 +651,7 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 		}
 		// The committing child's next pull — dispatch-at-commit, which is
 		// what makes the tree replay-equivalent to the lockstep flat run.
-		ta.sendPull(children[stats.Tier])
+		ta.sendPull(children[stats.Tier], pulls[stats.Tier])
 	}
 	return finish(applied, nil)
 }

@@ -68,7 +68,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	c := newConn(raw)
 	defer c.close()    //nolint:errcheck // shutdown path
 	codec := cfg.Codec // current uplink codec; renegotiated on migrations
-	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoCodecRenegotiate}
+	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoDeltaDownlink}
 	if codec != nil {
 		reg.Codec = codec.ID()
 	}
@@ -76,6 +76,13 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 		return err
 	}
 	var residual []float64 // error-feedback state across compressed rounds
+	// Delta-downlink base: the last versioned broadcast this worker
+	// received (Train.Version value; 0 = none yet). The aggregator only
+	// sends a delta whose DeltaBase matches dlVer after seeing this
+	// worker's update for that broadcast, so a mismatch here is a protocol
+	// violation, not a recoverable race.
+	dlVer := 0
+	var dlBase []float64
 	for {
 		env, err := c.recv(0)
 		if err != nil {
@@ -93,9 +100,24 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			}
 		case MsgTrain:
 			start := time.Now()
-			tw, err := env.Train.roundWeights()
+			var tw []float64
+			var err error
+			if env.Train.Delta != nil {
+				if dlBase == nil || env.Train.DeltaBase != dlVer {
+					return fmt.Errorf("flnet: worker %d round %d: delta against base %d, holding %d", cfg.ClientID, env.Train.Round, env.Train.DeltaBase, dlVer)
+				}
+				tw, err = compress.ApplyDelta(env.Train.DeltaCodec, env.Train.Delta, dlBase)
+			} else {
+				tw, err = env.Train.roundWeights()
+			}
 			if err != nil {
 				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+			}
+			if env.Train.Version != 0 {
+				// A versioned broadcast — dense or reconstructed — becomes
+				// the base the aggregator may delta against next round.
+				dlVer = env.Train.Version
+				dlBase = append(dlBase[:0], tw...)
 			}
 			w, n, err := cfg.Train(env.Train.Round, tw)
 			if err != nil {

@@ -26,6 +26,12 @@ type State struct {
 
 	Retiers, Rebuilds, Skipped, LastVersion int
 	Log                                     []Reassignment
+
+	// CommBytes carries the per-client wire-byte EWMAs (comm-aware
+	// tiering). Snapshots from before the field gob-decode to nil, which
+	// restores as an empty map — byte estimates simply rebuild from the
+	// resumed run's observations.
+	CommBytes map[int]float64
 }
 
 // SnapshotState serializes the Manager's current state with gob. It is
@@ -47,6 +53,10 @@ func (m *Manager) SnapshotState() ([]byte, error) {
 	}
 	for c, v := range m.ewma {
 		s.EWMA[c] = v
+	}
+	s.CommBytes = make(map[int]float64, len(m.commBytes))
+	for c, v := range m.commBytes {
+		s.CommBytes[c] = v
 	}
 	for c, v := range m.placed {
 		s.Placed[c] = v
@@ -107,6 +117,10 @@ func (m *Manager) RestoreState(data []byte) error {
 	m.placed = make(map[int]float64, len(s.Placed))
 	for c, v := range s.Placed {
 		m.placed[c] = v
+	}
+	m.commBytes = make(map[int]float64, len(s.CommBytes))
+	for c, v := range s.CommBytes {
+		m.commBytes[c] = v
 	}
 	m.pinned = make(map[int]bool, len(s.Pinned))
 	for _, c := range s.Pinned {

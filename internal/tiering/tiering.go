@@ -76,6 +76,16 @@ type Config struct {
 	// Seed keys every cohort draw (shared with the engines' seed so sim
 	// and socket runs draw identical cohorts).
 	Seed int64
+	// CommAware switches the EWMA signal from compute-side latency to
+	// end-to-end round cost: when an engine reports a full observation
+	// through ObserveRound (worker-measured seconds, aggregator-measured
+	// end-to-end seconds, wire bytes), the end-to-end value — transfer
+	// and queueing included — is what gets folded, so rebuilds rank
+	// clients by what a round actually costs, not compute alone. Off by
+	// default: the compute-only signal is what the lockstep parity suite
+	// (and every pre-existing run) was calibrated against. Byte EWMAs are
+	// tracked either way for observability (CommBytes).
+	CommAware bool
 
 	// Adaptive enables Algorithm-2 selection: tier probabilities from
 	// accuracy feedback scale cohort sizes under per-tier credits.
@@ -124,12 +134,13 @@ type Reassignment struct {
 type Manager struct {
 	cfg Config
 
-	mu     sync.Mutex
-	tiers  [][]int     // members per tier, ascending client ID
-	tierOf map[int]int // client → tier index
-	ewma   map[int]float64
-	placed map[int]float64 // hysteresis-frozen latency of last placement
-	pinned map[int]bool    // clients excluded from migration
+	mu        sync.Mutex
+	tiers     [][]int     // members per tier, ascending client ID
+	tierOf    map[int]int // client → tier index
+	ewma      map[int]float64
+	commBytes map[int]float64 // EWMA of per-round wire bytes (observability)
+	placed    map[int]float64 // hysteresis-frozen latency of last placement
+	pinned    map[int]bool    // clients excluded from migration
 
 	probs    []float64 // Algorithm-2 tier probabilities
 	haveAccs bool      // accuracies observed at least once
@@ -165,13 +176,14 @@ func NewManager(cfg Config, latency map[int]float64) (*Manager, error) {
 	}
 	cfg.NumTiers = len(built) // degenerate profiles collapse; keep the count
 	m := &Manager{
-		cfg:    cfg,
-		tierOf: make(map[int]int, len(latency)),
-		ewma:   make(map[int]float64, len(latency)),
-		placed: make(map[int]float64, len(latency)),
-		pinned: make(map[int]bool),
-		probs:  make([]float64, len(built)),
-		draws:  make([]int, len(built)),
+		cfg:       cfg,
+		tierOf:    make(map[int]int, len(latency)),
+		ewma:      make(map[int]float64, len(latency)),
+		commBytes: make(map[int]float64),
+		placed:    make(map[int]float64, len(latency)),
+		pinned:    make(map[int]bool),
+		probs:     make([]float64, len(built)),
+		draws:     make([]int, len(built)),
 	}
 	m.tiers = canonical(built)
 	for t, members := range m.tiers {
@@ -222,13 +234,14 @@ func NewManagerWithTiers(cfg Config, tiers [][]int, latency map[int]float64) (*M
 	}
 	cfg.NumTiers = len(tiers)
 	m := &Manager{
-		cfg:    cfg,
-		tierOf: make(map[int]int),
-		ewma:   make(map[int]float64, len(latency)),
-		placed: make(map[int]float64, len(latency)),
-		pinned: make(map[int]bool),
-		probs:  make([]float64, len(tiers)),
-		draws:  make([]int, len(tiers)),
+		cfg:       cfg,
+		tierOf:    make(map[int]int),
+		ewma:      make(map[int]float64, len(latency)),
+		commBytes: make(map[int]float64),
+		placed:    make(map[int]float64, len(latency)),
+		pinned:    make(map[int]bool),
+		probs:     make([]float64, len(tiers)),
+		draws:     make([]int, len(tiers)),
 	}
 	m.tiers = copyTiers(tiers)
 	for t, members := range m.tiers {
@@ -341,12 +354,56 @@ func (m *Manager) Observe(client int, seconds float64) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.fold(client, seconds)
+}
+
+// fold applies the EWMA update for one validated latency sample. Callers
+// hold mu.
+func (m *Manager) fold(client int, seconds float64) {
 	prev, ok := m.ewma[client]
 	if !ok {
 		m.ewma[client] = seconds
 		return
 	}
 	m.ewma[client] = (1-m.cfg.EWMABeta)*prev + m.cfg.EWMABeta*seconds
+}
+
+// ObserveRound is the full per-round observation (flcore.CommObserver):
+// the client's compute-side seconds, the end-to-end response time measured
+// at the aggregator, and the wire bytes the round moved for this client.
+// With CommAware set, the end-to-end time is what enters the latency EWMA
+// — so a fast trainer behind a slow link ranks slow, which is what
+// re-tiering should see; otherwise the compute-side seconds are folded
+// exactly as Observe would, keeping pre-existing placement behavior.
+// Bytes are folded into a separate per-client EWMA (CommBytes) in both
+// modes. Non-positive or non-finite values are dropped field by field,
+// falling back from end-to-end to seconds when only the former is bad.
+func (m *Manager) ObserveRound(client int, seconds, endToEnd float64, bytes int64) {
+	lat := seconds
+	if m.cfg.CommAware && endToEnd > 0 && !math.IsNaN(endToEnd) && !math.IsInf(endToEnd, 0) {
+		lat = endToEnd
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lat > 0 && !math.IsNaN(lat) && !math.IsInf(lat, 0) {
+		m.fold(client, lat)
+	}
+	if bytes > 0 {
+		prev, ok := m.commBytes[client]
+		if !ok {
+			m.commBytes[client] = float64(bytes)
+		} else {
+			m.commBytes[client] = (1-m.cfg.EWMABeta)*prev + m.cfg.EWMABeta*float64(bytes)
+		}
+	}
+}
+
+// CommBytes returns the tracked per-round wire-byte estimate for a client.
+func (m *Manager) CommBytes(client int) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.commBytes[client]
+	return v, ok
 }
 
 // ObserveAccuracy records per-tier test accuracies (index = tier, NaN for
@@ -571,4 +628,7 @@ func (m *Manager) String() string {
 		len(m.tiers), m.cfg.RetierEvery, m.cfg.EWMABeta, m.cfg.Hysteresis, m.cfg.Adaptive, m.retiers)
 }
 
-var _ flcore.TierManager = (*Manager)(nil)
+var (
+	_ flcore.TierManager  = (*Manager)(nil)
+	_ flcore.CommObserver = (*Manager)(nil)
+)

@@ -82,6 +82,14 @@ type CompressionOptions struct {
 	// codec (top-k@10% when none is configured) while fast-tier workers
 	// stay dense. Ignored by the pure simulation paths.
 	AdaptiveCompression bool
+	// Downlink, if set, delta-compresses the broadcast direction: the
+	// aggregator encodes each tier round's model as one shared delta
+	// against the version-acked base delta-capable workers already hold,
+	// falling back to a dense snapshot on first contact, resume, or ack
+	// gap. nil keeps plain dense broadcasts. Applies identically to the
+	// simulated and distributed tiered-async paths, so both report the
+	// same DownlinkBytes on the same seed.
+	Downlink *compress.Downlink
 }
 
 // TierCodec resolves the codec a worker profiled into tier (of numTiers,
@@ -139,6 +147,14 @@ func (o *CompressionOptions) AddFlags(fs *flag.FlagSet) {
 	})
 	fs.BoolVar(&o.AdaptiveCompression, "adaptive-compress", o.AdaptiveCompression,
 		"tiered-aggregator: slow-half tiers compress (with -codec, default topk@0.1), fast half stays dense")
+	fs.Func("downlink-codec", "broadcast compression: dense | delta | delta+int8 | delta+topk@<fraction>", func(spec string) error {
+		dl, err := compress.ParseDownlink(spec)
+		if err != nil {
+			return err
+		}
+		o.Downlink = dl // nil for "dense": plain snapshots
+		return nil
+	})
 }
 
 // CheckpointOptions are the crash-safety knobs of a distributed run.

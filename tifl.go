@@ -69,6 +69,11 @@ type (
 	// Codec compresses client updates on their way to the aggregator (see
 	// compress.Codec). Int8Codec, TopKCodec, and ParseCodec build them.
 	Codec = compress.Codec
+	// Downlink delta-compresses the broadcast (aggregator → worker)
+	// direction against each worker's last-acked model version (see
+	// compress.Downlink). Delta, DeltaCodec, and ParseDownlink build them;
+	// nil means dense snapshots.
+	Downlink = compress.Downlink
 	// TieredCheckpoint is a crash-safe snapshot of a tiered-asynchronous
 	// run — simulated or distributed (see flcore.TieredCheckpoint).
 	TieredCheckpoint = flcore.TieredCheckpoint
@@ -96,6 +101,23 @@ func TopKCodec(fraction float64) Codec { return compress.NewTopK(fraction) }
 // ParseCodec builds a codec from a spec string: "none", "int8", or
 // "topk@0.1" (see compress.Parse) — the syntax of tifl-node's -codec flag.
 func ParseCodec(spec string) (Codec, error) { return compress.Parse(spec) }
+
+// Delta is the lossless downlink mode: broadcasts travel as the
+// DEFLATE-compressed XOR of float64 bit patterns against each worker's
+// last-acked version, reconstructing bit-exactly (see compress.Downlink).
+func Delta() *Downlink { return &compress.Downlink{} }
+
+// DeltaCodec is a lossy downlink mode: the broadcast delta runs through
+// the given codec, with the encoding error kept as a server-side
+// per-tier error-feedback residual. Prefer quantizing codecs (Int8Codec):
+// sparsified broadcast destabilizes FedAT's commit mixing (see the
+// ext_downlink experiment).
+func DeltaCodec(c Codec) *Downlink { return &compress.Downlink{Codec: c} }
+
+// ParseDownlink builds a downlink mode from a spec string: "dense",
+// "delta", or "delta+<codec>" (see compress.ParseDownlink) — the syntax
+// of tifl-node's -downlink-codec flag.
+func ParseDownlink(spec string) (*Downlink, error) { return compress.ParseDownlink(spec) }
 
 // The paper's Table 1 policies, re-exported.
 var (
@@ -303,6 +325,9 @@ func (s *System) TrainTieredAsync(cfg TieredAsyncConfig, test *Dataset) *TieredA
 	if cfg.Codec == nil {
 		cfg.Codec = s.codec
 	}
+	if cfg.Downlink == nil {
+		cfg.Downlink = s.opts.Downlink
+	}
 	if cfg.Manager == nil {
 		mgr, err := s.tieringManager(s.opts, cfg.ClientsPerRound, cfg.Seed)
 		if err != nil {
@@ -401,6 +426,13 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 	if !net.AdaptiveCompression {
 		net.AdaptiveCompression = s.opts.AdaptiveCompression
 	}
+	if net.Downlink == nil {
+		if cfg.Downlink != nil {
+			net.Downlink = cfg.Downlink
+		} else {
+			net.Downlink = s.opts.Downlink
+		}
+	}
 	// Effective live-tiering options: NetOptions overrides, Options
 	// defaults.
 	topts := s.opts
@@ -426,6 +458,7 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
 		MetricsAddr:   net.MetricsAddr,
 		ReassignCodec: net.ReassignPolicy(),
+		Downlink:      net.Downlink,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -506,6 +539,13 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 	if !net.AdaptiveCompression {
 		net.AdaptiveCompression = s.opts.AdaptiveCompression
 	}
+	if net.Downlink == nil {
+		if cfg.Downlink != nil {
+			net.Downlink = cfg.Downlink
+		} else {
+			net.Downlink = s.opts.Downlink
+		}
+	}
 	if topts := net.TieringOptions.Overlay(s.opts.TieringOptions); topts.Live() {
 		return nil, 0, fmt.Errorf("tifl: live tiering (RetierEvery/AdaptiveSelection) is not supported over the tree topology; use TrainTieredAsyncNet")
 	}
@@ -521,6 +561,7 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 		RoundTimeout: net.RoundTimeout, InitialWeights: init, Seed: cfg.Seed,
 		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
 		MetricsAddr: net.MetricsAddr,
+		Downlink:    net.Downlink,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -531,6 +572,7 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 		ch, err := flnet.NewChild(flnet.ChildConfig{
 			ID: t, RootAddr: root.Addr(), Workers: len(tier.Members),
 			WorkerTimeout: net.WorkerTimeout, RoundTimeout: net.RoundTimeout,
+			Downlink: net.Downlink,
 		})
 		if err != nil {
 			return nil, 0, fmt.Errorf("tifl: starting child aggregator %d: %w", t, err)
