@@ -49,6 +49,25 @@
 //	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 40 -downlink-codec delta+topk@0.1
 //	tifl-node -role child-aggregator -addr :7171 -root host:7070 -id 0 -workers 3 -downlink-codec delta
 //
+// Self-healing (off by default; all roles fail-stop on the first error
+// unless asked otherwise): -reconnect makes a worker survive connection
+// loss — it re-dials with capped exponential backoff, re-registers under
+// its -id, re-enters its tier, and resumes serving rounds. -rpc-timeout
+// bounds every protocol read/write so a hung peer surfaces as a
+// descriptive timeout instead of a forever-block; -max-retries lets the
+// aggregator redispatch an in-flight round to a reconnected worker (the
+// idempotent sequence number guarantees a retried round is counted once)
+// and caps the worker's reconnect attempts; -rejoin-wait is how long a
+// dispatching tier waits for a dead worker (or the root for its last dead
+// child) to come back:
+//
+//	tifl-node -role tiered-aggregator -addr :7070 -workers 5 -tiers 2 -commits 80 -max-retries 2 -rejoin-wait 30s -rpc-timeout 20s
+//	tifl-node -role worker -addr host:7070 -id 0 -reconnect -max-retries 10 -rpc-timeout 20s
+//
+// A killed child-aggregator can simply be restarted with its old flags:
+// it re-registers at the root, which validates the member list against
+// the pinned topology and revives the tier mid-run.
+//
 // Hierarchical topology (the tree): run per-tier child-aggregator
 // processes between the workers and the root. Each child waits for its
 // own -workers leaf workers, joins the root as tier -id, and pre-reduces
@@ -109,6 +128,8 @@ func main() {
 	ckptOpts.AddFlags(flag.CommandLine)
 	var compOpts tifl.CompressionOptions
 	compOpts.AddFlags(flag.CommandLine)
+	var robOpts tifl.RobustnessOptions
+	robOpts.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	codec := compOpts.Compression
@@ -195,6 +216,8 @@ func main() {
 			MetricsAddr:   *metrics,
 			ReassignCodec: compOpts.ReassignPolicy(),
 			Downlink:      compOpts.Downlink,
+			MaxRetries:    robOpts.MaxRetries, RejoinWait: robOpts.RejoinWait,
+			SendTimeout: robOpts.RPCTimeout,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -303,7 +326,9 @@ func main() {
 		ch, err := flnet.NewChild(flnet.ChildConfig{
 			ID: *id, Addr: *addr, RootAddr: *rootAddr,
 			Workers: *workers, WorkerTimeout: 10 * time.Minute, RoundTimeout: *timeout,
-			Downlink: compOpts.Downlink,
+			Downlink:   compOpts.Downlink,
+			RPCTimeout: robOpts.RPCTimeout, MaxRetries: robOpts.MaxRetries,
+			RejoinWait: robOpts.RejoinWait,
 		})
 		if err != nil {
 			fail("%v", err)
@@ -334,6 +359,11 @@ func main() {
 		}
 		err := flnet.RunWorker(*addr, flnet.WorkerConfig{
 			ClientID: *id, NumSamples: local.Len(), Train: train, Codec: codec,
+			Reconnect: robOpts.Reconnect, MaxReconnects: robOpts.MaxRetries,
+			RPCTimeout: robOpts.RPCTimeout,
+			OnReconnect: func(attempt int) {
+				fmt.Printf("worker %d: connection lost, reconnect attempt %d\n", *id, attempt)
+			},
 			OnTierAssign: func(tier, numTiers int) {
 				fmt.Printf("worker %d: assigned to tier %d of %d\n", *id, tier+1, numTiers)
 			},

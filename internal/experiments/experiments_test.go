@@ -262,8 +262,8 @@ func TestByID(t *testing.T) {
 	if ByID("nope") != nil {
 		t.Fatal("ByID(nope) should be nil")
 	}
-	if len(All()) != 23 {
-		t.Fatalf("runners = %d, want 23", len(All()))
+	if len(All()) != 24 {
+		t.Fatalf("runners = %d, want 24", len(All()))
 	}
 }
 

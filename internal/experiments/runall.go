@@ -29,6 +29,7 @@ func All() []Runner {
 		{"ext_compression", "Extension: quantized / top-k compressed updates", RunExtensionCompression},
 		{"ext_downlink", "Extension: delta-compressed downlink broadcast", RunExtensionDownlink},
 		{"ext_million", "Extension: million-client event-driven population scale", RunExtensionMillion},
+		{"ext_churn", "Extension: worker churn robustness under seeded flaps", RunExtensionChurn},
 		{"ablation_tiering", "Ablation: tiering strategy", RunAblationTiering},
 		{"ablation_tiercount", "Ablation: tier count", RunAblationTierCount},
 		{"ablation_credits", "Ablation: adaptive credits", RunAblationCredits},

@@ -1,0 +1,204 @@
+// Package faultnet is a deterministic fault-injection transport for chaos
+// tests: it wraps net.Conn / net.Listener with failures driven entirely by
+// a scripted Schedule — cut a connection after N bytes, delay reads or
+// writes, refuse dials for a window, or drop one direction of traffic —
+// so a chaos run replays byte-for-byte on the same schedule. There is no
+// runtime randomness: rules bind to connection indexes in establishment
+// order, and the only use of Schedule.Seed is FlapRules, which expands a
+// (seed, fraction) pair into a concrete rule list before the run starts.
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrDialRefused is returned by Transport.Dial for attempts falling inside
+// the schedule's refusal window — the scripted analogue of a transient
+// network partition between this endpoint and the address it dials.
+var ErrDialRefused = errors.New("faultnet: dial refused by schedule")
+
+// Rule injects one fault pattern into matching connections. All matching
+// rules apply to a connection: delays add up, the smallest cut wins, and
+// DropWrites is sticky.
+type Rule struct {
+	// Conn is the 0-based index of the connection this rule binds to, in
+	// establishment order within the Transport (dials and accepts share
+	// one counter). -1 binds to every connection.
+	Conn int
+	// CutAfterBytes closes the connection once that many bytes have
+	// crossed it (reads + writes combined). The operation that crosses
+	// the threshold still completes — the cut lands between operations,
+	// like a peer dying after flushing. 0 = never cut.
+	CutAfterBytes int64
+	// ReadDelay/WriteDelay stall each matching operation before it
+	// touches the socket.
+	ReadDelay, WriteDelay time.Duration
+	// DropWrites makes writes report success while the bytes vanish — a
+	// one-way partition: the peer keeps talking to us, we appear mute.
+	DropWrites bool
+}
+
+// Schedule scripts every fault a Transport will inject.
+type Schedule struct {
+	// Seed keys helper expansions like FlapRules; the transport itself
+	// never draws randomness at runtime.
+	Seed int64
+	// RefuseFrom/RefuseUntil refuse dial attempts with 0-based attempt
+	// index in [RefuseFrom, RefuseUntil) — a transient partition window.
+	// Refused attempts consume an attempt index but no connection index.
+	RefuseFrom, RefuseUntil int
+	// Rules are the per-connection fault patterns.
+	Rules []Rule
+}
+
+// FlapRules expands (seed, fraction) into concrete cut rules over the
+// first conns connection indexes: each index flips a seeded coin and,
+// when selected, gets cut after cutBytes — a reproducible flap storm.
+func FlapRules(seed int64, conns int, fraction float64, cutBytes int64) []Rule {
+	rng := rand.New(rand.NewSource(seed))
+	var rules []Rule
+	for i := 0; i < conns; i++ {
+		if rng.Float64() < fraction {
+			rules = append(rules, Rule{Conn: i, CutAfterBytes: cutBytes})
+		}
+	}
+	return rules
+}
+
+// Transport applies one Schedule to the connections it establishes (Dial)
+// or adopts (Listen). Use one Transport per endpoint under test; its
+// connection counter is shared across dials and accepts so rule indexes
+// stay unambiguous.
+type Transport struct {
+	sched   Schedule
+	dials   atomic.Int64
+	conns   atomic.Int64
+	refused atomic.Int64
+	cuts    atomic.Int64
+}
+
+// New builds a Transport driven by sched.
+func New(sched Schedule) *Transport {
+	return &Transport{sched: sched}
+}
+
+// Dials returns how many dial attempts were made (refused ones included).
+func (t *Transport) Dials() int { return int(t.dials.Load()) }
+
+// Conns returns how many connections were established through t.
+func (t *Transport) Conns() int { return int(t.conns.Load()) }
+
+// Refused returns how many dial attempts the refusal window swallowed.
+func (t *Transport) Refused() int { return int(t.refused.Load()) }
+
+// Cuts returns how many connections a CutAfterBytes rule has severed.
+func (t *Transport) Cuts() int { return int(t.cuts.Load()) }
+
+// Dial opens a TCP connection to addr through the schedule: attempts in
+// the refusal window fail with ErrDialRefused, and established
+// connections carry the rules matching their index.
+func (t *Transport) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	attempt := int(t.dials.Add(1)) - 1
+	if attempt >= t.sched.RefuseFrom && attempt < t.sched.RefuseUntil {
+		t.refused.Add(1)
+		return nil, ErrDialRefused
+	}
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(raw), nil
+}
+
+// Listen wraps ln so accepted connections pass through the schedule too.
+func (t *Transport) Listen(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, t: t}
+}
+
+func (t *Transport) wrap(raw net.Conn) net.Conn {
+	idx := int(t.conns.Add(1)) - 1
+	fc := &faultConn{Conn: raw, t: t}
+	for _, r := range t.sched.Rules {
+		if r.Conn != -1 && r.Conn != idx {
+			continue
+		}
+		fc.readDelay += r.ReadDelay
+		fc.writeDelay += r.WriteDelay
+		if r.DropWrites {
+			fc.dropWrites = true
+		}
+		if r.CutAfterBytes > 0 && (fc.cut == 0 || r.CutAfterBytes < fc.cut) {
+			fc.cut = r.CutAfterBytes
+		}
+	}
+	return fc
+}
+
+type faultListener struct {
+	net.Listener
+	t *Transport
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	raw, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.t.wrap(raw), nil
+}
+
+type faultConn struct {
+	net.Conn
+	t          *Transport
+	cut        int64 // close after this many bytes crossed; 0 = never
+	readDelay  time.Duration
+	writeDelay time.Duration
+	dropWrites bool
+	crossed    atomic.Int64
+	severed    atomic.Bool
+}
+
+// charge accounts n crossed bytes and severs the connection once the cut
+// threshold is reached. The triggering operation has already completed —
+// the peer saw those bytes — so the failure surfaces on the next
+// operation, exactly like a process dying after a flush.
+func (c *faultConn) charge(n int) {
+	if c.cut <= 0 || n <= 0 {
+		return
+	}
+	if c.crossed.Add(int64(n)) >= c.cut && !c.severed.Swap(true) {
+		c.t.cuts.Add(1)
+		c.Conn.Close()
+	}
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if c.readDelay > 0 {
+		time.Sleep(c.readDelay)
+	}
+	n, err := c.Conn.Read(p)
+	c.charge(n)
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if c.writeDelay > 0 {
+		time.Sleep(c.writeDelay)
+	}
+	if c.severed.Load() {
+		// Mirror the OS: a severed socket fails writes immediately.
+		return 0, net.ErrClosed
+	}
+	if c.dropWrites {
+		// One-way partition: pretend the bytes left; they never cross,
+		// so they don't count toward the cut threshold.
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(p)
+	c.charge(n)
+	return n, err
+}

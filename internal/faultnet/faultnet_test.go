@@ -1,0 +1,189 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeServer accepts one connection through tr and echoes everything it
+// reads back to the peer, returning the listen address.
+func pipeServer(t *testing.T, tr *Transport) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	wrapped := ln
+	if tr != nil {
+		wrapped = tr.Listen(ln).(*faultListener)
+	}
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestRefusalWindow(t *testing.T) {
+	addr := pipeServer(t, nil)
+	tr := New(Schedule{RefuseFrom: 1, RefuseUntil: 3})
+
+	if _, err := tr.Dial(addr, time.Second); err != nil {
+		t.Fatalf("attempt 0 (before window): %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Dial(addr, time.Second); !errors.Is(err, ErrDialRefused) {
+			t.Fatalf("attempt %d inside window: err = %v, want ErrDialRefused", 1+i, err)
+		}
+	}
+	if _, err := tr.Dial(addr, time.Second); err != nil {
+		t.Fatalf("attempt 3 (after window): %v", err)
+	}
+	if tr.Refused() != 2 || tr.Dials() != 4 || tr.Conns() != 2 {
+		t.Fatalf("stats: refused=%d dials=%d conns=%d", tr.Refused(), tr.Dials(), tr.Conns())
+	}
+}
+
+func TestCutAfterBytes(t *testing.T) {
+	addr := pipeServer(t, nil)
+	tr := New(Schedule{Rules: []Rule{{Conn: 0, CutAfterBytes: 8}}})
+
+	c, err := tr.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	// 4 bytes out + 4 echoed back = 8 crossed: the echo read lands
+	// exactly on the threshold and still completes.
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	// The connection is now severed: the next write fails.
+	if _, err := c.Write([]byte("ping")); err == nil {
+		t.Fatalf("write after cut succeeded; want error")
+	}
+	if tr.Cuts() != 1 {
+		t.Fatalf("cuts = %d, want 1", tr.Cuts())
+	}
+
+	// Connection index 1 has no rule and survives the same traffic.
+	c2, err := tr.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c2.Write([]byte("ping")); err != nil {
+			t.Fatalf("unruled write %d: %v", i, err)
+		}
+		if _, err := io.ReadFull(c2, buf); err != nil {
+			t.Fatalf("unruled read %d: %v", i, err)
+		}
+	}
+}
+
+func TestDelaysAndAllConnsRule(t *testing.T) {
+	addr := pipeServer(t, nil)
+	const delay = 30 * time.Millisecond
+	tr := New(Schedule{Rules: []Rule{{Conn: -1, WriteDelay: delay}}})
+
+	c, err := tr.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("delayed write took %v, want >= %v", took, delay)
+	}
+}
+
+func TestDropWritesOneWayPartition(t *testing.T) {
+	addr := pipeServer(t, nil)
+	tr := New(Schedule{Rules: []Rule{{Conn: 0, DropWrites: true}}})
+
+	c, err := tr.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	// Writes claim success but the echo server never sees the bytes, so
+	// a bounded read sees silence.
+	if n, err := c.Write([]byte("ping")); err != nil || n != 4 {
+		t.Fatalf("dropped write: n=%d err=%v", n, err)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatalf("read returned data across a dropped-writes partition")
+	}
+}
+
+func TestListenerSideRules(t *testing.T) {
+	tr := New(Schedule{Rules: []Rule{{Conn: 0, CutAfterBytes: 4}}})
+	addr := pipeServer(t, tr)
+
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	// 4 bytes into the server-side wrapped conn hit its cut; the echo
+	// may or may not flush first, but the connection must then die.
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 8)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			break // severed (EOF/reset) — the rule fired server-side
+		}
+	}
+	if tr.Cuts() != 1 {
+		t.Fatalf("cuts = %d, want 1", tr.Cuts())
+	}
+}
+
+func TestFlapRulesDeterministic(t *testing.T) {
+	a := FlapRules(42, 100, 0.3, 1024)
+	b := FlapRules(42, 100, 0.3, 1024)
+	if len(a) != len(b) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rule %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("fraction 0.3 selected %d/100 connections", len(a))
+	}
+	if c := FlapRules(43, 100, 0.3, 1024); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("different seeds produced identical rule sets")
+		}
+	}
+}

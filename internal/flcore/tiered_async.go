@@ -165,6 +165,20 @@ type TieredAsyncConfig struct {
 	// (Algorithm-2 adaptive selection when enabled) instead of the static
 	// TierCohort draw. nil keeps the tiers frozen as constructed.
 	Manager TierManager
+	// ChurnRate, when positive, flaps each drawn cohort member out of its
+	// round with this probability: a deterministic coin keyed on
+	// (ChurnSeed, tier, tier round, client) models the worker being
+	// disconnected when the round dispatched. A flapped client's update
+	// never reaches FedAvg and its downlink-delta ack is forgotten —
+	// mirroring the socket runtime, where a reconnecting worker
+	// re-registers with no held base and falls back to a dense broadcast.
+	// Must be < 1; rounds whose whole cohort flapped consume their round
+	// index and redraw, exactly like dead-cohort rounds over sockets.
+	ChurnRate float64
+	// ChurnSeed keys the flap coins independently of the training streams
+	// (0 = derive from Seed), so the same run can be replayed under a
+	// different churn pattern without touching model randomness.
+	ChurnSeed int64
 	// CheckpointEvery, when positive, snapshots the engine every so many
 	// global commits and hands the checkpoint to OnCheckpoint. A Manager
 	// used with checkpointing must implement TierManagerState.
@@ -354,6 +368,9 @@ func NewTieredAsyncEngineFrom(cfg TieredAsyncConfig, tiers [][]int, src ClientSo
 	if zeroLatency(cfg.Latency) {
 		panic("flcore: TieredAsyncConfig.Latency produces zero response latency; simulated time cannot advance")
 	}
+	if cfg.ChurnRate < 0 || cfg.ChurnRate >= 1 {
+		panic(fmt.Sprintf("flcore: ChurnRate %v outside [0,1)", cfg.ChurnRate))
+	}
 	if len(tiers) == 0 {
 		panic("flcore: tiered-async needs at least one tier")
 	}
@@ -469,19 +486,38 @@ func TierCohort(seed int64, tierRound, tier int, members []int, want int) []int 
 // local pass is keyed on (Seed, tier round, client) via Engine.TrainClient,
 // so dispatch order cannot perturb results.
 func (e *TieredAsyncEngine) dispatch(t int, now float64) {
-	r := e.rounds[t]
-	e.rounds[t]++
-	var selected []int
-	if e.Cfg.Manager != nil {
-		selected = e.Cfg.Manager.Cohort(t, r, e.Cfg.ClientsPerRound)
-	} else {
-		selected = TierCohort(e.Cfg.Seed, r, t, e.Tiers[t], e.Cfg.ClientsPerRound)
+	draw := func() (int, []int) {
+		r := e.rounds[t]
+		e.rounds[t]++
+		if e.Cfg.Manager != nil {
+			return r, e.Cfg.Manager.Cohort(t, r, e.Cfg.ClientsPerRound)
+		}
+		return r, TierCohort(e.Cfg.Seed, r, t, e.Tiers[t], e.Cfg.ClientsPerRound)
 	}
+	r, selected := draw()
 	if len(selected) == 0 {
 		// Defensive: the Manager guarantees non-empty tiers, but a
 		// membership that somehow shrank to nothing has no runnable round
 		// — drop the tier from the event loop instead of panicking.
 		return
+	}
+	if e.Cfg.ChurnRate > 0 {
+		// A fully-flapped round consumes its round index and redraws —
+		// the same advance-and-retry the socket runtime applies to rounds
+		// whose whole cohort died. The flap coins are keyed per round, so
+		// with ChurnRate < 1 a runnable cohort arrives almost surely; the
+		// attempt bound is a defensive backstop, dropping the tier like an
+		// emptied membership would.
+		selected = e.churnFilter(t, r, selected)
+		for attempts := 0; len(selected) == 0 && attempts < 1000; attempts++ {
+			if r, selected = draw(); len(selected) == 0 {
+				return
+			}
+			selected = e.churnFilter(t, r, selected)
+		}
+		if len(selected) == 0 {
+			return
+		}
 	}
 	pulled := append([]float64(nil), e.weights...)
 	// Downlink charging: every client is charged a dense snapshot unless
@@ -551,6 +587,37 @@ func (e *TieredAsyncEngine) dispatch(t int, now float64) {
 		weights: agg, latency: lat, lats: lats, upBytes: upBytes,
 		downBytes: downBytes, bytes: bytesPer,
 	})
+}
+
+// churnFilter drops a round's flapped clients: each coin models the member
+// being disconnected when the round dispatched, so its update never reaches
+// the round's FedAvg and — mirroring a socket-runtime reconnect, which
+// re-registers holding no downlink base — its delta-chain ack is forgotten
+// and its next participation is charged a dense snapshot.
+func (e *TieredAsyncEngine) churnFilter(t, r int, selected []int) []int {
+	cs := e.Cfg.ChurnSeed
+	if cs == 0 {
+		cs = e.Cfg.Seed
+	}
+	kept := make([]int, 0, len(selected))
+	for _, ci := range selected {
+		if churnFlap(cs, t, r, ci, e.Cfg.ChurnRate) {
+			if e.acked != nil {
+				delete(e.acked, ci)
+			}
+			continue
+		}
+		kept = append(kept, ci)
+	}
+	return kept
+}
+
+// churnFlap is the deterministic per-(tier, round, client) churn coin,
+// keyed disjointly from both the cohort draw (-(100+tier)) and the
+// per-client training streams.
+func churnFlap(seed int64, tier, round, client int, rate float64) bool {
+	rng := rand.New(rand.NewSource(mix(mix(seed, round, -(500+tier)), client, -977)))
+	return rng.Float64() < rate
 }
 
 // zeroLatency reports whether the model can only produce zero latencies —

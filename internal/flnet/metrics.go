@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -33,6 +34,10 @@ type TierMetrics struct {
 	// MeanEWMASeconds is the mean of the tiering Manager's EWMA latency
 	// estimates over the tier's members (0 without a Manager).
 	MeanEWMASeconds float64 `json:"mean_ewma_seconds"`
+	// LiveMemberFraction is the fraction of the tier's members whose
+	// connections are up right now (flat runs: live worker connections;
+	// tree runs: 1 or 0 by the tier's child-aggregator liveness).
+	LiveMemberFraction float64 `json:"live_member_fraction"`
 }
 
 // ChildMetrics is one child aggregator's slice of a tree-run
@@ -56,6 +61,29 @@ type ChildMetrics struct {
 	DownlinkBytes int64 `json:"downlink_bytes"`
 }
 
+// Worker connection states reported in WorkerMetrics.State.
+const (
+	// WorkerConnected: the worker's connection is live.
+	WorkerConnected = "connected"
+	// WorkerBackingOff: the connection is down but the worker still holds
+	// a tier slot, so the run expects it back (reconnecting workers are in
+	// their backoff loop from the aggregator's point of view).
+	WorkerBackingOff = "backing-off"
+	// WorkerEvicted: the connection is down and no tier holds the worker —
+	// it sits out the rest of the run unless a re-tiering re-admits it.
+	WorkerEvicted = "evicted"
+)
+
+// WorkerMetrics is one worker's connection row in a MetricsSnapshot: the
+// registration state as the aggregator sees it, the tier currently holding
+// the worker (-1 = none), and how many times it has re-registered mid-run.
+type WorkerMetrics struct {
+	ID         int    `json:"id"`
+	Tier       int    `json:"tier"`
+	State      string `json:"state"`
+	Reconnects int    `json:"reconnects"`
+}
+
 // MetricsSnapshot is the GET /metrics response body.
 type MetricsSnapshot struct {
 	Running       bool          `json:"running"`
@@ -64,6 +92,9 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64       `json:"uptime_seconds"`
 	LiveWorkers   int           `json:"live_workers"`
 	Tiers         []TierMetrics `json:"tiers"`
+	// Workers carries per-worker connection rows on flat runs (empty on
+	// tree runs, where leaf connections live at the child aggregators).
+	Workers []WorkerMetrics `json:"workers,omitempty"`
 	// Children carries per-child-aggregator rows on tree runs (empty on
 	// flat runs).
 	Children      []ChildMetrics `json:"children,omitempty"`
@@ -71,6 +102,12 @@ type MetricsSnapshot struct {
 	DownlinkBytes int64          `json:"downlink_bytes"`
 	Retiers       int            `json:"retiers"`
 	Reassigned    int            `json:"reassigned"`
+	// Reconnects counts worker re-registrations, Retries counts mid-round
+	// request redispatches to rejoined workers, and ChildRejoins counts
+	// tree child-aggregator revivals.
+	Reconnects   int `json:"reconnects"`
+	Retries      int `json:"retries"`
+	ChildRejoins int `json:"child_rejoins"`
 	// LastCheckpointVersion is the global version of the newest durable
 	// snapshot (0 = none yet); LastCheckpointAgeSeconds its age (-1 = none
 	// yet). LastCheckpointError surfaces a failed write.
@@ -100,6 +137,37 @@ type obsState struct {
 	ckptTime      time.Time
 	ckptErr       string
 	children      []childObs // tree runs: per-child-aggregator rows
+	// Self-healing counters: per-worker and total re-registrations,
+	// mid-round redispatches, and tree child revivals.
+	reconnects      map[int]int
+	totalReconnects int
+	retries         int
+	childRejoins    int
+}
+
+// noteReconnect records worker id re-registering mid-run.
+func (o *obsState) noteReconnect(id int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.reconnects == nil {
+		o.reconnects = make(map[int]int)
+	}
+	o.reconnects[id]++
+	o.totalReconnects++
+}
+
+// noteRetry records one mid-round request redispatch to a rejoined worker.
+func (o *obsState) noteRetry() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.retries++
+}
+
+// noteChildRejoin records tier t's child aggregator being revived.
+func (o *obsState) noteChildRejoin(t int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.childRejoins++
 }
 
 // childObs is one child aggregator's observable state (tree runs).
@@ -226,8 +294,15 @@ func (ta *TieredAsyncAggregator) Metrics() MetricsSnapshot {
 		DownlinkBytes:         o.downlink,
 		Retiers:               o.retiers,
 		Reassigned:            o.reassigned,
+		Reconnects:            o.totalReconnects,
+		Retries:               o.retries,
+		ChildRejoins:          o.childRejoins,
 		LastCheckpointVersion: o.ckptVersion,
 		LastCheckpointError:   o.ckptErr,
+	}
+	perWorkerReconnects := make(map[int]int, len(o.reconnects))
+	for id, n := range o.reconnects {
+		perWorkerReconnects[id] = n
 	}
 	snap.LastCheckpointAgeSeconds = -1
 	if !o.ckptTime.IsZero() {
@@ -265,15 +340,77 @@ func (ta *TieredAsyncAggregator) Metrics() MetricsSnapshot {
 	}
 	o.mu.Unlock()
 
-	// Live worker count and EWMA means come from their owners, outside the
-	// obs mutex.
+	// Live worker count, per-worker connection rows, live-member
+	// fractions, and EWMA means come from their owners, outside the obs
+	// mutex.
+	type connState struct {
+		live bool
+		leaf bool
+	}
+	conns := make(map[int]connState)
 	ta.mu.Lock()
-	for _, w := range ta.workers {
-		if !w.dead.Load() {
+	for id, w := range ta.workers {
+		live := !w.dead.Load()
+		if live {
 			snap.LiveWorkers++
 		}
+		conns[id] = connState{live: live, leaf: w.role == RoleWorker}
 	}
 	ta.mu.Unlock()
+	ta.tmu.Lock()
+	tierOf := make(map[int]int)
+	tierMembers := copyNetTiers(ta.members)
+	for t, ms := range tierMembers {
+		for _, id := range ms {
+			tierOf[id] = t
+		}
+	}
+	ta.tmu.Unlock()
+	if len(snap.Children) == 0 {
+		// Flat run: one row per registered leaf worker, with the state the
+		// self-healing layer acts on — connected, backing-off (down but
+		// still holding a tier slot, so a rejoin is expected), or evicted.
+		// Tree runs skip the rows: leaf connections live at the children.
+		for id, cs := range conns {
+			if !cs.leaf {
+				continue
+			}
+			wm := WorkerMetrics{ID: id, Tier: -1, Reconnects: perWorkerReconnects[id]}
+			t, inTier := tierOf[id]
+			if inTier {
+				wm.Tier = t
+			}
+			switch {
+			case cs.live:
+				wm.State = WorkerConnected
+			case inTier:
+				wm.State = WorkerBackingOff
+			default:
+				wm.State = WorkerEvicted
+			}
+			snap.Workers = append(snap.Workers, wm)
+		}
+		sort.Slice(snap.Workers, func(i, j int) bool { return snap.Workers[i].ID < snap.Workers[j].ID })
+		for t, ms := range tierMembers {
+			if t >= len(snap.Tiers) || len(ms) == 0 {
+				continue
+			}
+			live := 0
+			for _, id := range ms {
+				if conns[id].live {
+					live++
+				}
+			}
+			snap.Tiers[t].LiveMemberFraction = float64(live) / float64(len(ms))
+		}
+	} else {
+		// Tree run: a tier's members are reachable iff its child is.
+		for t := range snap.Tiers {
+			if t < len(snap.Children) && snap.Children[t].Alive {
+				snap.Tiers[t].LiveMemberFraction = 1
+			}
+		}
+	}
 	if est, ok := ta.tcfg.Manager.(interface{ EWMA(int) (float64, bool) }); ok {
 		ta.tmu.Lock()
 		members := copyNetTiers(ta.members)

@@ -420,6 +420,10 @@ type conn struct {
 	sendMu sync.Mutex
 	enc    *gob.Encoder
 	dec    *gob.Decoder
+	// writeTimeout bounds each send with a write deadline (0 = block
+	// forever, the historical behaviour). Set once before the conn is
+	// shared across goroutines.
+	writeTimeout time.Duration
 }
 
 func newConn(raw net.Conn) *conn {
@@ -429,6 +433,12 @@ func newConn(raw net.Conn) *conn {
 func (c *conn) send(env *Envelope) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.writeTimeout > 0 {
+		if err := c.raw.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return fmt.Errorf("flnet: send %d: deadline: %w", env.Type, err)
+		}
+		defer c.raw.SetWriteDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
 	if err := c.enc.Encode(env); err != nil {
 		return fmt.Errorf("flnet: send %d: %w", env.Type, err)
 	}

@@ -48,6 +48,10 @@ type AggregatorConfig struct {
 	RoundTimeout   time.Duration
 	InitialWeights []float64
 	Seed           int64
+	// SendTimeout bounds every send to a worker with a write deadline, so
+	// a peer that stops draining its socket cannot wedge a round's
+	// broadcast; 0 = block forever (the historical behaviour).
+	SendTimeout time.Duration
 }
 
 func (c AggregatorConfig) validate() error {
@@ -223,6 +227,19 @@ type Aggregator struct {
 
 	mu      sync.Mutex
 	workers map[int]*registered
+	// onRejoin observes mid-run re-registrations: it fires (outside a.mu,
+	// on the handshake goroutine) whenever a registration replaces a dead
+	// entry for the same ID. The tiered-async runs install it to
+	// re-announce the returning worker's tier or revive a tree child.
+	onRejoin func(w *registered)
+}
+
+// setRejoinHook installs (or, with nil, clears) the mid-run
+// re-registration observer.
+func (a *Aggregator) setRejoinHook(h func(*registered)) {
+	a.mu.Lock()
+	a.onRejoin = h
+	a.mu.Unlock()
 }
 
 // NewAggregator listens on addr (e.g. "127.0.0.1:0").
@@ -289,6 +306,7 @@ func (a *Aggregator) WaitForWorkers(n int, timeout time.Duration) error {
 // handshake performs registration and starts the per-connection reader.
 func (a *Aggregator) handshake(raw net.Conn) {
 	c := newConn(raw)
+	c.writeTimeout = a.cfg.SendTimeout
 	env, err := c.recv(10 * time.Second)
 	if err != nil || env.Type != MsgRegister || env.Register == nil {
 		c.close() //nolint:errcheck // failed handshake
@@ -312,12 +330,18 @@ func (a *Aggregator) handshake(raw net.Conn) {
 		ackTier: -1, ackVer: -1,
 	}
 	a.mu.Lock()
-	if _, dup := a.workers[w.id]; dup {
+	old := a.workers[w.id]
+	if old != nil && !old.dead.Load() {
+		// A live connection already owns this ID: refuse the duplicate. A
+		// reconnecting worker that races the server's EOF detection lands
+		// here too — its backoff loop simply retries until the dead read
+		// surfaces and the slot frees up.
 		a.mu.Unlock()
 		c.close() //nolint:errcheck // duplicate registration
 		return
 	}
 	a.workers[w.id] = w
+	hook := a.onRejoin
 	a.mu.Unlock()
 	go func() {
 		for {
@@ -343,6 +367,43 @@ func (a *Aggregator) handshake(raw net.Conn) {
 			w.updates <- env
 		}
 	}()
+	if old != nil && hook != nil {
+		// Rejoin: the reader is live, so liveWorker(id) already resolves
+		// to the fresh connection by the time the hook observes it.
+		hook(w)
+	}
+}
+
+// acceptLoop keeps admitting registrations while a run is in flight, so a
+// disconnected worker (or a respawned child aggregator) can rejoin
+// mid-run — WaitForWorkers only accepts until the fleet is assembled.
+// It polls the listener in short deadline slices and exits when done is
+// closed or the listener dies.
+func (a *Aggregator) acceptLoop(done <-chan struct{}) {
+	tcp, _ := a.ln.(*net.TCPListener)
+	for {
+		select {
+		case <-done:
+			if tcp != nil {
+				tcp.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+			}
+			return
+		default:
+		}
+		if tcp != nil {
+			if err := tcp.SetDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+				return
+			}
+		}
+		raw, err := a.ln.Accept()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return // listener closed
+		}
+		go a.handshake(raw)
+	}
 }
 
 // liveWorker returns the registered worker with the given ID if its

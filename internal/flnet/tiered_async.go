@@ -110,6 +110,26 @@ type TieredAsyncConfig struct {
 	// differ. Workers predating ProtoCodecRenegotiate keep their handshake
 	// codec. nil disables renegotiation (the pre-renegotiation behaviour).
 	ReassignCodec func(tier, numTiers int) string
+	// MaxRetries bounds per-request redispatches after a cohort member's
+	// connection drops mid-round: the tier loop waits up to RejoinWait for
+	// the member to re-register (workers running with Reconnect do so
+	// automatically) and re-sends the round's request on the fresh
+	// connection under the SAME Train.Seq token — the pending waiter moves
+	// with it, so whichever connection replies first wins and the other
+	// reply finds no waiter: a retried round can never double-count an
+	// update. 0 disables redispatch (the historical drop-the-member
+	// behaviour).
+	MaxRetries int
+	// RejoinWait bounds how long a redispatch waits for the dead worker to
+	// re-register before giving the member up for the round (default 2s
+	// when MaxRetries > 0). It doubles as the tier loops' grace window: a
+	// tier whose members are all momentarily dead waits this long for a
+	// rejoin before declaring itself stopped, and a tree root whose last
+	// child died waits this long for a respawn.
+	RejoinWait time.Duration
+	// SendTimeout bounds every per-worker send with a write deadline; 0 =
+	// block forever (the historical behaviour).
+	SendTimeout time.Duration
 	// Downlink enables the version-acked delta broadcast: each tier's
 	// aggregator loop keeps one delta chain (compress.Downlink.NewChain),
 	// encodes the round's snapshot against the chain's base exactly once,
@@ -131,6 +151,9 @@ func (c *TieredAsyncConfig) withDefaults() {
 	if c.StalenessExp == 0 {
 		c.StalenessExp = 0.5
 	}
+	if c.MaxRetries > 0 && c.RejoinWait == 0 {
+		c.RejoinWait = 2 * time.Second
+	}
 }
 
 func (c TieredAsyncConfig) validate() error {
@@ -147,6 +170,10 @@ func (c TieredAsyncConfig) validate() error {
 		return fmt.Errorf("flnet: StalenessExp = %v", c.StalenessExp)
 	case len(c.Lockstep) > 0 && len(c.Lockstep) != c.GlobalCommits:
 		return fmt.Errorf("flnet: Lockstep schedules %d commits, GlobalCommits = %d", len(c.Lockstep), c.GlobalCommits)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("flnet: MaxRetries = %d", c.MaxRetries)
+	case c.RejoinWait < 0:
+		return fmt.Errorf("flnet: RejoinWait = %v", c.RejoinWait)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("flnet: CheckpointEvery = %d", c.CheckpointEvery)
 	case c.CheckpointEvery > 0 && c.CheckpointPath == "" && c.OnCheckpoint == nil:
@@ -265,7 +292,7 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 	base, err := NewAggregator(addr, AggregatorConfig{
 		Rounds: cfg.GlobalCommits, ClientsPerRound: cfg.ClientsPerRound,
 		RoundTimeout: cfg.RoundTimeout, InitialWeights: cfg.InitialWeights,
-		Seed: cfg.Seed,
+		Seed: cfg.Seed, SendTimeout: cfg.SendTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -275,7 +302,7 @@ func NewTieredAsyncAggregator(addr string, cfg TieredAsyncConfig) (*TieredAsyncA
 		Aggregator: base,
 		tcfg:       cfg,
 		gw:         append([]float64(nil), cfg.InitialWeights...),
-		fan:        &fanIn{agg: base, obs: obs, timeout: cfg.RoundTimeout},
+		fan:        &fanIn{agg: base, obs: obs, timeout: cfg.RoundTimeout, retries: cfg.MaxRetries, rejoinWait: cfg.RejoinWait},
 		obs:        obs,
 	}
 	if cfg.MetricsAddr != "" {
@@ -574,6 +601,49 @@ func (ta *TieredAsyncAggregator) tierAlive(members []int) bool {
 	return false
 }
 
+// waitTierAlive polls for any member of tier t to come back within the
+// RejoinWait grace window — a tier whose members all flapped at once gets
+// a chance to heal instead of permanently exiting its loop. Zero
+// RejoinWait reports failure immediately (the historical behaviour).
+func (ta *TieredAsyncAggregator) waitTierAlive(t int, done <-chan struct{}) bool {
+	if ta.tcfg.RejoinWait <= 0 {
+		return false
+	}
+	deadline := time.Now().Add(ta.tcfg.RejoinWait)
+	for time.Now().Before(deadline) {
+		select {
+		case <-done:
+			return false
+		case <-time.After(20 * time.Millisecond):
+		}
+		if ta.tierAlive(ta.tierMembers(t)) {
+			return true
+		}
+	}
+	return false
+}
+
+// tierOf returns the tier currently holding the given client ID, or -1.
+func (ta *TieredAsyncAggregator) tierOf(id int) int {
+	ta.tmu.Lock()
+	defer ta.tmu.Unlock()
+	for t, ms := range ta.members {
+		for _, m := range ms {
+			if m == id {
+				return t
+			}
+		}
+	}
+	return -1
+}
+
+// numTiers returns the current tier count.
+func (ta *TieredAsyncAggregator) numTiers() int {
+	ta.tmu.Lock()
+	defer ta.tmu.Unlock()
+	return len(ta.members)
+}
+
 // cohortFor draws tier t's participants for its local round r: through the
 // live Manager when one is installed (Algorithm-2 adaptive sizing, current
 // membership), otherwise the static TierCohort draw over members.
@@ -594,6 +664,12 @@ type fanIn struct {
 	obs     *obsState
 	timeout time.Duration // per-collection-window bound (0 = indefinite)
 	seq     atomic.Int64  // train-request token source (Train.Seq)
+	// retries bounds per-request redispatches after a cohort member's
+	// connection dies mid-round (TieredAsyncConfig.MaxRetries; 0 = none),
+	// and rejoinWait bounds how long each redispatch waits for the member
+	// to re-register.
+	retries    int
+	rejoinWait time.Duration
 }
 
 // downTier is one tier's delta-broadcast state: the chain holding the
@@ -612,29 +688,131 @@ type downTier struct {
 
 // timedUpdate is one collected update plus its aggregator-side arrival
 // time, measured from the round's broadcast — the end-to-end response
-// latency that feeds comm-aware tiering.
+// latency that feeds comm-aware tiering. src is the exact connection the
+// update arrived on, so ack recording survives mid-round redispatches (a
+// retried request's reply may come from a different *registered instance
+// of the same client ID).
 type timedUpdate struct {
 	flcore.Update
 	arrival float64
+	src     *registered
 }
 
-// trainReq is one outstanding train request of a tier round: the worker it
-// went to and, for seq-echoing workers, the waiter its reply is routed to.
-// Legacy workers (seq 0, ch nil) are collected from their shared channel
-// by round match — safe because legacy workers are pinned and therefore
-// can never be trained by two tiers concurrently.
+// trainReq is one outstanding train request of a tier round: the worker
+// connection it went to and, for seq-echoing workers, the waiter its reply
+// is routed to. Legacy workers (seq 0, ch nil) are collected from their
+// shared channel by round match — safe because legacy workers are pinned
+// and therefore can never be trained by two tiers concurrently. A
+// redispatch (bounded by fanIn.retries) rebinds the request to the
+// member's fresh connection under the same seq token; mu guards the
+// binding.
 type trainReq struct {
-	w   *registered
+	id  int // the member's client ID, stable across rejoins
 	seq int64
-	ch  chan *Envelope
+
+	mu       sync.Mutex
+	w        *registered
+	ch       chan *Envelope
+	attempts int // redispatches consumed
+}
+
+// current returns the connection and waiter the request is bound to.
+func (rq *trainReq) current() (*registered, chan *Envelope) {
+	rq.mu.Lock()
+	defer rq.mu.Unlock()
+	return rq.w, rq.ch
+}
+
+// rebind moves the request to a fresh connection and waiter.
+func (rq *trainReq) rebind(w *registered, ch chan *Envelope) {
+	rq.mu.Lock()
+	rq.w, rq.ch = w, ch
+	rq.mu.Unlock()
+}
+
+// retryCtx is what a mid-round redispatch needs to re-send a request on a
+// rejoined member's fresh connection: the round's tier and index, the
+// shared broadcast, the round's versioned-broadcast counter, and an
+// atomic counter accumulating the broadcast bytes redispatches add. A
+// rejoined connection holds no delta base (its registration starts
+// unacked), so retried requests always carry the dense snapshot.
+type retryCtx struct {
+	tier, round int
+	bc          *broadcast
+	dlVer       int
+	extraDown   atomic.Int64
+}
+
+// redispatch waits (bounded by rejoinWait and the collection deadline) for
+// a dead cohort member to re-register, then re-sends its round request on
+// the fresh connection under the SAME seq token: the pending waiter moves
+// to the new connection, so whichever connection delivers first wins and
+// the other reply finds no waiter — a retried round cannot double-count.
+// It reports whether the request was rebound.
+func (f *fanIn) redispatch(rq *trainReq, rc *retryCtx, deadline time.Time) bool {
+	if f.retries <= 0 || rc == nil {
+		return false
+	}
+	rq.mu.Lock()
+	if rq.attempts >= f.retries {
+		rq.mu.Unlock()
+		return false
+	}
+	rq.attempts++
+	old := rq.w
+	rq.mu.Unlock()
+	until := time.Now().Add(f.rejoinWait)
+	if !deadline.IsZero() && deadline.Before(until) {
+		until = deadline
+	}
+	var nw *registered
+	for {
+		if w := f.agg.liveWorker(rq.id); w != nil && w != old {
+			nw = w
+			break
+		}
+		if !time.Now().Before(until) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if nw.proto < ProtoTierReassign {
+		return false // seq routing needs a seq-echoing worker
+	}
+	nch := nw.addPending(rq.seq)
+	tr := &Train{Round: rc.round, Seq: rq.seq}
+	if rc.dlVer != 0 && nw.proto >= ProtoDeltaDownlink {
+		// Version-tagged dense snapshot: the fresh connection adopts it as
+		// its base and becomes delta-eligible again next round.
+		tr.Version = rc.dlVer
+	}
+	rc.bc.fill(tr, nw.proto)
+	if err := nw.c.send(&Envelope{Type: MsgTrain, Train: tr}); err != nil {
+		nw.dropPending(rq.seq)
+		return false
+	}
+	var db int64
+	if nw.proto >= ProtoFastWire {
+		db = int64(len(rc.bc.raw))
+	} else {
+		db = int64(compress.DenseBytes(len(rc.bc.weights)))
+	}
+	rc.extraDown.Add(db)
+	f.obs.addDownlink(db)
+	f.obs.noteRetry()
+	rq.rebind(nw, nch)
+	return true
 }
 
 // collect gathers the round's updates for the given outstanding requests,
 // respecting the round timeout (0 = wait indefinitely). Replies from
 // seq-echoing workers arrive through their per-request waiters, so a
 // migrated worker trained concurrently by its old and new tier can never
-// have its updates cross-matched between the two rounds.
-func (f *fanIn) collect(reqs []trainReq, round int, weights []float64, start time.Time) []timedUpdate {
+// have its updates cross-matched between the two rounds. When rc is
+// non-nil and retries are configured, a request whose connection dies
+// mid-window is redispatched to the member's rejoined connection instead
+// of being dropped.
+func (f *fanIn) collect(reqs []*trainReq, round int, weights []float64, start time.Time, rc *retryCtx) []timedUpdate {
 	type got struct {
 		u  timedUpdate
 		ok bool
@@ -645,10 +823,10 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64, start tim
 		deadline = time.Now().Add(f.timeout)
 	}
 	for _, rq := range reqs {
-		go func(rq trainReq) {
-			if rq.ch == nil {
-				u, ok := drainFor(rq.w, round, weights, deadline)
-				ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds()}, ok: ok}
+		go func(rq *trainReq) {
+			if w, wch := rq.current(); wch == nil {
+				u, ok := drainFor(w, round, weights, deadline)
+				ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds(), src: w}, ok: ok}
 				return
 			}
 			var timeout <-chan time.Time
@@ -657,34 +835,44 @@ func (f *fanIn) collect(reqs []trainReq, round int, weights []float64, start tim
 				defer timer.Stop()
 				timeout = timer.C
 			}
-			deliver := func(env *Envelope) {
-				u, ok := decodeUpdate(rq.w, env, weights)
-				ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds()}, ok: ok}
-			}
-			// A reply that was routed before the connection dropped (or
-			// just before the deadline) still counts: always drain the
-			// waiter before honoring the death/timeout signal, otherwise
-			// the select's random choice would nondeterministically
-			// discard a delivered update.
-			take := func() bool {
+			for {
+				w, wch := rq.current()
+				deliver := func(env *Envelope) {
+					u, ok := decodeUpdate(w, env, weights)
+					ch <- got{u: timedUpdate{Update: u, arrival: time.Since(start).Seconds(), src: w}, ok: ok}
+				}
+				// A reply that was routed before the connection dropped (or
+				// just before the deadline) still counts: always drain the
+				// waiter before honoring the death/timeout signal, otherwise
+				// the select's random choice would nondeterministically
+				// discard a delivered update.
+				take := func() bool {
+					select {
+					case env := <-wch:
+						deliver(env)
+						return true
+					default:
+						return false
+					}
+				}
 				select {
-				case env := <-rq.ch:
+				case env := <-wch:
 					deliver(env)
-					return true
-				default:
-					return false
-				}
-			}
-			select {
-			case env := <-rq.ch:
-				deliver(env)
-			case <-rq.w.deadCh:
-				if !take() {
+					return
+				case <-w.deadCh:
+					if take() {
+						return
+					}
+					if f.redispatch(rq, rc, deadline) {
+						continue // wait on the rebound connection
+					}
 					ch <- got{ok: false}
-				}
-			case <-timeout:
-				if !take() {
-					ch <- got{ok: false}
+					return
+				case <-timeout:
+					if !take() {
+						ch <- got{ok: false}
+					}
+					return
 				}
 			}
 		}(rq)
@@ -748,19 +936,23 @@ func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64,
 		weights = append([]float64(nil), dl.chain.Base()...)
 	}
 	start := time.Now()
-	var reqs []trainReq
+	var reqs []*trainReq
 	defer func() {
 		for _, rq := range reqs {
 			if rq.seq != 0 {
-				rq.w.dropPending(rq.seq)
+				// Drop on whichever connection currently holds the waiter —
+				// a redispatch may have moved it off the original one.
+				w, _ := rq.current()
+				w.dropPending(rq.seq)
 			}
 		}
 	}()
 	bc := newBroadcast(weights)
 	sent := make(map[int]int64, len(conns))
 	var downBytes int64
+	rc := &retryCtx{tier: t, round: r, bc: bc, dlVer: dlVer}
 	for _, w := range conns {
-		rq := trainReq{w: w}
+		rq := &trainReq{id: w.id, w: w}
 		if w.proto >= ProtoTierReassign {
 			rq.seq = f.seq.Add(1)
 			rq.ch = w.addPending(rq.seq)
@@ -796,30 +988,30 @@ func (f *fanIn) runRound(t, r int, cohort []int, version int, weights []float64,
 	if len(reqs) == 0 {
 		return nil, roundNoCohort
 	}
-	updates := f.collect(reqs, r, weights, start)
+	updates := f.collect(reqs, r, weights, start, rc)
 	for retry := 0; len(updates) == 0 && retry < maxCollects-1; retry++ {
 		select {
 		case <-done:
 			return nil, roundAbort
 		default:
 		}
-		updates = f.collect(reqs, r, weights, start)
+		updates = f.collect(reqs, r, weights, start, rc)
 	}
+	downBytes += rc.extraDown.Load()
 	if len(updates) == 0 {
 		return nil, roundEmpty
 	}
 	// A responding Proto ≥ ProtoDeltaDownlink worker has provably received
 	// and adopted this round's versioned base — record the ack that makes
-	// it delta-eligible next round. Workers that received the broadcast but
-	// never replied stay unacked and fall back to dense, which is always
-	// safe.
+	// it delta-eligible next round. The ack lands on the exact connection
+	// the reply came from (u.src), so a redispatched request acks the
+	// rejoined connection, never the dead one. Workers that received the
+	// broadcast but never replied stay unacked and fall back to dense,
+	// which is always safe.
 	if dlVer != 0 {
 		for _, u := range updates {
-			for _, w := range conns {
-				if w.id == u.ClientID && w.proto >= ProtoDeltaDownlink {
-					w.setAck(t, dlVer)
-					break
-				}
+			if u.src != nil && u.src.proto >= ProtoDeltaDownlink {
+				u.src.setAck(t, dlVer)
 			}
 		}
 	}
@@ -916,7 +1108,16 @@ func (ta *TieredAsyncAggregator) tierLoop(t int, commitCh chan<- *Envelope, done
 			}
 		}
 		members := ta.tierMembers(t)
-		if !ta.tierAlive(members) || empty >= maxEmptyRounds {
+		if !ta.tierAlive(members) {
+			// Every member's connection is down. With a rejoin grace window
+			// configured, wait for reconnecting workers before giving the
+			// tier up for the rest of the run.
+			if lockstep || !ta.waitTierAlive(t, done) {
+				return
+			}
+			members = ta.tierMembers(t)
+		}
+		if empty >= maxEmptyRounds {
 			return
 		}
 		var cohort []int
@@ -1060,6 +1261,24 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 
 	commitCh := make(chan *Envelope)
 	done := make(chan struct{})
+	if len(ta.tcfg.Lockstep) == 0 {
+		// Self-healing: keep accepting registrations while the run is in
+		// flight, and greet every rejoining worker with the tier the run
+		// still holds for it — its tier loop then reaches it through
+		// liveWorker on the next dispatch (or a pending redispatch). The
+		// lockstep parity harness stays frozen-fleet by design.
+		go ta.acceptLoop(done)
+		ta.setRejoinHook(func(w *registered) {
+			if w.role != RoleWorker {
+				w.c.close() //nolint:errcheck // tree children rejoin via RunTree only
+				return
+			}
+			ta.obs.noteReconnect(w.id)
+			if t := ta.tierOf(w.id); t >= 0 {
+				w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: t, NumTiers: ta.numTiers()}}) //nolint:errcheck // informational, best effort
+			}
+		})
+	}
 	var wg sync.WaitGroup
 	loopDone := make([]chan struct{}, len(tiers))
 	for t := range tiers {
@@ -1100,6 +1319,7 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 	ta.gmu.Unlock()
 	ta.obs.noteRunStart(ta.tcfg.GlobalCommits, applied, res.Commits, res.Retiers, res.Reassigned, res.UplinkBytes, counts)
 	finish := func(applied int, err error) (*TieredAsyncRunResult, error) {
+		ta.setRejoinHook(nil)
 		close(done)
 		ta.FinishWorkers(applied)
 		wg.Wait()
@@ -1136,10 +1356,10 @@ func (ta *TieredAsyncAggregator) Run(tiers [][]int) (*TieredAsyncRunResult, erro
 			case e := <-commitCh:
 				env = e
 			case <-loopsExited:
-				ta.FinishWorkers(applied) // tiers may have given up on live-but-slow workers
-				_, res.Weights = ta.snapshot()
-				ta.obs.noteRunEnd()
-				return res, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+				// finish() also closes done, stopping the mid-run accept
+				// loop, and clears the rejoin hook; the tier loops it waits
+				// on have already exited.
+				return finish(applied, fmt.Errorf("flnet: every tier stopped making progress after %d of %d commits", applied, ta.tcfg.GlobalCommits))
 			}
 		}
 		stats, err := ta.applyCommit(env.TierCommit, res.Commits)

@@ -1,6 +1,7 @@
 package flnet
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -75,6 +76,21 @@ type ChildConfig struct {
 	// the root enables through its own Downlink config; a child re-encodes
 	// each reconstructed pull against its own leaf-side chains.
 	Downlink *compress.Downlink
+	// Dial overrides the transport used to reach the root (fault injection;
+	// nil = net.DialTimeout).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// RPCTimeout bounds every send on the root link and on each leaf-worker
+	// connection, and — when the child is mid-cycle — how long a reply pull
+	// may take to arrive (0 = wait indefinitely, the legacy behavior). Keep
+	// it zero under root-side Lockstep schedules: there a reply pull is
+	// deferred until the schedule reaches this tier.
+	RPCTimeout time.Duration
+	// MaxRetries bounds per-request redispatches when a leaf dies mid-round
+	// (TieredAsyncConfig.MaxRetries semantics; 0 = dead leaves are skipped).
+	MaxRetries int
+	// RejoinWait bounds how long a redispatch waits for the dead leaf to
+	// reconnect and re-register (default 2s when MaxRetries > 0).
+	RejoinWait time.Duration
 }
 
 // Child is a per-tier child aggregator: an FL server to its leaf workers
@@ -101,6 +117,11 @@ func NewChild(cfg ChildConfig) (*Child, error) {
 		return nil, fmt.Errorf("flnet: child Workers = %d", cfg.Workers)
 	case cfg.RootAddr == "":
 		return nil, fmt.Errorf("flnet: child needs a RootAddr")
+	case cfg.MaxRetries < 0:
+		return nil, fmt.Errorf("flnet: child MaxRetries = %d", cfg.MaxRetries)
+	}
+	if cfg.MaxRetries > 0 && cfg.RejoinWait <= 0 {
+		cfg.RejoinWait = 2 * time.Second
 	}
 	addr := cfg.Addr
 	if addr == "" {
@@ -114,11 +135,11 @@ func NewChild(cfg ChildConfig) (*Child, error) {
 	// reuses only the registration/reader/fan-in machinery, so the
 	// synchronous-run fields NewAggregator validates (Rounds,
 	// ClientsPerRound, InitialWeights) have no meaningful values here.
-	agg := &Aggregator{cfg: AggregatorConfig{RoundTimeout: cfg.RoundTimeout}, ln: ln, workers: make(map[int]*registered)}
+	agg := &Aggregator{cfg: AggregatorConfig{RoundTimeout: cfg.RoundTimeout, SendTimeout: cfg.RPCTimeout}, ln: ln, workers: make(map[int]*registered)}
 	return &Child{
 		cfg:  cfg,
 		agg:  agg,
-		fan:  &fanIn{agg: agg, obs: &obsState{}, timeout: cfg.RoundTimeout},
+		fan:  &fanIn{agg: agg, obs: &obsState{}, timeout: cfg.RoundTimeout, retries: cfg.MaxRetries, rejoinWait: cfg.RejoinWait},
 		done: make(chan struct{}),
 	}, nil
 }
@@ -177,11 +198,18 @@ func (ch *Child) Run() error {
 	if dt <= 0 {
 		dt = 10 * time.Second
 	}
-	raw, err := net.DialTimeout("tcp", ch.cfg.RootAddr, dt)
+	dial := ch.cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	raw, err := dial(ch.cfg.RootAddr, dt)
 	if err != nil {
 		return fmt.Errorf("flnet: child %d dialing root: %w", ch.cfg.ID, err)
 	}
 	root := newConn(raw)
+	root.writeTimeout = ch.cfg.RPCTimeout
 	defer root.close() //nolint:errcheck // Run owns the root connection
 	ch.mu.Lock()
 	if ch.closed {
@@ -218,6 +246,27 @@ func (ch *Child) Run() error {
 			w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: as.Tier, NumTiers: as.NumTiers}}) //nolint:errcheck // best effort
 		}
 	}
+	// Keep accepting leaf connections for the rest of the run so a flapped
+	// worker's reconnect loop can re-register mid-run. A rejoined leaf gets
+	// its placement re-announced; its codec/downlink state was rebuilt by
+	// the handshake (fresh ack state means its next broadcast is dense).
+	ch.agg.setRejoinHook(func(w *registered) {
+		if w.role != RoleWorker {
+			w.c.close() //nolint:errcheck // reject non-leaf registrations
+			return
+		}
+		ch.fan.obs.noteReconnect(w.id)
+		w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{Tier: as.Tier, NumTiers: as.NumTiers}}) //nolint:errcheck // best effort
+	})
+	defer ch.agg.setRejoinHook(nil)
+	accepting := make(chan struct{})
+	var stopAccepting sync.Once
+	defer stopAccepting.Do(func() { close(accepting) })
+	go func() {
+		<-ch.done
+		stopAccepting.Do(func() { close(accepting) })
+	}()
+	go ch.agg.acceptLoop(accepting)
 	// Root-side pull base (the strict pull→commit cycle means the root may
 	// delta against the previous pull) and the child's own leaf-side delta
 	// chain — a reconstructed pull is re-encoded against the leaves' bases,
@@ -230,8 +279,12 @@ func (ch *Child) Run() error {
 		leafDL = &downTier{chain: ch.cfg.Downlink.NewChain()}
 	}
 	for {
-		env, err := root.recv(0)
+		env, err := root.recv(ch.cfg.RPCTimeout)
 		if err != nil {
+			var ne net.Error
+			if ch.cfg.RPCTimeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("no pull from the root within the %v RPC timeout: %w", ch.cfg.RPCTimeout, err)
+			}
 			return ch.runErr(err)
 		}
 		switch env.Type {
@@ -469,16 +522,57 @@ func (ta *TieredAsyncAggregator) sendPull(c *registered, dl *downTier) {
 	}
 }
 
+// reviveChild validates a mid-run child re-registration against the
+// pinned topology and, on success, revives its tier: the tier's pull
+// chain is reset (the revived child holds no base, so its first pull is
+// dense), the child is handed its assignment with the tier's current
+// round cursor, an immediate pull restarts its commit cycle, and a fresh
+// pump feeds the committer. A registration that does not match — wrong
+// role, out-of-range tier, changed leaf membership — is refused by
+// closing the connection, exactly as ResumeTree refuses a changed
+// roster. Runs on the committer goroutine, which owns children/pulls/
+// roundCursor.
+func (ta *TieredAsyncAggregator) reviveChild(w *registered, children []*registered, tiers [][]int, pulls []*downTier, spawn func(int, *registered)) bool {
+	t := w.id
+	k := len(children)
+	if w.role != RoleChildAggregator || t < 0 || t >= k || !sameMembers(w.members, tiers[t]) {
+		w.c.close() //nolint:errcheck // refused rejoin
+		return false
+	}
+	children[t] = w
+	if ta.tcfg.Downlink != nil {
+		pulls[t] = &downTier{chain: ta.tcfg.Downlink.NewChain()}
+	}
+	addr := w.addr
+	if addr == "" {
+		addr = w.c.raw.RemoteAddr().String()
+	}
+	ta.obs.noteChildUp(t, addr)
+	ta.obs.noteChildRejoin(t)
+	w.c.send(&Envelope{Type: MsgTierAssign, TierAssign: &TierAssign{ //nolint:errcheck // best effort: an instant re-death is degraded by its pump
+		Tier: t, NumTiers: k,
+		Seed: ta.tcfg.Seed, ClientsPerRound: ta.tcfg.ClientsPerRound,
+		StartRound: ta.roundCursor[t],
+	}})
+	ta.sendPull(w, pulls[t])
+	spawn(t, w)
+	return true
+}
+
 // RunTree drives the hierarchical topology over the registered child
 // aggregators until GlobalCommits commits have been applied: assign each
 // child its tier (ID order, 0 = fastest), hand out initial pulls, then
 // apply MsgTierCommit envelopes exactly as the flat committer does —
 // same CommitMix, same checkpoint cadence, same Lockstep buffering — and
 // reply each applied commit with the child's next pull. A dead child
-// degrades its tier (the run continues on the remaining tiers); RunTree
-// fails when every child is gone before the target, when a Lockstep
-// schedule names a dead tier, or on the first malformed commit. Live
-// tiering Managers are not supported over the tree.
+// degrades its tier (the run continues on the remaining tiers); outside
+// Lockstep mode the root keeps accepting, so a respawned child that
+// re-registers with the pinned leaf membership revives its tier
+// mid-run (assignment with the tier's current round cursor, dense first
+// pull, /metrics flips the tier back to alive). RunTree fails when every
+// child is gone before the target (after a RejoinWait grace, if set),
+// when a Lockstep schedule names a dead tier, or on the first malformed
+// commit. Live tiering Managers are not supported over the tree.
 func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 	if ta.tcfg.Manager != nil {
 		return nil, fmt.Errorf("flnet: the tree topology does not support a live tiering Manager; run flat or pre-assign tiers")
@@ -550,45 +644,68 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 	}
 
 	// One pump per child: commits flow from the connection reader into the
-	// committer; a closed updates channel is the child's death.
+	// committer; a closed updates channel is the child's death. Under a
+	// Lockstep schedule the fleet is frozen (no accept loop, no revival);
+	// otherwise the listener keeps accepting and a respawned child that
+	// re-registers with the pinned leaf membership gets its tier revived.
 	commitCh := make(chan treeCommit)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
+	lockstep := len(ta.tcfg.Lockstep) > 0
 	childDown := make([]chan struct{}, k)
-	for t, c := range children {
-		childDown[t] = make(chan struct{})
-		wg.Add(1)
-		go func(t int, c *registered) {
-			defer wg.Done()
-			defer close(childDown[t])
-			for {
+	pumpExit := make(chan int)
+	rejoinCh := make(chan *registered, 4)
+	pump := func(t int, c *registered, downCh chan struct{}) {
+		defer wg.Done()
+		if downCh != nil {
+			defer close(downCh)
+		}
+		for {
+			select {
+			case env, ok := <-c.updates:
+				if !ok {
+					ta.obs.noteChildDown(t)
+					if downCh == nil {
+						select {
+						case pumpExit <- t:
+						case <-done:
+						}
+					}
+					return
+				}
+				if env.Type != MsgTierCommit || env.TierCommit == nil {
+					continue // stray profile replies etc.; commits are the contract
+				}
 				select {
-				case env, ok := <-c.updates:
-					if !ok {
-						ta.obs.noteChildDown(t)
-						return
-					}
-					if env.Type != MsgTierCommit || env.TierCommit == nil {
-						continue // stray profile replies etc.; commits are the contract
-					}
-					select {
-					case commitCh <- treeCommit{env: env, tier: t}:
-					case <-done:
-						return
-					}
+				case commitCh <- treeCommit{env: env, tier: t}:
 				case <-done:
 					return
 				}
+			case <-done:
+				return
 			}
-		}(t, c)
+		}
 	}
-	allDown := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(allDown)
-	}()
+	for t, c := range children {
+		if lockstep {
+			childDown[t] = make(chan struct{})
+		}
+		wg.Add(1)
+		go pump(t, c, childDown[t])
+	}
+	if !lockstep {
+		go ta.acceptLoop(done)
+		ta.setRejoinHook(func(w *registered) {
+			select {
+			case rejoinCh <- w:
+			case <-done:
+				w.c.close() //nolint:errcheck // run over; refuse late rejoins
+			}
+		})
+	}
 
 	finish := func(applied int, err error) (*TieredAsyncRunResult, error) {
+		ta.setRejoinHook(nil)
 		close(done)
 		ta.FinishWorkers(applied) // the registered "workers" are the children
 		wg.Wait()
@@ -596,10 +713,15 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 		ta.obs.noteRunEnd()
 		return res, err
 	}
+	alive := k
+	var graceC <-chan time.Time
+	allGone := func(applied int) (*TieredAsyncRunResult, error) {
+		return finish(applied, fmt.Errorf("flnet: every child aggregator gone after %d of %d commits", applied, ta.tcfg.GlobalCommits))
+	}
 	pending := make([][]*Envelope, k) // lockstep buffers
 	for applied < ta.tcfg.GlobalCommits {
 		var env *Envelope
-		if len(ta.tcfg.Lockstep) > 0 {
+		if lockstep {
 			want := ta.tcfg.Lockstep[applied]
 			for len(pending[want]) == 0 {
 				select {
@@ -624,11 +746,28 @@ func (ta *TieredAsyncAggregator) RunTree() (*TieredAsyncRunResult, error) {
 					return finish(applied, fmt.Errorf("flnet: child %d delivered a commit labeled tier %d", tc.tier, tc.env.TierCommit.Tier))
 				}
 				env = tc.env
-			case <-allDown:
-				close(done)
-				_, res.Weights = ta.snapshot()
-				ta.obs.noteRunEnd()
-				return res, fmt.Errorf("flnet: every child aggregator gone after %d of %d commits", applied, ta.tcfg.GlobalCommits)
+			case <-pumpExit:
+				alive--
+				if alive <= 0 {
+					if ta.tcfg.RejoinWait <= 0 {
+						return allGone(applied)
+					}
+					// Every child gone: hold the run open one RejoinWait in
+					// case a respawned child is mid-reconnect.
+					graceC = time.After(ta.tcfg.RejoinWait)
+				}
+				continue
+			case w := <-rejoinCh:
+				if ta.reviveChild(w, children, tiers, pulls, func(t int, c *registered) {
+					wg.Add(1)
+					go pump(t, c, nil)
+				}) {
+					alive++
+					graceC = nil
+				}
+				continue
+			case <-graceC:
+				return allGone(applied)
 			}
 		}
 		stats, err := ta.applyCommit(env.TierCommit, res.Commits)

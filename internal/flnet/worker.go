@@ -1,7 +1,9 @@
 package flnet
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"time"
 
@@ -21,6 +23,39 @@ type WorkerConfig struct {
 	Train      TrainFunc
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
+	// Dial overrides the transport used to reach the aggregator (default
+	// TCP via net.DialTimeout). Chaos tests inject faultnet transports
+	// here; it also hooks proxies or TLS dialers without touching the
+	// protocol code.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+	// Reconnect enables the self-healing loop: when the connection drops
+	// mid-run the worker redials with capped exponential backoff plus
+	// deterministic jitter, re-registers under the same ClientID, and
+	// resumes serving requests. The aggregator re-announces the tier it
+	// still holds for the worker, and the delta-downlink scheme composes
+	// automatically — a fresh registration starts unacked, so the first
+	// broadcast after a rejoin is always the dense snapshot.
+	Reconnect bool
+	// MaxReconnects bounds consecutive failed reconnection attempts
+	// before RunWorker gives up (default 8; the counter resets every time
+	// a session makes progress, i.e. receives at least one message).
+	MaxReconnects int
+	// ReconnectBase/ReconnectMax bound the backoff delays (defaults
+	// 50ms / 2s). The delay for attempt k is in [d/2, d] for
+	// d = min(ReconnectBase·2^(k-1), ReconnectMax), with the jitter drawn
+	// deterministically from (ClientID, k) — a restarted fleet replays
+	// exactly the same reconnect storm, keeping chaos runs reproducible.
+	ReconnectBase, ReconnectMax time.Duration
+	// RPCTimeout bounds every wait for the next aggregator message and
+	// every send (0 = block forever, the historical behaviour). With
+	// Reconnect set, a timed-out wait tears the session down and re-enters
+	// the backoff loop, so a worker parked on a half-open connection
+	// cycles it instead of hanging for the rest of the run.
+	RPCTimeout time.Duration
+	// OnReconnect, if set, observes each reconnection attempt just before
+	// the redial (attempt counts consecutive failures so far, starting
+	// at 1).
+	OnReconnect func(attempt int)
 	// OnTierAssign, if set, receives the worker's tier placement when a
 	// tiered-async aggregator announces it (tier 0 is fastest).
 	OnTierAssign func(tier, numTiers int)
@@ -50,9 +85,47 @@ type WorkerConfig struct {
 	OnCodecRenegotiate func(spec string)
 }
 
+// fatalWorkerError marks session failures that reconnecting cannot cure —
+// application errors (a failing TrainFunc, an unparsable renegotiated
+// codec) and protocol violations. The reconnect loop gives up on these
+// immediately instead of burning its attempt budget.
+type fatalWorkerError struct{ err error }
+
+func (e *fatalWorkerError) Error() string { return e.err.Error() }
+func (e *fatalWorkerError) Unwrap() error { return e.err }
+
+func fatalf(format string, args ...any) error {
+	return &fatalWorkerError{err: fmt.Errorf(format, args...)}
+}
+
+// backoffDelay is attempt k's capped exponential backoff with
+// deterministic jitter: the base delay doubles per attempt up to max, and
+// the final delay lands in [d/2, d] keyed on (clientID, attempt) via FNV —
+// distinct workers spread out, yet a replayed run waits exactly as long.
+func backoffDelay(clientID, attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	var key [16]byte
+	for i := 0; i < 8; i++ {
+		key[i] = byte(uint64(clientID) >> (8 * i))
+		key[8+i] = byte(uint64(attempt) >> (8 * i))
+	}
+	h.Write(key[:]) //nolint:errcheck // hash writes cannot fail
+	span := uint64(d)/2 + 1
+	return d/2 + time.Duration(h.Sum64()%span)
+}
+
 // RunWorker connects to the aggregator at addr, registers, and serves
 // profiling and training requests until the aggregator sends Done or the
-// connection drops. It returns nil on a clean Done.
+// connection drops. It returns nil on a clean Done. With cfg.Reconnect
+// set, a dropped connection re-enters a capped-exponential-backoff redial
+// loop instead of ending the run.
 func RunWorker(addr string, cfg WorkerConfig) error {
 	if cfg.Train == nil {
 		return fmt.Errorf("flnet: worker %d has no TrainFunc", cfg.ClientID)
@@ -61,11 +134,63 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	if dt <= 0 {
 		dt = 5 * time.Second
 	}
-	raw, err := net.DialTimeout("tcp", addr, dt)
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	maxAttempts := cfg.MaxReconnects
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	base := cfg.ReconnectBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxDelay := cfg.ReconnectMax
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	attempt := 0
+	for {
+		progressed, err := runWorkerSession(addr, dial, dt, cfg)
+		if err == nil {
+			return nil
+		}
+		var fatal *fatalWorkerError
+		if !cfg.Reconnect || errors.As(err, &fatal) {
+			return err
+		}
+		if progressed {
+			attempt = 0
+		}
+		attempt++
+		if attempt > maxAttempts {
+			return fmt.Errorf("flnet: worker %d: giving up after %d reconnect attempts: %w", cfg.ClientID, maxAttempts, err)
+		}
+		time.Sleep(backoffDelay(cfg.ClientID, attempt, base, maxDelay))
+		if cfg.OnReconnect != nil {
+			cfg.OnReconnect(attempt)
+		}
+	}
+}
+
+// runWorkerSession runs one connection's lifetime: dial, register, serve
+// until Done (nil error), a transport failure (retryable), or a fatal
+// application error. progressed reports whether the aggregator engaged the
+// session (at least one message arrived), which resets the reconnect
+// budget. All per-session state — the error-feedback residual, the
+// delta-downlink base, the renegotiated codec — is scoped here: a fresh
+// session starts from the registration defaults, matching the
+// aggregator's view of a fresh unacked registration.
+func runWorkerSession(addr string, dial func(string, time.Duration) (net.Conn, error), dt time.Duration, cfg WorkerConfig) (progressed bool, err error) {
+	raw, err := dial(addr, dt)
 	if err != nil {
-		return fmt.Errorf("flnet: worker %d dial: %w", cfg.ClientID, err)
+		return false, fmt.Errorf("flnet: worker %d dial: %w", cfg.ClientID, err)
 	}
 	c := newConn(raw)
+	c.writeTimeout = cfg.RPCTimeout
 	defer c.close()    //nolint:errcheck // shutdown path
 	codec := cfg.Codec // current uplink codec; renegotiated on migrations
 	reg := &Register{ClientID: cfg.ClientID, NumSamples: cfg.NumSamples, Proto: ProtoDeltaDownlink}
@@ -73,7 +198,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 		reg.Codec = codec.ID()
 	}
 	if err := c.send(&Envelope{Type: MsgRegister, Register: reg}); err != nil {
-		return err
+		return false, err
 	}
 	var residual []float64 // error-feedback state across compressed rounds
 	// Delta-downlink base: the last versioned broadcast this worker
@@ -84,19 +209,24 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 	dlVer := 0
 	var dlBase []float64
 	for {
-		env, err := c.recv(0)
+		env, err := c.recv(cfg.RPCTimeout)
 		if err != nil {
-			return fmt.Errorf("flnet: worker %d: %w", cfg.ClientID, err)
+			var ne net.Error
+			if cfg.RPCTimeout > 0 && errors.As(err, &ne) && ne.Timeout() {
+				return progressed, fmt.Errorf("flnet: worker %d: no aggregator message within the %v RPC timeout: %w", cfg.ClientID, cfg.RPCTimeout, err)
+			}
+			return progressed, fmt.Errorf("flnet: worker %d: %w", cfg.ClientID, err)
 		}
+		progressed = true
 		switch env.Type {
 		case MsgProfile:
 			start := time.Now()
 			if _, _, err := cfg.Train(-1, env.Profile.Weights); err != nil {
-				return fmt.Errorf("flnet: worker %d profile: %w", cfg.ClientID, err)
+				return progressed, fatalf("flnet: worker %d profile: %w", cfg.ClientID, err)
 			}
 			reply := &ProfileReply{ClientID: cfg.ClientID, Seconds: time.Since(start).Seconds()}
 			if err := c.send(&Envelope{Type: MsgProfileReply, ProfileReply: reply}); err != nil {
-				return err
+				return progressed, err
 			}
 		case MsgTrain:
 			start := time.Now()
@@ -104,14 +234,14 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			var err error
 			if env.Train.Delta != nil {
 				if dlBase == nil || env.Train.DeltaBase != dlVer {
-					return fmt.Errorf("flnet: worker %d round %d: delta against base %d, holding %d", cfg.ClientID, env.Train.Round, env.Train.DeltaBase, dlVer)
+					return progressed, fatalf("flnet: worker %d round %d: delta against base %d, holding %d", cfg.ClientID, env.Train.Round, env.Train.DeltaBase, dlVer)
 				}
 				tw, err = compress.ApplyDelta(env.Train.DeltaCodec, env.Train.Delta, dlBase)
 			} else {
 				tw, err = env.Train.roundWeights()
 			}
 			if err != nil {
-				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+				return progressed, fatalf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
 			}
 			if env.Train.Version != 0 {
 				// A versioned broadcast — dense or reconstructed — becomes
@@ -121,7 +251,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			}
 			w, n, err := cfg.Train(env.Train.Round, tw)
 			if err != nil {
-				return fmt.Errorf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
+				return progressed, fatalf("flnet: worker %d round %d: %w", cfg.ClientID, env.Train.Round, err)
 			}
 			secs := time.Since(start).Seconds()
 			if cfg.ReportSeconds != nil {
@@ -129,7 +259,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 			}
 			if codec != nil && len(env.Train.Participants) == 0 && codec.ID() != compress.IDNone {
 				if len(w) != len(tw) {
-					return fmt.Errorf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(tw))
+					return progressed, fatalf("flnet: worker %d round %d: trained %d weights from %d", cfg.ClientID, env.Train.Round, len(w), len(tw))
 				}
 				delta := make([]float64, len(w))
 				for i := range delta {
@@ -143,7 +273,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 					Seconds: secs, Seq: env.Train.Seq,
 				}
 				if err := c.send(&Envelope{Type: MsgCompressedUpdate, CompressedUpdate: up}); err != nil {
-					return err
+					return progressed, err
 				}
 				continue
 			}
@@ -157,7 +287,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				up.Weights = w
 			}
 			if err := c.send(&Envelope{Type: MsgUpdate, Update: up}); err != nil {
-				return err
+				return progressed, err
 			}
 		case MsgTierAssign:
 			if cfg.OnTierAssign != nil && env.TierAssign != nil {
@@ -171,7 +301,7 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				// not leak into the new stream.
 				next, err := compress.Parse(env.TierReassign.CodecSpec)
 				if err != nil {
-					return fmt.Errorf("flnet: worker %d: renegotiated codec %q: %w", cfg.ClientID, env.TierReassign.CodecSpec, err)
+					return progressed, fatalf("flnet: worker %d: renegotiated codec %q: %w", cfg.ClientID, env.TierReassign.CodecSpec, err)
 				}
 				codec = next
 				residual = nil
@@ -183,9 +313,9 @@ func RunWorker(addr string, cfg WorkerConfig) error {
 				cfg.OnTierReassign(env.TierReassign.From, env.TierReassign.To, env.TierReassign.NumTiers)
 			}
 		case MsgDone:
-			return nil
+			return progressed, nil
 		default:
-			return fmt.Errorf("flnet: worker %d: unexpected message type %d", cfg.ClientID, env.Type)
+			return progressed, fatalf("flnet: worker %d: unexpected message type %d", cfg.ClientID, env.Type)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package tifl
 
 import (
 	"flag"
+	"time"
 
 	"repro/internal/compress"
 )
@@ -155,6 +156,67 @@ func (o *CompressionOptions) AddFlags(fs *flag.FlagSet) {
 		o.Downlink = dl // nil for "dense": plain snapshots
 		return nil
 	})
+}
+
+// RobustnessOptions are the self-healing knobs of a distributed run: they
+// turn the fail-stop socket layer into one that rides out worker flaps,
+// child-aggregator crashes, and slow links. Embedded in NetOptions and
+// registered as tifl-node flags (-reconnect, -rpc-timeout, -max-retries,
+// -rejoin-wait). All zero values keep the strict fail-stop behaviour
+// earlier PRs pinned, so existing jobs are unchanged.
+type RobustnessOptions struct {
+	// Reconnect makes workers survive connection loss: instead of
+	// returning the first dial/read/write error, a worker re-dials with
+	// capped exponential backoff (deterministic per-client jitter),
+	// re-registers under its ClientID, re-enters the tier the aggregator
+	// still holds for it, and resumes serving Train requests mid-run.
+	Reconnect bool
+	// RPCTimeout bounds every blocking protocol read and write (worker
+	// recv, aggregator send, child↔root link). 0 keeps blocking I/O —
+	// required for Lockstep runs, which must not time-race the script.
+	RPCTimeout time.Duration
+	// MaxRetries is the aggregator-side redispatch budget: a tier-round
+	// Train RPC that dies with its connection is re-sent — under the same
+	// idempotent sequence number, so a retried round cannot double-count —
+	// to the worker's replacement connection up to this many times. It
+	// also caps a worker's reconnect attempts between successful
+	// registrations (0 = the worker default of 8).
+	MaxRetries int
+	// RejoinWait is how long a dispatching aggregator waits for a dead
+	// worker (or, at the tree root, the last dead child) to reconnect
+	// before giving up on it. Defaults to 2s whenever MaxRetries > 0.
+	RejoinWait time.Duration
+}
+
+// Overlay merges o over base: non-zero fields of o win (Reconnect when
+// set) — the NetOptions-over-Options precedence.
+func (o RobustnessOptions) Overlay(base RobustnessOptions) RobustnessOptions {
+	if o.Reconnect {
+		base.Reconnect = true
+	}
+	if o.RPCTimeout > 0 {
+		base.RPCTimeout = o.RPCTimeout
+	}
+	if o.MaxRetries > 0 {
+		base.MaxRetries = o.MaxRetries
+	}
+	if o.RejoinWait > 0 {
+		base.RejoinWait = o.RejoinWait
+	}
+	return base
+}
+
+// AddFlags registers the robustness flags on fs with o's current values
+// as defaults (tifl-node's flag surface).
+func (o *RobustnessOptions) AddFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Reconnect, "reconnect", o.Reconnect,
+		"worker: survive connection loss via backoff re-dial and tier re-entry")
+	fs.DurationVar(&o.RPCTimeout, "rpc-timeout", o.RPCTimeout,
+		"per-RPC read/write deadline on every role (0 = blocking I/O)")
+	fs.IntVar(&o.MaxRetries, "max-retries", o.MaxRetries,
+		"aggregator: redispatch budget per dead in-flight Train RPC; worker: reconnect attempts (0 = default 8)")
+	fs.DurationVar(&o.RejoinWait, "rejoin-wait", o.RejoinWait,
+		"aggregator: wait for a dead worker/child to rejoin before abandoning it (0 = 2s when -max-retries set)")
 }
 
 // CheckpointOptions are the crash-safety knobs of a distributed run.

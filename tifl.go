@@ -378,6 +378,11 @@ type NetOptions struct {
 	// this distributed job when non-zero (TieringOptions.Overlay
 	// precedence). Not supported by TrainTieredAsyncTree.
 	TieringOptions
+	// RobustnessOptions turns on the self-healing layer for this job:
+	// worker reconnect loops, per-RPC deadlines, bounded idempotent
+	// redispatch, and rejoin grace windows. Zero values keep the strict
+	// fail-stop behaviour.
+	RobustnessOptions
 }
 
 // TrainTieredAsyncNet runs the same FedAT-style protocol as
@@ -459,6 +464,8 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		MetricsAddr:   net.MetricsAddr,
 		ReassignCodec: net.ReassignPolicy(),
 		Downlink:      net.Downlink,
+		MaxRetries:    net.MaxRetries, RejoinWait: net.RejoinWait,
+		SendTimeout: net.RPCTimeout,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -469,7 +476,9 @@ func (s *System) TrainTieredAsyncNet(cfg TieredAsyncConfig, net NetOptions, test
 		idx := i
 		go flnet.RunWorker(agg.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with the aggregator
 			ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
-			Codec: net.TierCodec(tierOf[idx], len(s.tiers)),
+			Codec:     net.TierCodec(tierOf[idx], len(s.tiers)),
+			Reconnect: net.Reconnect, MaxReconnects: net.MaxRetries,
+			RPCTimeout: net.RPCTimeout,
 			Train: func(round int, weights []float64) ([]float64, int, error) {
 				u := eng.TrainClient(round, idx, weights)
 				return u.Weights, u.NumSamples, nil
@@ -562,6 +571,8 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 		CheckpointEvery: net.CheckpointEvery, CheckpointPath: net.CheckpointPath,
 		MetricsAddr: net.MetricsAddr,
 		Downlink:    net.Downlink,
+		MaxRetries:  net.MaxRetries, RejoinWait: net.RejoinWait,
+		SendTimeout: net.RPCTimeout,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -572,7 +583,9 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 		ch, err := flnet.NewChild(flnet.ChildConfig{
 			ID: t, RootAddr: root.Addr(), Workers: len(tier.Members),
 			WorkerTimeout: net.WorkerTimeout, RoundTimeout: net.RoundTimeout,
-			Downlink: net.Downlink,
+			Downlink:   net.Downlink,
+			RPCTimeout: net.RPCTimeout, MaxRetries: net.MaxRetries,
+			RejoinWait: net.RejoinWait,
 		})
 		if err != nil {
 			return nil, 0, fmt.Errorf("tifl: starting child aggregator %d: %w", t, err)
@@ -584,7 +597,9 @@ func (s *System) TrainTieredAsyncTree(cfg TieredAsyncConfig, net NetOptions, tes
 			idx := ci
 			go flnet.RunWorker(ch.Addr(), flnet.WorkerConfig{ //nolint:errcheck // worker exits with its child
 				ClientID: idx, NumSamples: s.clients[idx].NumSamples(),
-				Codec: net.TierCodec(t, len(s.tiers)),
+				Codec:     net.TierCodec(t, len(s.tiers)),
+				Reconnect: net.Reconnect, MaxReconnects: net.MaxRetries,
+				RPCTimeout: net.RPCTimeout,
 				Train: func(round int, weights []float64) ([]float64, int, error) {
 					u := eng.TrainClient(round, idx, weights)
 					return u.Weights, u.NumSamples, nil
